@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""EdgeConv on point clouds: per-point shape classification.
+
+The paper's EdgeConv workload (§7.2) builds k-NN graphs over ModelNet40
+point clouds.  This example samples a minibatch of synthetic surfaces
+(sphere / cube / cylinder / torus), builds the k-NN graph, and trains
+EdgeConv to classify every *point* by the surface it was sampled from —
+a task that genuinely needs the local-geometry differences
+``Θ·(h_u − h_v)`` that EdgeConv scatters along edges.
+
+Also demonstrates the §4 headline measurement: the share of EdgeConv
+FLOPs that propagation postponement eliminates at k=40.
+
+Run:  python examples/edgeconv_pointcloud.py [--k 20] [--clouds 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import compile_forward, compile_training, get_strategy
+from repro.graph.generators import POINT_CLOUD_SHAPES, knn_graph, sample_point_cloud
+from repro.graph import disjoint_union
+from repro.models import EdgeConv
+from repro.train import Adam, Trainer
+
+
+def build_batch(num_clouds: int, points: int, k: int, seed: int):
+    names = sorted(POINT_CLOUD_SHAPES)
+    graphs, feats, labels = [], [], []
+    for i in range(num_clouds):
+        shape = names[i % len(names)]
+        pts = sample_point_cloud(shape, points, seed=seed * 1000 + i)
+        graphs.append(knn_graph(pts, k))
+        feats.append(pts)
+        labels.append(np.full(points, names.index(shape)))
+    return (
+        disjoint_union(graphs),
+        np.concatenate(feats).astype(np.float64),
+        np.concatenate(labels),
+        names,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--clouds", type=int, default=8)
+    parser.add_argument("--points", type=int, default=256)
+    parser.add_argument("--epochs", type=int, default=40)
+    args = parser.parse_args()
+
+    graph, feats, labels, names = build_batch(args.clouds, args.points, args.k, seed=7)
+    print(
+        f"batch: {args.clouds} clouds × {args.points} points, k={args.k}"
+        f" → |V|={graph.num_vertices} |E|={graph.num_edges}"
+    )
+
+    model = EdgeConv(3, (32, 32, len(names)))
+
+    # The §1/§4 headline: how much of the naive model is redundant?
+    stats = graph.stats()
+    naive = compile_forward(model, get_strategy("ours-noreorg")).counters(stats)
+    opt_c = compile_forward(model, get_strategy("ours")).counters(stats)
+    share = (naive.flops - opt_c.flops) / naive.flops
+    print(
+        f"redundant FLOPs eliminated by reorganization: {share*100:.1f}% "
+        f"({naive.flops/1e6:.0f} M → {opt_c.flops/1e6:.0f} M)"
+    )
+
+    compiled = compile_training(model, get_strategy("ours"))
+    # EdgeConv's max-Gather stashes only its argmax indices (§7.2).
+    argmax_stash = [s for s in compiled.stash if ".aux" in s]
+    print(f"stash: {len(compiled.stash)} tensors, {len(argmax_stash)} argmax index arrays")
+
+    trainer = Trainer(compiled, graph, precision="float32", seed=0)
+    optimizer = Adam(lr=0.01)
+    print("\ntraining per-point shape classification:")
+    for epoch in range(args.epochs):
+        loss, acc = trainer.train_step(feats, labels, optimizer)
+        if epoch % 8 == 0 or epoch == args.epochs - 1:
+            print(f"  epoch {epoch:3d}  loss={loss:.4f}  point-accuracy={acc:.3f}")
+    if acc <= 0.5:
+        raise SystemExit("expected EdgeConv to beat 50% point accuracy")
+    print(f"\nfinal accuracy {acc:.3f} over classes {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""GAT semi-supervised node classification on a citation-graph workload.
+
+Reproduces the paper's end-to-end GAT training scenario (Figure 7, the
+Pubmed column) at NumPy-friendly scale: a train/validation split over
+vertices, multi-head attention, and a comparison of what each baseline
+system would pay per step on the *full published* topology.
+
+Run:  python examples/gat_citation_training.py [--epochs 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import RTX3090, compile_training, get_dataset, get_strategy
+from repro.models import GAT
+from repro.train import Adam, Trainer
+
+
+def synthetic_task(dataset, in_dim: int, seed: int = 0):
+    """Features plus labels correlated with a 2-hop neighbourhood mix.
+
+    The label of a vertex depends on a random linear map of its own
+    features plus its neighbours' mean — learnable by a 2-layer GNN,
+    not by a pointwise model, which makes validation accuracy a
+    meaningful signal that message passing works.
+    """
+    graph = dataset.graph()
+    rng = np.random.default_rng(seed)
+    feats = dataset.features(dim=in_dim, seed=seed)
+    deg = np.maximum(graph.in_degrees, 1)[:, None]
+    neigh = np.zeros_like(feats)
+    np.add.at(neigh, graph.dst, feats[graph.src])
+    mixed = 0.5 * feats + 0.5 * neigh / deg
+    labels = (mixed @ rng.normal(size=(in_dim, dataset.num_classes))).argmax(1)
+    return graph, feats, labels
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="pubmed")
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--hidden", type=int, default=32)
+    parser.add_argument("--heads", type=int, default=4)
+    args = parser.parse_args()
+
+    dataset = get_dataset(args.dataset)
+    in_dim = 32
+    graph, feats, labels = synthetic_task(dataset, in_dim)
+    n = graph.num_vertices
+    rng = np.random.default_rng(1)
+    train_mask = rng.random(n) < 0.6
+    val_mask = ~train_mask
+
+    model = GAT(in_dim, (args.hidden, dataset.num_classes), heads=args.heads)
+    print(f"{dataset.name}: |V|={n} |E|={graph.num_edges}, model {model.name}")
+
+    # What would one step cost each system on the published topology?
+    print("\nper-step cost on the published topology (modelled RTX 3090):")
+    for sname in ("dgl-like", "fusegnn-like", "ours"):
+        c = compile_training(model, get_strategy(sname))
+        cnt = c.counters(dataset.stats)
+        ms = c.latency_seconds(dataset.stats, RTX3090) * 1e3
+        print(
+            f"  {sname:14s} latency={ms:7.2f} ms  io={cnt.io_bytes/2**20:8.1f} MB"
+            f"  peak={cnt.peak_memory_bytes/2**20:8.1f} MB"
+            f"  stash={cnt.stash_bytes/2**20:7.1f} MB"
+        )
+
+    compiled = compile_training(model, get_strategy("ours"))
+    trainer = Trainer(compiled, graph, precision="float32", seed=0)
+    opt = Adam(lr=0.01)
+    print("\ntraining (strategy: ours):")
+    for epoch in range(args.epochs):
+        loss, acc = trainer.train_step(feats, labels, opt, mask=train_mask)
+        if epoch % 5 == 0 or epoch == args.epochs - 1:
+            _, val_acc = trainer.evaluate(feats, labels, mask=val_mask)
+            print(
+                f"  epoch {epoch:3d}  train loss={loss:.4f} acc={acc:.3f}"
+                f"  val acc={val_acc:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

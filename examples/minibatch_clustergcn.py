@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Mini-batch subgraph training on a Reddit-scale-style graph.
+
+Full-graph training is what the paper evaluates, but production
+Reddit-scale training commonly runs Cluster-GCN style: sample a vertex
+batch, induce its subgraph, take one optimizer step.  The sampling
+substrate (`repro.graph.sampling`) composes with the compiled plans
+unchanged — a subgraph is just another Graph, and the compiled strategy
+is topology-independent.
+
+Also demonstrates the receptive-field utility: exact evaluation of a
+seed set on its k-hop induced subgraph instead of the full graph.
+
+Run:  python examples/minibatch_clustergcn.py [--epochs 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import compile_training, get_strategy
+from repro.graph import chung_lu
+from repro.graph.sampling import (
+    induced_subgraph,
+    khop_neighborhood,
+    random_vertex_batches,
+)
+from repro.models import GraphSAGE
+from repro.train import Adam, Trainer
+from repro.train.loop import accuracy
+from repro.exec import Engine, plan_module
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=4000)
+    parser.add_argument("--edges", type=int, default=40_000)
+    parser.add_argument("--batch", type=int, default=800)
+    parser.add_argument("--epochs", type=int, default=5)
+    args = parser.parse_args()
+
+    graph = chung_lu(args.vertices, args.edges, alpha=1.7, seed=4)
+    rng = np.random.default_rng(0)
+    in_dim, classes = 16, 5
+    feats = rng.normal(size=(graph.num_vertices, in_dim))
+    labels = (feats @ rng.normal(size=(in_dim, classes))).argmax(1)
+
+    model = GraphSAGE(in_dim, (32, classes))
+    compiled = compile_training(model, get_strategy("ours"))
+    params = model.init_params(0)
+    opt = Adam(lr=0.02)
+
+    print(
+        f"graph |V|={graph.num_vertices} |E|={graph.num_edges}, "
+        f"batches of {args.batch} vertices"
+    )
+    for epoch in range(args.epochs):
+        losses, accs = [], []
+        for batch in random_vertex_batches(
+            graph.num_vertices, args.batch, rng=rng
+        ):
+            sub, kept, _ = induced_subgraph(graph, batch)
+            trainer = Trainer(compiled, sub, params=params, precision="float32")
+            loss, acc = trainer.train_step(feats[kept], labels[kept], opt)
+            params = trainer.params
+            losses.append(loss)
+            accs.append(acc)
+        print(
+            f"  epoch {epoch}: loss={np.mean(losses):.4f} "
+            f"batch-acc={np.mean(accs):.3f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Exact evaluation of a seed set via its receptive field: identical
+    # to full-graph inference for in-degree-only models like SAGE, at a
+    # fraction of the work.
+    seeds = rng.choice(graph.num_vertices, size=50, replace=False)
+    field = khop_neighborhood(graph, seeds, hops=len(model.hidden_dims))
+    sub, kept, _ = induced_subgraph(graph, field)
+    print(
+        f"\nreceptive field of 50 seeds: {field.size} vertices "
+        f"({field.size / graph.num_vertices:.1%} of the graph)"
+    )
+    engine = Engine(sub, precision="float32")
+    forward = compiled.forward
+    arrays = model.make_inputs(sub, feats[kept].astype(np.float32))
+    arrays.update(params)
+    env = engine.bind(forward, arrays)
+    out = engine.run_plan(plan_module(forward, mode="unified"), env)
+    logits = out[forward.outputs[0]]
+    pos = {int(v): i for i, v in enumerate(kept)}
+    seed_logits = np.stack([logits[pos[int(s)]] for s in seeds])
+    print(f"seed-set accuracy: {accuracy(seed_logits, labels[seeds]):.3f}")
+
+
+if __name__ == "__main__":
+    main()

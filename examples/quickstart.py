@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: optimize and train a GAT with the paper's three passes.
+
+Walks the full pipeline on a Cora-scale workload:
+
+1. build a naive GAT computation graph (Figure 3(a) form),
+2. apply propagation-postponed reorganization (§4) and inspect the
+   rewritten IR,
+3. compile under the ``ours`` strategy (unified fusion §5 +
+   recomputation §6) and compare exact counters against a DGL-like
+   baseline,
+4. train a few epochs with the concrete NumPy engine.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RTX3090, compile_training, get_dataset, get_strategy
+from repro.ir import format_module
+from repro.models import GAT
+from repro.train import Adam, Trainer
+
+
+def main() -> None:
+    dataset = get_dataset("cora")
+    graph = dataset.graph()
+    print(f"dataset: {dataset.name}  |V|={graph.num_vertices} |E|={graph.num_edges}")
+
+    # Modest dims keep the NumPy run snappy; the analytic counters below
+    # use the same model so the comparison is apples-to-apples.
+    model = GAT(in_dim=64, hidden_dims=(64, dataset.num_classes), heads=2)
+
+    # ------------------------------------------------------------------
+    # 1+2. The §4 rewrite, visible in the IR.
+    naive = model.build_module()
+    optimized = get_strategy("ours").prepare_forward(model)
+    print("\n--- naive attention ops (per-edge projection) ---")
+    for node in naive.nodes[:6]:
+        print("  ", node)
+    print("--- after reorganization (per-vertex projections) ---")
+    for node in optimized.nodes[:8]:
+        print("  ", node)
+
+    # ------------------------------------------------------------------
+    # 3. Exact counters: ours vs a DGL-like baseline.
+    print("\n--- one training step, exact counters (Cora topology) ---")
+    header = f"{'strategy':14s} {'FLOPs':>12s} {'DRAM IO':>12s} {'peak mem':>12s} {'stash':>12s} {'launches':>9s}"
+    print(header)
+    for sname in ("dgl-like", "fusegnn-like", "ours"):
+        compiled = compile_training(model, get_strategy(sname))
+        c = compiled.counters(dataset.stats)
+        print(
+            f"{sname:14s} {c.flops/1e6:10.1f} M {c.io_bytes/2**20:10.2f}MB "
+            f"{c.peak_memory_bytes/2**20:10.2f}MB {c.stash_bytes/2**20:10.2f}MB "
+            f"{c.launches:9d}"
+        )
+        if sname == "ours":
+            ms = compiled.latency_seconds(dataset.stats, RTX3090) * 1e3
+            print(f"{'':14s} modelled RTX 3090 latency: {ms:.2f} ms/step")
+
+    # ------------------------------------------------------------------
+    # 4. Concrete training with the NumPy engine.
+    print("\n--- training (NumPy engine, strategy: ours) ---")
+    rng = np.random.default_rng(0)
+    feats = dataset.features(dim=model.in_dim, seed=0)
+    # Learnable synthetic labels (a hidden linear map of the features).
+    labels = (feats @ rng.normal(size=(model.in_dim, dataset.num_classes))).argmax(1)
+
+    compiled = compile_training(model, get_strategy("ours"))
+    trainer = Trainer(compiled, graph, precision="float64", seed=0)
+    print(f"stash (all O(|V|)): {compiled.stash}")
+    opt = Adam(lr=0.02)
+    for epoch in range(10):
+        loss, acc = trainer.train_step(feats, labels, opt)
+        if epoch % 2 == 0:
+            print(f"  epoch {epoch:2d}  loss={loss:.4f}  acc={acc:.3f}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `python setup.py develop` works in
+offline environments that lack the `wheel` package required by PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Understanding GNN Computational Graph: A
+Coordinated Computation, IO, and Memory Perspective" (MLSys 2022).
+
+The library implements the paper's operator abstraction, its three
+optimization passes (propagation-postponed reorganization, unified
+thread-mapping fusion, intermediate-data recomputation), a numerically
+exact NumPy execution engine, an analytic counter/latency substrate
+that stands in for the paper's GPUs, and the baseline systems the paper
+compares against — all over one shared IR.
+
+Quick start::
+
+    from repro import compile_training, get_strategy, get_dataset, RTX3090
+    from repro.models import GAT
+
+    model = GAT(in_dim=64, hidden_dims=(64, 7), heads=4)
+    compiled = compile_training(model, get_strategy("ours"))
+    stats = get_dataset("cora").stats
+    counters = compiled.counters(stats)          # exact FLOPs/IO/memory
+    seconds = compiled.latency_seconds(stats, RTX3090)
+
+See ``examples/`` for runnable end-to-end scripts and ``benchmarks/``
+for the per-figure reproduction harness.
+"""
+
+from repro.graph import Graph, GraphStats, get_dataset, list_datasets
+from repro.frameworks import (
+    compile_forward,
+    compile_training,
+    get_strategy,
+    list_strategies,
+)
+from repro.gpu import RTX2080, RTX3090, CostModel, SimulatedOOM, get_gpu
+from repro.train import Adam, SGD, Trainer
+from repro.experiment import run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphStats",
+    "get_dataset",
+    "list_datasets",
+    "compile_forward",
+    "compile_training",
+    "get_strategy",
+    "list_strategies",
+    "RTX2080",
+    "RTX3090",
+    "CostModel",
+    "SimulatedOOM",
+    "get_gpu",
+    "Adam",
+    "SGD",
+    "Trainer",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Regenerate every paper-figure table: ``python -m repro.bench``.
+
+Runs all Figure 7–11 experiments plus the §1 inline measurements at the
+published workload scales, prints each table, and persists them under
+``benchmarks/results/`` (the files EXPERIMENTS.md references).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.figures import (
+    fig7_edgeconv,
+    fig7_gat,
+    fig7_monet,
+    fig8_reorganization,
+    fig9_fusion,
+    fig10_recomputation,
+    fig11_small_gpu,
+    inline_intermediate_memory_share,
+    inline_redundant_computation,
+)
+from repro.bench.report import save_table
+
+FIGURES = (
+    ("fig7_gat", fig7_gat),
+    ("fig7_edgeconv", fig7_edgeconv),
+    ("fig7_monet", fig7_monet),
+    ("fig8_reorganization", fig8_reorganization),
+    ("fig9_fusion", fig9_fusion),
+    ("fig10_recomputation", fig10_recomputation),
+    ("fig11_small_gpu", fig11_small_gpu),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    start = time.time()
+    for name, fn in FIGURES:
+        t0 = time.time()
+        figure = fn()
+        path = save_table(name, figure.table)
+        print(figure.table)
+        print(f"  -> {path}  [{time.time() - t0:.1f}s]\n")
+
+    share, table = inline_redundant_computation()
+    print(table)
+    print(f"  -> {save_table('inline_redundancy', table)}\n")
+    share, table = inline_intermediate_memory_share()
+    print(table)
+    print(f"  -> {save_table('inline_memory_share', table)}\n")
+
+    print(f"all figures regenerated in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,134 @@
+"""Experiment runners: (model × workload × strategy × device) → metrics.
+
+All measurements here are *analytic*: exact FLOP/IO/memory counters
+evaluated on the workload's :class:`~repro.graph.stats.GraphStats`
+(full published scale) and mapped to latency through the GPU cost
+model.  Wall-clock measurements of the concrete NumPy engine are taken
+separately by pytest-benchmark in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.frameworks import compile_forward, compile_training, get_strategy
+from repro.gpu.cost_model import CostModel, SimulatedOOM
+from repro.gpu.spec import GPUSpec
+from repro.graph.stats import GraphStats
+from repro.models.base import GNNModel
+
+__all__ = ["RunResult", "measure_training", "measure_forward", "normalized_rows"]
+
+
+@dataclass
+class RunResult:
+    """One (model, workload, strategy, device) measurement."""
+
+    model: str
+    workload: str
+    strategy: str
+    gpu: str
+    latency_s: float
+    io_bytes: int
+    peak_memory_bytes: int
+    flops: float
+    stash_bytes: int
+    launches: int
+    oom: bool = False
+
+    @property
+    def memory_gb(self) -> float:
+        return self.peak_memory_bytes / 2 ** 30
+
+    @property
+    def io_gb(self) -> float:
+        return self.io_bytes / 2 ** 30
+
+
+def measure_training(
+    model: GNNModel,
+    workload: str,
+    stats: GraphStats,
+    strategy_name: str,
+    gpu: GPUSpec,
+) -> RunResult:
+    """Analytic counters + modelled latency for one training step."""
+    compiled = compile_training(model, get_strategy(strategy_name))
+    counters = compiled.counters(stats)
+    cm = CostModel(gpu)
+    oom = not cm.fits(counters)
+    return RunResult(
+        model=model.name,
+        workload=workload,
+        strategy=strategy_name,
+        gpu=gpu.name,
+        latency_s=cm.latency_seconds(counters, stats),
+        io_bytes=counters.io_bytes,
+        peak_memory_bytes=counters.peak_memory_bytes,
+        flops=counters.flops,
+        stash_bytes=counters.stash_bytes,
+        launches=counters.launches,
+        oom=oom,
+    )
+
+
+def measure_forward(
+    model: GNNModel,
+    workload: str,
+    stats: GraphStats,
+    strategy_name: str,
+    gpu: GPUSpec,
+) -> RunResult:
+    """Analytic counters + modelled latency for one inference pass."""
+    compiled = compile_forward(model, get_strategy(strategy_name))
+    counters = compiled.counters(stats)
+    cm = CostModel(gpu)
+    return RunResult(
+        model=model.name,
+        workload=workload,
+        strategy=strategy_name,
+        gpu=gpu.name,
+        latency_s=cm.latency_seconds(counters, stats),
+        io_bytes=counters.io_bytes,
+        peak_memory_bytes=counters.peak_memory_bytes,
+        flops=counters.flops,
+        stash_bytes=0,
+        launches=counters.launches,
+        oom=not cm.fits(counters),
+    )
+
+
+def normalized_rows(
+    results: Sequence[RunResult],
+    *,
+    baseline: str = "dgl-like",
+) -> List[Dict[str, object]]:
+    """Figure-7-style normalisation: ratios of baseline over strategy.
+
+    For every workload, each strategy's speedup / IO-saving /
+    memory-saving relative to ``baseline`` (>1 = better than baseline,
+    matching the paper's bar charts).
+    """
+    by_workload: Dict[str, Dict[str, RunResult]] = {}
+    for r in results:
+        by_workload.setdefault(r.workload, {})[r.strategy] = r
+    rows: List[Dict[str, object]] = []
+    for workload, per_strategy in by_workload.items():
+        if baseline not in per_strategy:
+            raise KeyError(f"no {baseline!r} run for workload {workload!r}")
+        base = per_strategy[baseline]
+        for name, r in per_strategy.items():
+            if name == baseline:
+                continue
+            rows.append(
+                {
+                    "workload": workload,
+                    "strategy": name,
+                    "speedup": base.latency_s / r.latency_s,
+                    "io_saving": base.io_bytes / max(r.io_bytes, 1),
+                    "memory_saving": base.peak_memory_bytes
+                    / max(r.peak_memory_bytes, 1),
+                }
+            )
+    return rows

@@ -1,0 +1,34 @@
+"""Concrete execution substrate: kernels, plans, interpreter, accounting.
+
+This subpackage turns IR modules into numbers, two ways:
+
+- **Concrete** — :class:`~repro.exec.engine.Engine` interprets an
+  execution plan with vectorised NumPy kernels
+  (:mod:`~repro.exec.kernels`), producing bit-for-bit identical results
+  regardless of which optimizations were applied (fusion and
+  recomputation change *accounting*, never values).  This is the
+  correctness oracle and the wall-clock benchmark target.
+- **Analytic** — :mod:`~repro.exec.analytic` walks the same plan without
+  touching arrays, evaluating the exact FLOP / DRAM-byte / peak-memory
+  formulas on a :class:`~repro.graph.stats.GraphStats`.  This is how
+  experiments run at full published scale (115M-edge Reddit).
+
+Shared between the two is the plan structure
+(:mod:`~repro.exec.plan`): kernels (fused node groups), stash policy,
+and recompute programs, as produced by :mod:`repro.opt`.
+"""
+
+from repro.exec.plan import ExecPlan, Kernel, plan_module
+from repro.exec.engine import Engine
+from repro.exec.profiler import Counters
+from repro.exec.analytic import analyze_plan, analyze_training
+
+__all__ = [
+    "ExecPlan",
+    "Kernel",
+    "plan_module",
+    "Engine",
+    "Counters",
+    "analyze_plan",
+    "analyze_training",
+]

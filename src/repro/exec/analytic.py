@@ -1,0 +1,176 @@
+"""Analytic plan walker: exact counters without touching arrays.
+
+This is the no-execution twin of :class:`repro.exec.engine.Engine`.  It
+walks an :class:`~repro.exec.plan.ExecPlan` kernel by kernel on a
+:class:`~repro.graph.stats.GraphStats`, evaluating the FLOP/IO/memory
+formulas — which is how every experiment runs at the paper's full
+published scale (the 115M-edge Reddit graph exists here only as a
+degree distribution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.exec.plan import ExecPlan, Kernel
+from repro.exec.profiler import Counters, KernelRecord, PhaseCounters
+from repro.graph.stats import GraphStats
+from repro.ir.module import GRAPH_CONSTANTS
+from repro.ir.ops import OpKind
+from repro.ir.tensorspec import Domain
+
+__all__ = ["analyze_plan", "analyze_training", "kernel_record"]
+
+
+def kernel_record(plan: ExecPlan, index: int, stats: GraphStats) -> KernelRecord:
+    """Build the cost-model record for kernel ``index`` of ``plan``."""
+    kernel = plan.kernels[index]
+    io = plan.kernel_io(index)
+    specs = plan.module.specs
+    V, E = stats.num_vertices, stats.num_edges
+
+    flops = sum(node.flops(specs, stats) for node in kernel.nodes)
+
+    read_bytes = 0
+    for name in io.reads:
+        per_node = [
+            node.read_bytes(name, specs, stats)
+            for node in kernel.nodes
+            if name in node.all_inputs()
+        ]
+        # One staging of the tensor per kernel; the dominant access
+        # pattern (max multiplier) wins when several nodes share it.
+        read_bytes += max(per_node) if per_node else 0
+    write_bytes = sum(
+        node.write_bytes(o, specs, stats)
+        for node in kernel.nodes
+        for o in node.outputs
+        if o in io.writes
+    )
+
+    work, rows = _work_shape(kernel, specs, V, E)
+    return KernelRecord(
+        label=kernel.label,
+        mapping=kernel.mapping,
+        work=work,
+        rows=rows,
+        flops=flops,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        atomic=kernel.atomic,
+        fused_ops=sum(1 for n in kernel.nodes if n.kind is not OpKind.VIEW),
+        reduce_scatter=kernel.reduce_scatter,
+    )
+
+
+def _work_shape(kernel: Kernel, specs, V: int, E: int) -> Tuple[str, int]:
+    """Work distribution + parallel row count for the cost model."""
+    if kernel.mapping == "none":
+        return "uniform", 0
+    if kernel.mapping == "dense":
+        rows = max(
+            specs[node.outputs[0]].rows(V, E) for node in kernel.nodes
+        )
+        return "uniform", rows
+    if kernel.mapping == "edge":
+        return "uniform", E
+    # Vertex-balanced kernel: work per vertex follows the incident-edge
+    # count whenever graph-related operators are present.
+    has_graph = any(n.is_graph_related() for n in kernel.nodes)
+    if not has_graph:
+        return "uniform", V
+    orientations = {
+        n.orientation for n in kernel.nodes if n.kind is OpKind.GATHER
+    }
+    work = "degree_out" if orientations == {"out"} else "degree_in"
+    return work, V
+
+
+def analyze_plan(
+    plan: ExecPlan,
+    stats: GraphStats,
+    *,
+    pinned: Iterable[str] = (),
+    extra_resident_bytes: int = 0,
+) -> PhaseCounters:
+    """Walk a plan, producing kernel records and the memory ledger.
+
+    Parameters
+    ----------
+    pinned:
+        Value names never freed during the walk (model features, labels,
+        parameters — memory the user owns regardless of scheduling).
+    extra_resident_bytes:
+        Constant footprint carried through the phase (e.g. the stash
+        while walking a backward plan also accounts the seeds /
+        parameters via the module interface, so this is rarely needed).
+    """
+    specs = plan.module.specs
+    V, E = stats.num_vertices, stats.num_edges
+    lives = plan.liveness()
+    pinned_roots = {plan.root_of(p) for p in pinned}
+    # Graph constants are manufactured from topology on demand.
+    free_names = {plan.root_of(n) for n in GRAPH_CONSTANTS if n in specs}
+
+    def nbytes(root: str) -> int:
+        return specs[root].nbytes(V, E)
+
+    resident: Dict[str, int] = {}
+    for name in list(plan.module.inputs) + list(plan.module.params):
+        root = plan.root_of(name)
+        if root not in resident and root not in free_names:
+            resident[root] = nbytes(root)
+
+    current = sum(resident.values()) + extra_resident_bytes
+    peak = current
+    records = []
+    n_kernels = len(plan.kernels)
+    for i in range(n_kernels):
+        record = kernel_record(plan, i, stats)
+        records.append(record)
+        io = plan.kernel_io(i)
+        for w in io.writes:
+            root = plan.root_of(w)
+            if root not in resident and root not in free_names:
+                size = nbytes(root)
+                resident[root] = size
+                current += size
+        peak = max(peak, current)
+        # Free boundary values whose last consumer has now run.  Module
+        # inputs are freed too (a consumed stash entry releases its
+        # memory) unless pinned.
+        for root, (defk, last) in lives.items():
+            if last == i and root in resident and root not in pinned_roots:
+                current -= resident.pop(root)
+    return PhaseCounters(
+        records=records,
+        peak_memory_bytes=peak,
+        end_resident_bytes=current,
+    )
+
+
+def analyze_training(
+    fwd_plan: ExecPlan,
+    bwd_plan: ExecPlan,
+    stats: GraphStats,
+    *,
+    stash: Iterable[str],
+    pinned: Iterable[str] = (),
+) -> Counters:
+    """Counters for one training step (forward + backward).
+
+    The backward walk carries the stash (declared among the backward
+    module's inputs) plus gradient seeds; peak memory is the max over
+    both phases.  ``stash_bytes`` reports the §6 quantity directly.
+    """
+    specs = fwd_plan.module.specs
+    V, E = stats.num_vertices, stats.num_edges
+    pinned = list(pinned)
+
+    fwd = analyze_plan(fwd_plan, stats, pinned=pinned)
+    bwd = analyze_plan(bwd_plan, stats, pinned=pinned)
+
+    stash_bytes = sum(
+        specs[fwd_plan.root_of(s)].nbytes(V, E) for s in set(stash)
+    )
+    return Counters(forward=fwd, backward=bwd, stash_bytes=stash_bytes)

@@ -1,0 +1,274 @@
+"""Concrete plan interpreter over NumPy kernels.
+
+The engine executes an :class:`~repro.exec.plan.ExecPlan` on a real
+:class:`~repro.graph.csr.Graph`.  Results are independent of the plan's
+kernel partitioning and stash policy — fusion and recomputation are
+*accounting* transformations — which the test suite exploits: every
+optimized configuration must reproduce the per-op baseline bit for bit
+(up to float associativity).
+
+Array conventions (see :mod:`repro.exec.kernels`): callers provide
+vertex/edge tensors with their natural leading row axis and parameters
+in natural shape; the engine wraps PARAM/DENSE values with a leading
+1-axis internally and unwraps them on return.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.exec.kernels import (
+    apply_kernel,
+    gather_kernel,
+    param_grad_kernel,
+    scatter_kernel,
+)
+from repro.exec.plan import ExecPlan
+from repro.graph.csr import Graph
+from repro.ir.module import GRAPH_CONSTANTS, Module
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain, TensorSpec
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Executes plans on one graph.
+
+    Parameters
+    ----------
+    graph:
+        Topology every plan is bound to.
+    precision:
+        Floating dtype used for computation (``"float32"`` matches GPU
+        accounting; tests use ``"float64"`` for finite-difference
+        gradient checks).
+    free_dead_values:
+        Drop arrays as soon as their last consumer kernel has run
+        (mirrors the analytic memory ledger and keeps host RAM bounded
+        on the million-edge workloads).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        precision: str = "float32",
+        free_dead_values: bool = True,
+        check_finite: bool = False,
+    ):
+        self.graph = graph
+        self.precision = np.dtype(precision)
+        self.free_dead_values = free_dead_values
+        #: Debugging mode: raise on the first non-finite kernel output,
+        #: naming the producing node (NaN/Inf failure localisation).
+        self.check_finite = check_finite
+
+    # ------------------------------------------------------------------
+    def bind(self, module: Module, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Prepare an execution environment for ``module``.
+
+        Wraps PARAM/DENSE values with the leading 1-axis, casts floats
+        to the engine precision, validates shapes, and synthesises graph
+        constants (degrees).
+        """
+        env: Dict[str, np.ndarray] = {}
+        for name in list(module.inputs) + list(module.params):
+            if name in GRAPH_CONSTANTS:
+                env[name] = self.graph_constant(name)
+                continue
+            if name not in arrays:
+                raise KeyError(f"missing array for module value {name!r}")
+            env[name] = self._wrap(name, module.specs[name], arrays[name])
+        return env
+
+    def graph_constant(self, name: str) -> np.ndarray:
+        """Degree arrays (and future topology-derived inputs) by name."""
+        if name == "g_in_degrees":
+            return self.graph.in_degrees.astype(self.precision)
+        if name == "g_out_degrees":
+            return self.graph.out_degrees.astype(self.precision)
+        raise KeyError(name)  # pragma: no cover - registry guards this
+
+    def _wrap(self, name: str, spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
+        arr = np.asarray(arr)
+        if np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(self.precision, copy=False)
+        expected_rows = spec.rows(self.graph.num_vertices, self.graph.num_edges)
+        if spec.domain in (Domain.PARAM, Domain.DENSE):
+            if arr.shape == spec.feat_shape:
+                arr = arr[None]
+            elif arr.shape != (1,) + spec.feat_shape:
+                raise ValueError(
+                    f"{name!r}: expected shape {spec.feat_shape}, got {arr.shape}"
+                )
+            return arr
+        if arr.shape != (expected_rows,) + spec.feat_shape:
+            raise ValueError(
+                f"{name!r}: expected shape {(expected_rows,) + spec.feat_shape}, "
+                f"got {arr.shape}"
+            )
+        return arr
+
+    @staticmethod
+    def unwrap(spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
+        """Strip the leading 1-axis from PARAM/DENSE results."""
+        if spec.domain in (Domain.PARAM, Domain.DENSE):
+            return arr[0]
+        return arr
+
+    # ------------------------------------------------------------------
+    def run_plan(
+        self,
+        plan: ExecPlan,
+        env: Mapping[str, np.ndarray],
+        *,
+        unwrap: bool = True,
+    ) -> Dict[str, np.ndarray]:
+        """Execute ``plan``; return outputs plus keep-set values.
+
+        ``env`` must hold every module input/param (see :meth:`bind`).
+        The returned dict contains the module outputs and every value in
+        the plan's keep set (the training stash), unwrapped to natural
+        shapes when ``unwrap``.
+        """
+        module = plan.module
+        values: Dict[str, np.ndarray] = dict(env)
+        lives = plan.liveness() if self.free_dead_values else {}
+        wanted = set(module.outputs) | set(plan.keep)
+        argmax_needed = self._argmax_demand(module, wanted)
+
+        for i, kernel in enumerate(plan.kernels):
+            for node in kernel.nodes:
+                self._execute(node, values, argmax_needed)
+                if self.check_finite:
+                    self._assert_finite(node, values)
+            if self.free_dead_values:
+                self._sweep(plan, values, lives, i, wanted)
+
+        result: Dict[str, np.ndarray] = {}
+        for name in wanted:
+            arr = values[name]
+            result[name] = (
+                self.unwrap(module.specs[name], arr) if unwrap else arr
+            )
+        return result
+
+    def verify_plan(
+        self,
+        plan: ExecPlan,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        rtol: float = 1e-6,
+        atol: float = 1e-9,
+    ) -> None:
+        """Check a plan against the per-op reference execution.
+
+        Runs ``plan`` and a freshly built per-op plan of the same module
+        on the same inputs and raises ``AssertionError`` on any output
+        divergence beyond the tolerances.  Cheap insurance when
+        composing custom passes: fusion and recomputation must never
+        change values.
+        """
+        from repro.exec.plan import plan_module
+
+        module = plan.module
+        env = self.bind(module, arrays)
+        got = self.run_plan(plan, env)
+        reference_plan = plan_module(module, mode="per_op", keep=plan.keep)
+        want = self.run_plan(reference_plan, self.bind(module, arrays))
+        for name in module.outputs:
+            if not np.allclose(got[name], want[name], rtol=rtol, atol=atol):
+                worst = float(np.abs(got[name] - want[name]).max())
+                raise AssertionError(
+                    f"plan diverges from per-op reference on output "
+                    f"{name!r} (max abs diff {worst:.3e})"
+                )
+
+    def _argmax_demand(self, module: Module, wanted: Set[str]) -> Set[str]:
+        """Gather(max) nodes whose argmax output is actually consumed."""
+        consumers = module.consumer_map()
+        demand = set()
+        for node in module.nodes:
+            if node.kind is OpKind.GATHER and node.fn == "max":
+                aux = node.outputs[1]
+                if consumers.get(aux) or aux in wanted:
+                    demand.add(node.name)
+        return demand
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        node: OpNode,
+        values: Dict[str, np.ndarray],
+        argmax_needed: Set[str],
+    ) -> None:
+        ins = [values[n] for n in node.inputs]
+        params = [values[p][0] for p in node.params]
+        if node.kind is OpKind.SCATTER:
+            values[node.outputs[0]] = scatter_kernel(node.fn, self.graph, ins)
+        elif node.kind is OpKind.GATHER:
+            out, argmax = gather_kernel(
+                node.fn,
+                self.graph,
+                ins[0],
+                orientation=node.orientation,
+                want_argmax=node.name in argmax_needed,
+            )
+            values[node.outputs[0]] = out
+            if len(node.outputs) > 1 and argmax is not None:
+                values[node.outputs[1]] = argmax
+        elif node.kind is OpKind.APPLY:
+            values[node.outputs[0]] = apply_kernel(node.fn, ins, params, node.attrs)
+        elif node.kind is OpKind.VIEW:
+            x = ins[0]
+            values[node.outputs[0]] = x.reshape(
+                (x.shape[0],) + tuple(node.attrs["out_shape"])
+            )
+        elif node.kind is OpKind.PARAM_GRAD:
+            grad = param_grad_kernel(node.fn, ins, params, node.attrs)
+            values[node.outputs[0]] = grad[None]
+        else:  # pragma: no cover - kinds are closed
+            raise AssertionError(f"unhandled kind {node.kind}")
+
+    def _assert_finite(self, node: OpNode, values: Dict[str, np.ndarray]) -> None:
+        for out in node.outputs:
+            arr = values.get(out)
+            if (
+                arr is not None
+                and np.issubdtype(arr.dtype, np.floating)
+                and not np.isfinite(arr).all()
+            ):
+                bad = int((~np.isfinite(arr)).sum())
+                raise FloatingPointError(
+                    f"non-finite values ({bad} entries) produced by node "
+                    f"{node.name!r} ({node.kind.value}:{node.fn})"
+                )
+
+    def _sweep(
+        self,
+        plan: ExecPlan,
+        values: Dict[str, np.ndarray],
+        lives: Dict[str, tuple],
+        kernel_index: int,
+        wanted: Set[str],
+    ) -> None:
+        """Free arrays whose last consuming kernel has completed.
+
+        Mirrors the analytic ledger: boundary values die after their
+        last consumer, kernel-internal values die with their kernel
+        (on a GPU they never left on-chip storage at all).
+        """
+        internal = set(plan.kernel_io(kernel_index).internal)
+        for name in list(values):
+            root = plan.root_of(name)
+            if name in wanted or root in wanted:
+                continue
+            if name in internal:
+                values.pop(name, None)
+                continue
+            life = lives.get(root)
+            if life is not None and life[1] == kernel_index:
+                values.pop(name, None)

@@ -1,0 +1,102 @@
+"""Plan inspection utilities: schedules, traffic tables, memory timelines.
+
+Human-oriented views of an :class:`~repro.exec.plan.ExecPlan` used by
+examples, debugging sessions, and EXPERIMENTS analysis:
+
+- :func:`format_plan` — the kernel schedule with per-kernel mapping,
+  fused-op count, and boundary traffic,
+- :func:`memory_timeline` — resident DRAM bytes after each kernel (the
+  trace behind the peak-memory figures),
+- :func:`format_memory_timeline` — the same as an ASCII bar chart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exec.analytic import kernel_record
+from repro.exec.plan import ExecPlan
+from repro.graph.stats import GraphStats
+from repro.ir.module import GRAPH_CONSTANTS
+
+__all__ = ["format_plan", "memory_timeline", "format_memory_timeline"]
+
+
+def format_plan(plan: ExecPlan, stats: GraphStats) -> str:
+    """Render the kernel schedule with counters, one kernel per line."""
+    lines = [
+        f"plan for module {plan.module.name!r} "
+        f"({len(plan.kernels)} kernels, keep={sorted(plan.keep)})"
+    ]
+    header = (
+        f"  {'#':>3s} {'mapping':8s} {'ops':>4s} {'flops':>12s} "
+        f"{'reads':>12s} {'writes':>12s}  label"
+    )
+    lines.append(header)
+    for i, kernel in enumerate(plan.kernels):
+        rec = kernel_record(plan, i, stats)
+        flags = ""
+        if rec.atomic:
+            flags += " [atomic]"
+        if rec.reduce_scatter:
+            flags += " [smem]"
+        lines.append(
+            f"  {i:3d} {rec.mapping:8s} {rec.fused_ops:4d} "
+            f"{rec.flops:12.3e} {rec.read_bytes:12d} {rec.write_bytes:12d}"
+            f"  {kernel.label}{flags}"
+        )
+    return "\n".join(lines)
+
+
+def memory_timeline(
+    plan: ExecPlan, stats: GraphStats
+) -> List[Tuple[str, int]]:
+    """Resident DRAM bytes after each kernel step.
+
+    The first entry is the pre-execution residency (inputs + params).
+    Mirrors the :func:`repro.exec.analytic.analyze_plan` ledger with
+    every input pinned.
+    """
+    specs = plan.module.specs
+    V, E = stats.num_vertices, stats.num_edges
+    lives = plan.liveness()
+    free_names = {n for n in GRAPH_CONSTANTS if n in specs}
+
+    resident = {}
+    for name in list(plan.module.inputs) + list(plan.module.params):
+        root = plan.root_of(name)
+        if root not in resident and root not in free_names:
+            resident[root] = specs[root].nbytes(V, E)
+    current = sum(resident.values())
+    timeline = [("<inputs>", current)]
+    pinned = {
+        plan.root_of(n)
+        for n in list(plan.module.inputs) + list(plan.module.params)
+    }
+    for i, kernel in enumerate(plan.kernels):
+        io = plan.kernel_io(i)
+        for w in io.writes:
+            root = plan.root_of(w)
+            if root not in resident and root not in free_names:
+                size = specs[root].nbytes(V, E)
+                resident[root] = size
+                current += size
+        peak_here = current
+        for root, (defk, last) in lives.items():
+            if last == i and root in resident and root not in pinned:
+                current -= resident.pop(root)
+        timeline.append((kernel.label, peak_here))
+    return timeline
+
+
+def format_memory_timeline(
+    plan: ExecPlan, stats: GraphStats, *, width: int = 40
+) -> str:
+    """ASCII bar chart of the memory timeline."""
+    timeline = memory_timeline(plan, stats)
+    peak = max(b for _, b in timeline) or 1
+    lines = [f"memory timeline (peak {peak / 2**20:.2f} MiB)"]
+    for label, nbytes in timeline:
+        bar = "#" * max(1, round(width * nbytes / peak))
+        lines.append(f"  {nbytes / 2**20:10.2f} MiB |{bar:<{width}s}| {label[:48]}")
+    return "\n".join(lines)

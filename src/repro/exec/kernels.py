@@ -1,0 +1,527 @@
+"""Vectorised NumPy kernels for every IR function.
+
+Array convention
+----------------
+Every value carries an explicit leading *row* axis — ``(|V|, *feat)``
+for VERTEX, ``(|E|, *feat)`` for EDGE, ``(1, *feat)`` for PARAM/DENSE —
+so kernels treat axis 0 uniformly as rows and axes ``1..r`` as feature
+axes.  Parameter operands are passed *stripped* (their natural shape,
+no leading 1) because projection kernels consume them as matrices.
+
+Broadcasting follows the library's right-pad rule (see
+:func:`repro.ir.tensorspec.broadcast_feat_shapes`): operands of lower
+feature rank gain singleton axes on the right, which lets per-row
+scalars (attention logits) scale per-row vectors (messages).
+
+Edge-feature tensors are stored in COO edge-id order.  Segment
+reductions permute through the graph's CSC (in-edges) or CSR
+(out-edges) views and use ``ufunc.reduceat`` — the vectorised segmented
+reduction — with explicit handling of empty segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = [
+    "apply_kernel",
+    "scatter_kernel",
+    "gather_kernel",
+    "param_grad_kernel",
+    "align_trailing",
+    "reduce_to_shape_array",
+    "segment_reduce",
+]
+
+
+# ======================================================================
+# Broadcasting helpers
+# ======================================================================
+def align_trailing(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Right-pad feature axes with singletons to a common rank.
+
+    Axis 0 (rows) is preserved; only feature ranks are padded.
+    """
+    rank = max(a.ndim for a in arrays)
+    out = []
+    for a in arrays:
+        if a.ndim < rank:
+            a = a.reshape(a.shape + (1,) * (rank - a.ndim))
+        out.append(a)
+    return out
+
+
+def reduce_to_shape_array(
+    arr: np.ndarray, target_feat_shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Sum away axes introduced by right-pad broadcasting.
+
+    ``arr`` has shape ``(rows, *feat)``; the result has shape
+    ``(rows, *target_feat_shape)``.  Axes beyond the target rank are
+    summed out; axes where the target is 1 but the array is larger are
+    summed with keepdims.
+    """
+    feat = arr.shape[1:]
+    tgt = tuple(target_feat_shape)
+    # Sum surplus trailing axes.
+    while len(arr.shape) - 1 > len(tgt):
+        arr = arr.sum(axis=-1)
+    # Sum broadcast axes back to singleton where needed.
+    for i, t in enumerate(tgt):
+        if arr.shape[i + 1] != t:
+            if t != 1:
+                raise ValueError(
+                    f"cannot reduce feature shape {feat} to {tgt}"
+                )
+            arr = arr.sum(axis=i + 1, keepdims=True)
+    return arr
+
+
+# ======================================================================
+# Apply kernels
+# ======================================================================
+ApplyKernel = Callable[..., np.ndarray]
+_APPLY_KERNELS: Dict[str, ApplyKernel] = {}
+
+
+def _register_apply(name: str):
+    def deco(fn: ApplyKernel) -> ApplyKernel:
+        _APPLY_KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+def apply_kernel(
+    fn: str,
+    inputs: Sequence[np.ndarray],
+    params: Sequence[np.ndarray] = (),
+    attrs: Optional[dict] = None,
+) -> np.ndarray:
+    """Execute an APPLY-kind node numerically."""
+    try:
+        kernel = _APPLY_KERNELS[fn]
+    except KeyError:
+        raise KeyError(f"no apply kernel for {fn!r}") from None
+    return kernel(list(inputs), list(params), attrs or {})
+
+
+@_register_apply("identity")
+def _k_identity(inputs, params, attrs):
+    return inputs[0]
+
+
+@_register_apply("neg")
+def _k_neg(inputs, params, attrs):
+    return -inputs[0]
+
+
+@_register_apply("scale")
+def _k_scale(inputs, params, attrs):
+    return inputs[0] * attrs["factor"]
+
+
+@_register_apply("relu")
+def _k_relu(inputs, params, attrs):
+    return np.maximum(inputs[0], 0)
+
+
+@_register_apply("leaky_relu")
+def _k_leaky_relu(inputs, params, attrs):
+    x = inputs[0]
+    slope = attrs.get("slope", 0.01)
+    return np.where(x > 0, x, slope * x)
+
+
+@_register_apply("exp")
+def _k_exp(inputs, params, attrs):
+    return np.exp(inputs[0])
+
+
+@_register_apply("sigmoid")
+def _k_sigmoid(inputs, params, attrs):
+    x = inputs[0]
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@_register_apply("tanh")
+def _k_tanh(inputs, params, attrs):
+    return np.tanh(inputs[0])
+
+
+@_register_apply("add")
+def _k_add(inputs, params, attrs):
+    a, b = align_trailing(inputs)
+    return a + b
+
+
+@_register_apply("sub")
+def _k_sub(inputs, params, attrs):
+    a, b = align_trailing(inputs)
+    return a - b
+
+
+@_register_apply("mul")
+def _k_mul(inputs, params, attrs):
+    a, b = align_trailing(inputs)
+    return a * b
+
+
+@_register_apply("div")
+def _k_div(inputs, params, attrs):
+    a, b = align_trailing(inputs)
+    return a / b
+
+
+@_register_apply("relu_grad")
+def _k_relu_grad(inputs, params, attrs):
+    g, x = align_trailing(inputs)
+    return g * (x > 0)
+
+
+@_register_apply("leaky_relu_grad")
+def _k_leaky_relu_grad(inputs, params, attrs):
+    g, x = align_trailing(inputs)
+    slope = attrs.get("slope", 0.01)
+    return g * np.where(x > 0, 1.0, slope)
+
+
+@_register_apply("sigmoid_grad")
+def _k_sigmoid_grad(inputs, params, attrs):
+    g, y = align_trailing(inputs)
+    return g * y * (1.0 - y)
+
+
+@_register_apply("tanh_grad")
+def _k_tanh_grad(inputs, params, attrs):
+    g, y = align_trailing(inputs)
+    return g * (1.0 - y * y)
+
+
+@_register_apply("clamp_min")
+def _k_clamp_min(inputs, params, attrs):
+    return np.maximum(inputs[0], attrs["min"])
+
+
+@_register_apply("view")
+def _k_view(inputs, params, attrs):
+    x = inputs[0]
+    out_shape = tuple(attrs["out_shape"])
+    return x.reshape((x.shape[0],) + out_shape)
+
+
+@_register_apply("slice_axis")
+def _k_slice_axis(inputs, params, attrs):
+    x = inputs[0]
+    feat_rank = x.ndim - 1
+    axis = int(attrs.get("axis", -1))
+    axis = axis + feat_rank if axis < 0 else axis
+    idx = [slice(None)] * x.ndim
+    idx[axis + 1] = slice(int(attrs["start"]), int(attrs["stop"]))
+    return np.ascontiguousarray(x[tuple(idx)])
+
+
+@_register_apply("pad_axis")
+def _k_pad_axis(inputs, params, attrs):
+    x = inputs[0]
+    feat_rank = x.ndim - 1
+    axis = int(attrs.get("axis", -1))
+    axis = axis + feat_rank if axis < 0 else axis
+    width = int(attrs["width"])
+    out_shape = list(x.shape)
+    out_shape[axis + 1] = width
+    out = np.zeros(out_shape, dtype=x.dtype)
+    idx = [slice(None)] * x.ndim
+    idx[axis + 1] = slice(int(attrs["start"]), int(attrs["stop"]))
+    out[tuple(idx)] = x
+    return out
+
+
+@_register_apply("reduce_to_shape")
+def _k_reduce_to_shape(inputs, params, attrs):
+    return reduce_to_shape_array(inputs[0], tuple(attrs["target_shape"]))
+
+
+@_register_apply("linear")
+def _k_linear(inputs, params, attrs):
+    (x,) = inputs
+    (w,) = params
+    return x @ w
+
+
+@_register_apply("linear_grad_input")
+def _k_linear_grad_input(inputs, params, attrs):
+    (g,) = inputs
+    (w,) = params
+    return g @ w.T
+
+
+@_register_apply("bias_add")
+def _k_bias_add(inputs, params, attrs):
+    (x,) = inputs
+    (b,) = params
+    xb, bb = align_trailing([x, b[None]])
+    return xb + bb
+
+
+@_register_apply("param_scale")
+def _k_param_scale(inputs, params, attrs):
+    (x,) = inputs
+    (p,) = params
+    return x * p
+
+
+@_register_apply("head_dot")
+def _k_head_dot(inputs, params, attrs):
+    (x,) = inputs
+    (a,) = params
+    return (x * a).sum(axis=-1)
+
+
+@_register_apply("head_dot_grad_input")
+def _k_head_dot_grad_input(inputs, params, attrs):
+    (g,) = inputs
+    (a,) = params
+    return g[..., None] * a
+
+
+@_register_apply("gaussian")
+def _k_gaussian(inputs, params, attrs):
+    (m,) = inputs
+    mu, inv_sigma = params
+    d = (m[:, None, :] - mu[None]) * inv_sigma[None]
+    return np.exp(-0.5 * (d * d).sum(axis=-1))
+
+
+@_register_apply("gaussian_grad_input")
+def _k_gaussian_grad_input(inputs, params, attrs):
+    g, m, w = inputs
+    mu, inv_sigma = params
+    d = (m[:, None, :] - mu[None]) * inv_sigma[None]
+    gw = (g * w)[:, :, None]
+    return -(gw * d * inv_sigma[None]).sum(axis=1)
+
+
+@_register_apply("kernel_mean")
+def _k_kernel_mean(inputs, params, attrs):
+    return inputs[0].mean(axis=1)
+
+
+@_register_apply("kernel_mean_grad")
+def _k_kernel_mean_grad(inputs, params, attrs):
+    g = inputs[0]
+    k = int(attrs["num_kernels"])
+    return np.repeat(g[:, None] / k, k, axis=1)
+
+
+# ======================================================================
+# Scatter kernels
+# ======================================================================
+def scatter_kernel(
+    fn: str,
+    graph: Graph,
+    inputs: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Execute a SCATTER-kind node: per-edge function of endpoint rows."""
+    if fn == "copy_u":
+        return inputs[0][graph.src]
+    if fn == "copy_v":
+        return inputs[0][graph.dst]
+    if fn == "max_grad":
+        return _max_grad(graph, inputs[0], inputs[1])
+    u, v = inputs
+    hu, hv = u[graph.src], v[graph.dst]
+    if fn == "u_add_v":
+        a, b = align_trailing([hu, hv])
+        return a + b
+    if fn == "u_sub_v":
+        a, b = align_trailing([hu, hv])
+        return a - b
+    if fn == "u_mul_v":
+        a, b = align_trailing([hu, hv])
+        return a * b
+    if fn == "u_dot_v":
+        return (hu * hv).sum(axis=-1)
+    if fn == "u_concat_v":
+        return np.concatenate([hu, hv], axis=-1)
+    raise KeyError(f"no scatter kernel for {fn!r}")
+
+
+def _max_grad(graph: Graph, grad: np.ndarray, argmax: np.ndarray) -> np.ndarray:
+    """Route vertex gradients to the recorded argmax in-edge.
+
+    ``argmax`` holds COO edge ids per (vertex, feature) position, with
+    ``-1`` marking vertices without in-edges.  Each edge has exactly one
+    destination, so targets are unique and plain assignment suffices.
+    """
+    n = grad.shape[0]
+    feat = grad.shape[1:]
+    f = int(np.prod(feat)) if feat else 1
+    g2 = grad.reshape(n, f)
+    a2 = argmax.reshape(n, f)
+    out = np.zeros((graph.num_edges, f), dtype=grad.dtype)
+    mask = a2 >= 0
+    cols = np.broadcast_to(np.arange(f), (n, f))
+    out[a2[mask], cols[mask]] = g2[mask]
+    return out.reshape((graph.num_edges,) + feat)
+
+
+# ======================================================================
+# Gather kernels (segment reductions)
+# ======================================================================
+def segment_reduce(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    *,
+    reduce: str,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Segmented reduction over axis 0 of ``values``.
+
+    ``values`` must already be ordered by segment;
+    ``indptr[i]:indptr[i+1]`` delimits segment ``i``.  Empty segments
+    produce ``fill``.
+    """
+    num_segments = indptr.shape[0] - 1
+    n = values.shape[0]
+    out_shape = (num_segments,) + values.shape[1:]
+    starts = indptr[:-1]
+    non_empty = indptr[1:] > starts
+    out = np.full(out_shape, fill, dtype=values.dtype)
+    if n == 0 or not non_empty.any():
+        return out
+    ufunc = {"sum": np.add, "max": np.maximum}[reduce]
+    # Reduce over non-empty segment starts only: consecutive non-empty
+    # starts delimit exactly the right slices (empty segments in between
+    # share the same offset), and no start can reach n — avoiding the
+    # classic reduceat pitfall where clipping a trailing empty segment's
+    # offset corrupts the previous segment.
+    live_starts = starts[non_empty]
+    reduced = ufunc.reduceat(values, live_starts, axis=0)
+    out[non_empty] = reduced
+    return out
+
+
+def _gather_layout(graph: Graph, orientation: str):
+    """(indptr, edge-permutation) for the requested incidence."""
+    if orientation == "in":
+        return graph.csc_indptr, graph.csc_eids
+    if orientation == "out":
+        return graph.csr_indptr, graph.csr_eids
+    raise ValueError(f"orientation must be 'in' or 'out', got {orientation!r}")
+
+
+def gather_kernel(
+    reduce: str,
+    graph: Graph,
+    edge_values: np.ndarray,
+    *,
+    orientation: str = "in",
+    want_argmax: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Execute a GATHER-kind node: reduce incident edge rows per vertex.
+
+    Returns ``(values, argmax_or_None)``.  ``argmax`` (max only, when
+    requested) holds COO edge ids, ``-1`` for vertices with no incident
+    edges.
+    """
+    indptr, eids = _gather_layout(graph, orientation)
+    ordered = edge_values[eids]
+    if reduce == "sum":
+        return segment_reduce(ordered, indptr, reduce="sum"), None
+    if reduce == "mean":
+        total = segment_reduce(ordered, indptr, reduce="sum")
+        counts = np.maximum(np.diff(indptr), 1).astype(edge_values.dtype)
+        counts = counts.reshape((-1,) + (1,) * (total.ndim - 1))
+        return total / counts, None
+    if reduce == "max":
+        finfo_min = (
+            np.finfo(edge_values.dtype).min
+            if np.issubdtype(edge_values.dtype, np.floating)
+            else np.iinfo(edge_values.dtype).min
+        )
+        mx = segment_reduce(ordered, indptr, reduce="max", fill=finfo_min)
+        empty = np.diff(indptr) == 0
+        argmax = None
+        if want_argmax:
+            argmax = _segment_argmax(ordered, mx, indptr, eids)
+        # Vertices with no in-edges: value 0 by convention (and -1 argmax).
+        if empty.any():
+            mx[empty] = 0
+        return mx, argmax
+    raise KeyError(f"no gather kernel for reduce {reduce!r}")
+
+
+def _segment_argmax(
+    ordered: np.ndarray, mx: np.ndarray, indptr: np.ndarray, eids: np.ndarray
+) -> np.ndarray:
+    """First COO edge id attaining the segment max, per feature column."""
+    n = ordered.shape[0]
+    num_segments = indptr.shape[0] - 1
+    seg_lens = np.diff(indptr)
+    if n == 0:
+        return np.full((num_segments,) + ordered.shape[1:], -1, dtype=np.int64)
+    per_edge_max = np.repeat(mx, seg_lens, axis=0)
+    positions = np.arange(n, dtype=np.int64)
+    positions = positions.reshape((n,) + (1,) * (ordered.ndim - 1))
+    candidates = np.where(ordered == per_edge_max, positions, n)
+    starts = indptr[:-1]
+    non_empty = indptr[1:] > starts
+    out = np.full((num_segments,) + ordered.shape[1:], -1, dtype=np.int64)
+    if not non_empty.any():
+        return out
+    first = np.full((num_segments,) + ordered.shape[1:], n, dtype=np.int64)
+    first[non_empty] = np.minimum.reduceat(candidates, starts[non_empty], axis=0)
+    valid = first < n
+    out[valid] = eids[first[valid]]
+    return out
+
+
+# ======================================================================
+# Parameter-gradient kernels
+# ======================================================================
+def param_grad_kernel(
+    fn: str,
+    inputs: Sequence[np.ndarray],
+    params: Sequence[np.ndarray],
+    attrs: dict,
+) -> np.ndarray:
+    """Execute a PARAM_GRAD-kind node: reduce rows into a weight gradient.
+
+    Returns the gradient in the parameter's *natural* shape (the engine
+    re-wraps it with the leading row axis).
+    """
+    out_shape = tuple(attrs["out_shape"])
+    if fn == "linear_wgrad":
+        x, g = inputs
+        f_in, f_out = out_shape
+        return x.reshape(-1, f_in).T @ g.reshape(-1, f_out)
+    if fn == "param_scale_wgrad":
+        x, g = inputs
+        return np.asarray((x * g).sum())
+    if fn == "bias_grad":
+        (g,) = inputs
+        summed = g.sum(axis=0, keepdims=True)
+        return reduce_to_shape_array(summed, out_shape)[0]
+    if fn == "head_dot_wgrad":
+        x, g = inputs
+        # x: (rows, h, f); g: (rows, h) -> (h, f)
+        return np.einsum("nhf,nh->hf", x, g)
+    if fn in ("gaussian_mu_grad", "gaussian_sigma_grad"):
+        m, w, g = inputs
+        mu, inv_sigma = params
+        d = (m[:, None, :] - mu[None]) * inv_sigma[None]
+        gw = (g * w)[:, :, None]
+        if fn == "gaussian_mu_grad":
+            return (gw * d * inv_sigma[None]).sum(axis=0)
+        return -(gw * d * (m[:, None, :] - mu[None])).sum(axis=0)
+    raise KeyError(f"no param_grad kernel for {fn!r}")

@@ -1,0 +1,265 @@
+"""Execution plans: fused kernel groups plus boundary/liveness analysis.
+
+A plan assigns every node of a module to a *kernel* (one GPU launch).
+Fusion only changes this assignment — never the math — so the concrete
+engine and the analytic counters share one structure:
+
+- values crossing kernel boundaries are DRAM traffic and owe memory
+  while live,
+- values internal to a kernel live in on-chip storage: zero DRAM IO,
+  zero DRAM memory (the fusion saving of §5),
+- values in the plan's ``keep`` set (module outputs + the training
+  stash) survive to the end of the plan even when internal — a kernel
+  producing a kept internal value writes it out (that is FuseGNN's
+  "fuse but stash" behaviour the paper contrasts against in §6).
+
+``VIEW`` nodes are aliases: their outputs share storage with their
+input's root value and never count as traffic or allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.stats import GraphStats
+from repro.ir.module import Module
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain
+
+__all__ = ["Kernel", "ExecPlan", "plan_module", "KernelIO"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One launch: an ordered group of nodes plus its thread mapping.
+
+    ``mapping`` is ``"edge"`` / ``"vertex"`` for graph kernels (the §5
+    thread-mapping axis), ``"dense"`` for expensive Apply / param-grad
+    library kernels, and ``"none"`` for kernels made only of views.
+    ``atomic`` marks vertex reductions executed under edge-balanced
+    mapping (Fig. 5(d)) — cross-thread reduction via atomics.
+    """
+
+    nodes: Tuple[OpNode, ...]
+    mapping: str
+    label: str
+    atomic: bool = False
+    reduce_scatter: bool = False  # internal Gather→Scatter; smem-buffered
+
+    def output_names(self) -> List[str]:
+        return [o for node in self.nodes for o in node.outputs]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class KernelIO:
+    """Boundary traffic of one kernel (names, not bytes)."""
+
+    reads: Tuple[str, ...]
+    writes: Tuple[str, ...]
+    internal: Tuple[str, ...]
+
+
+@dataclass
+class ExecPlan:
+    """A module partitioned into kernels, with keep-set semantics."""
+
+    module: Module
+    kernels: List[Kernel]
+    keep: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        planned = [n.name for k in self.kernels for n in k.nodes]
+        expected = [n.name for n in self.module.nodes]
+        if sorted(planned) != sorted(expected):
+            raise ValueError(
+                "plan must cover every module node exactly once: "
+                f"module has {len(expected)}, plan has {len(planned)}"
+            )
+        self._validate_schedule()
+        self._alias = self._build_alias()
+        self._producer_kernel = self._build_producer_index()
+        self._io = [self._kernel_io(i) for i in range(len(self.kernels))]
+
+    def _validate_schedule(self) -> None:
+        """Every value must be defined before any kernel consumes it."""
+        defined = set(self.module.inputs) | set(self.module.params)
+        for kernel in self.kernels:
+            for node in kernel.nodes:
+                for used in node.all_inputs():
+                    if used not in defined:
+                        raise ValueError(
+                            f"kernel schedule uses {used!r} before it is "
+                            f"defined (kernel {kernel.label!r})"
+                        )
+                defined.update(node.outputs)
+
+    # ------------------------------------------------------------------
+    # Alias resolution (views)
+    # ------------------------------------------------------------------
+    def _build_alias(self) -> Dict[str, str]:
+        alias: Dict[str, str] = {}
+        for node in self.module.nodes:
+            if node.kind is OpKind.VIEW:
+                root = node.inputs[0]
+                alias[node.outputs[0]] = alias.get(root, root)
+        return alias
+
+    def root_of(self, name: str) -> str:
+        """Storage root of a value (resolving view chains)."""
+        return self._alias.get(name, name)
+
+    # ------------------------------------------------------------------
+    def _build_producer_index(self) -> Dict[str, int]:
+        idx: Dict[str, int] = {}
+        for i, kernel in enumerate(self.kernels):
+            for node in kernel.nodes:
+                for o in node.outputs:
+                    idx[o] = i
+        return idx
+
+    def producer_kernel(self, name: str) -> Optional[int]:
+        """Kernel index producing ``name`` (None for module inputs)."""
+        return self._producer_kernel.get(name)
+
+    # ------------------------------------------------------------------
+    # Boundary IO
+    # ------------------------------------------------------------------
+    def kernel_io(self, index: int) -> KernelIO:
+        return self._io[index]
+
+    def _kernel_io(self, index: int) -> KernelIO:
+        kernel = self.kernels[index]
+        inside = {o for node in kernel.nodes for o in node.outputs}
+        consumed_outside: Set[str] = set()
+        for j, other in enumerate(self.kernels):
+            if j == index:
+                continue
+            for node in other.nodes:
+                consumed_outside.update(node.all_inputs())
+
+        reads: List[str] = []
+        seen: Set[str] = set()
+        for node in kernel.nodes:
+            if node.kind is OpKind.VIEW:
+                continue
+            for name in node.all_inputs():
+                root = self.root_of(name)
+                if name in inside or root in inside:
+                    continue
+                if root not in seen:
+                    seen.add(root)
+                    reads.append(name)
+
+        writes: List[str] = []
+        internal: List[str] = []
+        for node in kernel.nodes:
+            if node.kind is OpKind.VIEW:
+                continue
+            for o in node.outputs:
+                escapes = (
+                    o in consumed_outside
+                    or o in self.keep
+                    or o in self.module.outputs
+                    or any(
+                        self.root_of(v) == o and
+                        (v in consumed_outside or v in self.keep
+                         or v in self.module.outputs)
+                        for v in self._alias
+                    )
+                )
+                if escapes:
+                    writes.append(o)
+                else:
+                    internal.append(o)
+        return KernelIO(tuple(reads), tuple(writes), tuple(internal))
+
+    # ------------------------------------------------------------------
+    # Liveness: value -> (def kernel, last-use kernel)
+    # ------------------------------------------------------------------
+    def liveness(self) -> Dict[str, Tuple[int, int]]:
+        """Lifetime of every boundary-crossing root value.
+
+        Returns root value name → ``(first kernel after which it exists,
+        last kernel that reads it)``.  Module inputs get def index -1;
+        values in ``keep`` or module outputs get last index
+        ``len(kernels)`` (survive the plan).
+        """
+        n = len(self.kernels)
+        lives: Dict[str, Tuple[int, int]] = {}
+        for name in list(self.module.inputs) + list(self.module.params):
+            lives[self.root_of(name)] = (-1, -1)
+        for i in range(n):
+            io = self.kernel_io(i)
+            for w in io.writes:
+                root = self.root_of(w)
+                if root not in lives:
+                    lives[root] = (i, i)
+            for r in io.reads:
+                root = self.root_of(r)
+                d, _ = lives.get(root, (i, i))
+                lives[root] = (d, i)
+        protected = set(self.keep) | set(self.module.outputs)
+        for name in protected:
+            root = self.root_of(name)
+            if root in lives:
+                lives[root] = (lives[root][0], n)
+        return lives
+
+
+# ----------------------------------------------------------------------
+def _node_mapping(node: OpNode, specs) -> str:
+    """Natural thread mapping of a single node (Fig. 5(a) I and IV)."""
+    if node.kind is OpKind.VIEW:
+        return "none"
+    if node.is_expensive():
+        return "dense"
+    if node.kind is OpKind.GATHER:
+        return "vertex"
+    if node.kind is OpKind.SCATTER:
+        return "edge"
+    # Lightweight apply: mapping follows its domain.
+    domain = specs[node.outputs[0]].domain
+    if domain is Domain.EDGE:
+        return "edge"
+    if domain is Domain.VERTEX:
+        return "vertex"
+    return "dense"
+
+
+def plan_module(
+    module: Module,
+    *,
+    keep: Iterable[str] = (),
+    mode: str = "per_op",
+    prefer_mapping: str = "vertex",
+) -> ExecPlan:
+    """Partition a module into kernels.
+
+    ``mode`` selects the fusion scope (see
+    :mod:`repro.opt.fusion` for the real partitioners):
+
+    - ``"per_op"`` — one kernel per node (views merged into consumers),
+    - ``"macro"`` / ``"edge_chains"`` / ``"unified"`` — delegated to the
+      fusion pass.
+    """
+    if mode == "per_op":
+        kernels = _per_op_kernels(module)
+    else:
+        from repro.opt.fusion import partition_kernels
+
+        kernels = partition_kernels(module, mode=mode, prefer_mapping=prefer_mapping)
+    return ExecPlan(module=module, kernels=kernels, keep=frozenset(keep))
+
+
+def _per_op_kernels(module: Module) -> List[Kernel]:
+    kernels: List[Kernel] = []
+    for node in module.nodes:
+        mapping = _node_mapping(node, module.specs)
+        kernels.append(
+            Kernel(nodes=(node,), mapping=mapping, label=f"{node.kind.value}:{node.fn}")
+        )
+    return kernels

@@ -1,0 +1,114 @@
+"""Counter structures shared by the analytic walker and the engine.
+
+Counting conventions (documented once, used everywhere):
+
+- **FLOPs** — exact per-node formulas (:meth:`repro.ir.ops.OpNode.flops`)
+  summed per kernel.
+- **DRAM IO** — bytes crossing kernel boundaries.  Vertex operands read
+  through an edge index count one row per edge (the random-access
+  convention behind the paper's ``2|E|h`` for reading GAT's attention
+  operands); index arrays (CSR/CSC structure) are not counted, matching
+  the paper's §5 arithmetic which tracks feature traffic only.
+- **Memory** — a byte ledger over the kernel schedule: inputs/params
+  resident throughout, each boundary value alive from its producing
+  kernel to its last consumer, keep-set values (outputs + stash) alive
+  to the end of the phase.  Peak is the max over kernel steps; fused
+  internal values never enter the ledger (they live on-chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["KernelRecord", "PhaseCounters", "Counters"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Everything the GPU cost model needs about one kernel launch."""
+
+    label: str
+    mapping: str          # "edge" | "vertex" | "dense" | "none"
+    work: str             # "uniform" | "degree_in" | "degree_out"
+    rows: int             # parallel rows (|V|, |E|, or dense rows)
+    flops: float
+    read_bytes: int
+    write_bytes: int
+    atomic: bool = False  # vertex reduction under edge-balanced mapping
+    fused_ops: int = 1
+    reduce_scatter: bool = False  # smem-buffered vertex intermediate
+
+    @property
+    def io_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass
+class PhaseCounters:
+    """Aggregated counters for one plan walk (forward or backward)."""
+
+    records: List[KernelRecord] = field(default_factory=list)
+    peak_memory_bytes: int = 0
+    end_resident_bytes: int = 0
+
+    @property
+    def flops(self) -> float:
+        return sum(r.flops for r in self.records)
+
+    @property
+    def io_bytes(self) -> int:
+        return sum(r.io_bytes for r in self.records)
+
+    @property
+    def read_bytes(self) -> int:
+        return sum(r.read_bytes for r in self.records)
+
+    @property
+    def write_bytes(self) -> int:
+        return sum(r.write_bytes for r in self.records)
+
+    @property
+    def launches(self) -> int:
+        return sum(1 for r in self.records if r.mapping != "none")
+
+
+@dataclass
+class Counters:
+    """Whole-step counters: forward plus (optionally) backward.
+
+    ``stash_bytes`` is the §6 quantity: bytes stored solely so the
+    backward pass can run.  ``peak_memory_bytes`` is the max over both
+    phases of the ledger.
+    """
+
+    forward: PhaseCounters
+    backward: Optional[PhaseCounters] = None
+    stash_bytes: int = 0
+
+    @property
+    def flops(self) -> float:
+        return self.forward.flops + (self.backward.flops if self.backward else 0.0)
+
+    @property
+    def io_bytes(self) -> int:
+        return self.forward.io_bytes + (self.backward.io_bytes if self.backward else 0)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        peak = self.forward.peak_memory_bytes
+        if self.backward is not None:
+            peak = max(peak, self.backward.peak_memory_bytes)
+        return peak
+
+    @property
+    def launches(self) -> int:
+        return self.forward.launches + (
+            self.backward.launches if self.backward else 0
+        )
+
+    def all_records(self) -> List[KernelRecord]:
+        records = list(self.forward.records)
+        if self.backward is not None:
+            records.extend(self.backward.records)
+        return records

@@ -1,0 +1,37 @@
+"""Baseline execution strategies.
+
+The paper frames each comparison system as a subset of its three
+techniques; this package encodes exactly that as configuration over the
+single shared IR/pass/plan stack:
+
+==============  ========  ==============  ==========  ============
+strategy        reorg §4  fusion §5       recompute   stash scope
+==============  ========  ==============  ==========  ============
+dgl-like        library   macro builtins  boundary    every boundary value
+fusegnn-like    library   edge chains     boundary    needed values only
+huang-like      full      unified         (inference only)
+ours            full      unified         full §6     checkpoints only
+==============  ========  ==============  ==========  ============
+
+plus ablation variants (``ours-noreorg``, ``ours-stash``,
+``ours-nofusion``, ``ours-edgemap``) used by the Figure 8–10 benches.
+"""
+
+from repro.frameworks.strategy import (
+    ExecutionStrategy,
+    CompiledForward,
+    CompiledTraining,
+    compile_forward,
+    compile_training,
+)
+from repro.frameworks.registry import get_strategy, list_strategies
+
+__all__ = [
+    "ExecutionStrategy",
+    "CompiledForward",
+    "CompiledTraining",
+    "compile_forward",
+    "compile_training",
+    "get_strategy",
+    "list_strategies",
+]

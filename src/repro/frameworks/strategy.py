@@ -1,0 +1,242 @@
+"""Strategy configuration and the model → plan compile path.
+
+``compile_training`` is the library's main entry point: it takes a
+model (naive IR) and a strategy, applies the strategy's §4 rewrites,
+derives the backward graph (Appendix B), makes the §6 stash-vs-
+recompute decision, partitions both passes into kernels (§5), and
+returns an object that can produce exact counters on any
+:class:`~repro.graph.stats.GraphStats`, modelled latency on any
+:class:`~repro.gpu.spec.GPUSpec`, and concrete NumPy execution on any
+:class:`~repro.graph.csr.Graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exec.analytic import analyze_plan, analyze_training
+from repro.exec.plan import ExecPlan, plan_module
+from repro.exec.profiler import Counters, PhaseCounters
+from repro.graph.stats import GraphStats
+from repro.gpu.cost_model import CostModel
+from repro.gpu.spec import GPUSpec
+from repro.ir.autodiff import TrainingGraph, differentiate, grad_seed_name
+from repro.ir.module import Module
+from repro.ir.transform import common_subexpression_eliminate
+from repro.opt.recompute import RecomputeDecision, plan_recompute
+from repro.opt.reorganize import reorganize
+from repro.models.base import GNNModel
+
+__all__ = [
+    "ExecutionStrategy",
+    "CompiledForward",
+    "CompiledTraining",
+    "compile_forward",
+    "compile_training",
+]
+
+_REORG_SCOPES = ("none", "library", "full")
+_STASH_SCOPES = ("needed", "all_boundary")
+
+
+@dataclass(frozen=True)
+class ExecutionStrategy:
+    """One system's position on the three optimization axes.
+
+    Attributes
+    ----------
+    reorg_scope:
+        ``"full"`` — apply §4 wherever legal; ``"library"`` — only for
+        models whose framework module library ships a hand-reorganized
+        implementation (``model.dgl_library_reorganized``); ``"none"``.
+    fusion_mode / prefer_mapping:
+        §5 partitioning scope and mapping preference.
+    recompute_policy:
+        §6 policy (``recompute`` / ``boundary`` / ``stash_all``).
+    stash_scope:
+        ``"needed"`` — persist only what backward requires;
+        ``"all_boundary"`` — persist every forward kernel output (the
+        save-everything behaviour of eager frameworks).
+    supports_training:
+        Forward-only systems (Huang et al.) cannot train — §8.1.
+    """
+
+    name: str
+    reorg_scope: str = "full"
+    fusion_mode: str = "unified"
+    prefer_mapping: str = "vertex"
+    recompute_policy: str = "recompute"
+    stash_scope: str = "needed"
+    supports_training: bool = True
+    #: Fusion mode used to probe kernel boundaries for the "boundary"
+    #: recompute policy.  Defaults to ``fusion_mode``.  The
+    #: fusion-without-recomputation ablation sets this to ``"macro"``:
+    #: its forward fuses fully (§5) but its backward may only regenerate
+    #: what framework-builtin kernels regenerate, stashing the rest.
+    recompute_boundary_mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.opt.fusion import FUSION_MODES
+
+        if self.reorg_scope not in _REORG_SCOPES:
+            raise ValueError(f"reorg_scope must be in {_REORG_SCOPES}")
+        if self.stash_scope not in _STASH_SCOPES:
+            raise ValueError(f"stash_scope must be in {_STASH_SCOPES}")
+        if self.fusion_mode not in FUSION_MODES:
+            raise ValueError(f"fusion_mode must be in {FUSION_MODES}")
+        if self.prefer_mapping not in ("vertex", "edge"):
+            raise ValueError("prefer_mapping must be 'vertex' or 'edge'")
+        if self.recompute_policy not in ("recompute", "boundary", "stash_all"):
+            raise ValueError(
+                "recompute_policy must be 'recompute', 'boundary', or 'stash_all'"
+            )
+
+    # ------------------------------------------------------------------
+    def prepare_forward(self, model: GNNModel) -> Module:
+        """Apply the strategy's graph-level rewrites to a model."""
+        naive = model.build_module()
+        if self.reorg_scope == "full" or (
+            self.reorg_scope == "library" and model.dgl_library_reorganized
+        ):
+            return reorganize(naive)
+        return naive
+
+
+# ======================================================================
+@dataclass
+class CompiledForward:
+    """An inference-ready plan with counter/latency evaluation."""
+
+    model: GNNModel
+    strategy: ExecutionStrategy
+    forward: Module
+    plan: ExecPlan
+
+    def counters(self, stats: GraphStats) -> Counters:
+        phase = analyze_plan(
+            self.plan, stats,
+            pinned=list(self.forward.inputs) + list(self.forward.params),
+        )
+        return Counters(forward=phase, backward=None, stash_bytes=0)
+
+    def latency_seconds(self, stats: GraphStats, gpu: GPUSpec) -> float:
+        return CostModel(gpu).latency_seconds(self.counters(stats), stats)
+
+
+@dataclass
+class CompiledTraining:
+    """A training-step plan pair with counter/latency evaluation."""
+
+    model: GNNModel
+    strategy: ExecutionStrategy
+    forward: Module
+    training_graph: TrainingGraph
+    decision: RecomputeDecision
+    stash: List[str]
+    fwd_plan: ExecPlan
+    bwd_plan: ExecPlan
+
+    def counters(self, stats: GraphStats) -> Counters:
+        pinned = list(self.forward.inputs) + list(self.forward.params)
+        return analyze_training(
+            self.fwd_plan, self.bwd_plan, stats,
+            stash=self.stash, pinned=pinned,
+        )
+
+    def latency_seconds(self, stats: GraphStats, gpu: GPUSpec) -> float:
+        return CostModel(gpu).latency_seconds(self.counters(stats), stats)
+
+    @property
+    def param_grads(self) -> Dict[str, str]:
+        return self.training_graph.param_grads
+
+    def seed_names(self) -> List[str]:
+        return [grad_seed_name(o) for o in self.training_graph.seeded_outputs()]
+
+
+# ======================================================================
+def compile_forward(model: GNNModel, strategy: ExecutionStrategy) -> CompiledForward:
+    """Inference compilation: rewrites + kernel partitioning."""
+    forward = strategy.prepare_forward(model)
+    plan = plan_module(
+        forward,
+        mode=strategy.fusion_mode,
+        prefer_mapping=strategy.prefer_mapping,
+        keep=(),
+    )
+    return CompiledForward(
+        model=model, strategy=strategy, forward=forward, plan=plan
+    )
+
+
+def compile_training(model: GNNModel, strategy: ExecutionStrategy) -> CompiledTraining:
+    """Training compilation: the full §4 + Appendix B + §6 + §5 stack."""
+    if not strategy.supports_training:
+        raise ValueError(
+            f"strategy {strategy.name!r} is inference-only "
+            "(forward fusion without the intermediate data for backward)"
+        )
+    forward = strategy.prepare_forward(model)
+    tg = differentiate(forward)
+
+    boundary = _boundary_values(forward, strategy)
+    decision = plan_recompute(
+        tg,
+        policy=strategy.recompute_policy,
+        boundary_values=boundary,
+    )
+
+    # The stash is, definitionally, every forward-produced value the
+    # (recompute-spliced) backward module consumes — regardless of which
+    # policy decided it.  The save-everything scope additionally keeps
+    # every forward kernel output alive.
+    produced = {o for node in forward.nodes for o in node.outputs}
+    stash = [
+        n for n in decision.combined_backward.inputs if n in produced
+    ]
+    if strategy.stash_scope == "all_boundary":
+        stash = _dedup(list(boundary) + stash)
+
+    fwd_plan = plan_module(
+        forward,
+        mode=strategy.fusion_mode,
+        prefer_mapping=strategy.prefer_mapping,
+        keep=stash,
+    )
+    bwd_plan = plan_module(
+        decision.combined_backward,
+        mode=strategy.fusion_mode,
+        prefer_mapping=strategy.prefer_mapping,
+        keep=(),
+    )
+    return CompiledTraining(
+        model=model,
+        strategy=strategy,
+        forward=forward,
+        training_graph=tg,
+        decision=decision,
+        stash=stash,
+        fwd_plan=fwd_plan,
+        bwd_plan=bwd_plan,
+    )
+
+
+def _boundary_values(forward: Module, strategy: ExecutionStrategy) -> List[str]:
+    """Forward values written to DRAM under the strategy's own fusion."""
+    probe = plan_module(
+        forward,
+        mode=strategy.recompute_boundary_mode or strategy.fusion_mode,
+        prefer_mapping=strategy.prefer_mapping,
+        keep=(),
+    )
+    writes: List[str] = []
+    for i in range(len(probe.kernels)):
+        writes.extend(probe.kernel_io(i).writes)
+    return _dedup(writes)
+
+
+def _dedup(names: Sequence[str]) -> List[str]:
+    return list(dict.fromkeys(names))

@@ -1,0 +1,36 @@
+"""Simulated GPU substrate: device specs and the kernel latency model.
+
+The paper's latency numbers come from real RTX 3090 / RTX 2080 silicon;
+this reproduction substitutes an analytical model (DESIGN.md §2):
+exact FLOP/byte counters (from :mod:`repro.exec.analytic`) are mapped
+to time through a roofline parameterised by published device specs,
+with three graph-specific effects layered on top —
+
+1. degree imbalance serialising vertex-balanced kernels (Fig. 5(c)),
+2. atomic overhead for vertex reductions under edge-balanced mapping
+   (Fig. 5(d)),
+3. a shared-memory occupancy penalty for fused ReduceScatter kernels
+   (the effect behind §7.3's "fusion has a little negative impact on
+   latency" for GAT on Reddit).
+
+Absolute milliseconds are not the claim — ratios between strategies
+running identical counters through one device model are.
+"""
+
+from repro.gpu.spec import GPUSpec, RTX3090, RTX2080, A100, get_gpu
+from repro.gpu.cost_model import (
+    CostModel,
+    LatencyBreakdown,
+    SimulatedOOM,
+)
+
+__all__ = [
+    "GPUSpec",
+    "RTX3090",
+    "RTX2080",
+    "A100",
+    "get_gpu",
+    "CostModel",
+    "LatencyBreakdown",
+    "SimulatedOOM",
+]

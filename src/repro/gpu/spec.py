@@ -1,0 +1,120 @@
+"""Device descriptions for the latency model.
+
+Headline numbers are the published specifications of the boards the
+paper evaluates on; efficiency factors are modelling choices (fractions
+of peak that each kernel class realistically achieves) and are held
+constant across devices so that cross-strategy ratios are driven by the
+counters, not by tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GPUSpec", "RTX3090", "RTX2080", "A100", "get_gpu", "list_gpus"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One simulated device.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors; with ``blocks_per_sm`` determines the
+        number of concurrently resident thread blocks, which sets the
+        degree-imbalance exposure of vertex-balanced kernels.
+    peak_fp32_tflops / mem_bandwidth_gbps / dram_gb:
+        Published board specs.
+    kernel_launch_us:
+        Fixed host-side cost per launch, including framework dispatch
+        overhead (eager frameworks spend tens of microseconds per
+        operator) — the term fusion amortises on small graphs.
+    dense_efficiency / graph_compute_efficiency:
+        Fraction of peak FLOPs achieved by library GEMMs vs irregular
+        graph kernels.
+    stream_bw_efficiency / gather_bw_efficiency:
+        Fraction of peak bandwidth for streaming vs random access.
+    atomic_overhead:
+        Multiplier on reduction-write time under edge-balanced mapping.
+    smem_fusion_overhead:
+        Compute-time multiplier for fused kernels that buffer a vertex
+        intermediate in shared memory (ReduceScatter kernels).
+    """
+
+    name: str
+    num_sms: int
+    peak_fp32_tflops: float
+    mem_bandwidth_gbps: float
+    dram_gb: float
+    blocks_per_sm: int = 16
+    kernel_launch_us: float = 10.0
+    dense_efficiency: float = 0.60
+    graph_compute_efficiency: float = 0.06
+    stream_bw_efficiency: float = 0.85
+    gather_bw_efficiency: float = 0.55
+    atomic_overhead: float = 3.0
+    smem_fusion_overhead: float = 1.25
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes/second."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def dram_bytes(self) -> int:
+        return int(self.dram_gb * (1024 ** 3))
+
+    @property
+    def concurrent_blocks(self) -> int:
+        return self.num_sms * self.blocks_per_sm
+
+    @property
+    def kernel_launch_s(self) -> float:
+        return self.kernel_launch_us * 1e-6
+
+
+RTX3090 = GPUSpec(
+    name="RTX3090",
+    num_sms=82,
+    peak_fp32_tflops=35.6,
+    mem_bandwidth_gbps=936.0,
+    dram_gb=24.0,
+)
+
+RTX2080 = GPUSpec(
+    name="RTX2080",
+    num_sms=46,
+    peak_fp32_tflops=10.1,
+    mem_bandwidth_gbps=448.0,
+    dram_gb=8.0,
+)
+
+A100 = GPUSpec(
+    name="A100",
+    num_sms=108,
+    peak_fp32_tflops=19.5,
+    mem_bandwidth_gbps=1555.0,
+    dram_gb=40.0,
+)
+
+_REGISTRY: Dict[str, GPUSpec] = {g.name: g for g in (RTX3090, RTX2080, A100)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_gpus() -> list[str]:
+    return sorted(_REGISTRY)

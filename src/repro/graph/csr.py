@@ -1,0 +1,224 @@
+"""Immutable directed graph with COO / CSR / CSC views.
+
+Conventions used throughout the library
+---------------------------------------
+
+* An edge ``(u, e, v)`` points from source ``u`` to destination ``v`` and
+  carries a unique integer id ``e`` in ``[0, num_edges)``.
+* Every edge-feature tensor is stored in **edge-id (COO) order**.  Kernels
+  that reduce over the in-edges of each destination vertex permute edge
+  rows through :attr:`Graph.csc_eids` first; kernels reducing over
+  out-edges use :attr:`Graph.csr_eids`.
+* ``Gather`` in the paper reduces over in-edges (messages arriving at a
+  vertex).  The backward pass of ``Scatter`` additionally needs the
+  out-edge reduction, which is why both views exist.
+
+The class is deliberately plain: topology only, no features.  Features
+live in the execution engine; analytic passes only ever need
+:class:`~repro.graph.stats.GraphStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+def _group_edges(
+    keys: np.ndarray, num_vertices: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group edge ids by an endpoint array.
+
+    Returns ``(indptr, eids)`` where ``eids[indptr[v]:indptr[v+1]]`` are
+    the ids of edges whose endpoint (``keys``) equals ``v``, and the edge
+    ids within each group appear in ascending order (stable sort).
+    """
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    counts = np.bincount(keys, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, order
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A directed graph in COO form with lazily cached CSR/CSC views.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of shape ``(num_edges,)`` holding the source and
+        destination vertex of each edge, indexed by edge id.
+    num_vertices:
+        Total number of vertices.  Must be strictly greater than every
+        entry of ``src`` and ``dst``.
+
+    Notes
+    -----
+    Self-loops and parallel edges are permitted: nothing in the paper's
+    operator set requires simple graphs, and k-NN graphs naturally contain
+    parallel edges after symmetrisation.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_vertices: int
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.src, dtype=np.int64)
+        dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        if src.ndim != 1 or dst.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays")
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"src and dst must have equal length, got {src.shape} vs {dst.shape}"
+            )
+        if self.num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= self.num_vertices:
+                raise ValueError(
+                    f"edge endpoints must lie in [0, {self.num_vertices}), "
+                    f"got range [{lo}, {hi}]"
+                )
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.src.shape[0])
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """``in_degrees[v]`` = number of edges whose destination is ``v``."""
+        if "in_deg" not in self._cache:
+            self._cache["in_deg"] = np.bincount(
+                self.dst, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._cache["in_deg"]
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """``out_degrees[v]`` = number of edges whose source is ``v``."""
+        if "out_deg" not in self._cache:
+            self._cache["out_deg"] = np.bincount(
+                self.src, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._cache["out_deg"]
+
+    # ------------------------------------------------------------------
+    # CSC: edges grouped by destination (drives Gather)
+    # ------------------------------------------------------------------
+    @property
+    def csc_indptr(self) -> np.ndarray:
+        """Segment offsets of the by-destination grouping."""
+        self._build_csc()
+        return self._cache["csc_indptr"]
+
+    @property
+    def csc_eids(self) -> np.ndarray:
+        """Edge-id permutation so edge rows are grouped by destination."""
+        self._build_csc()
+        return self._cache["csc_eids"]
+
+    @property
+    def csc_src(self) -> np.ndarray:
+        """Source vertex of each edge, in CSC (by-destination) order."""
+        self._build_csc()
+        if "csc_src" not in self._cache:
+            self._cache["csc_src"] = self.src[self._cache["csc_eids"]]
+        return self._cache["csc_src"]
+
+    def _build_csc(self) -> None:
+        if "csc_indptr" not in self._cache:
+            indptr, eids = _group_edges(self.dst, self.num_vertices)
+            self._cache["csc_indptr"] = indptr
+            self._cache["csc_eids"] = eids
+
+    # ------------------------------------------------------------------
+    # CSR: edges grouped by source (drives backward of Scatter on hu)
+    # ------------------------------------------------------------------
+    @property
+    def csr_indptr(self) -> np.ndarray:
+        """Segment offsets of the by-source grouping."""
+        self._build_csr()
+        return self._cache["csr_indptr"]
+
+    @property
+    def csr_eids(self) -> np.ndarray:
+        """Edge-id permutation so edge rows are grouped by source."""
+        self._build_csr()
+        return self._cache["csr_eids"]
+
+    @property
+    def csr_dst(self) -> np.ndarray:
+        """Destination vertex of each edge, in CSR (by-source) order."""
+        self._build_csr()
+        if "csr_dst" not in self._cache:
+            self._cache["csr_dst"] = self.dst[self._cache["csr_eids"]]
+        return self._cache["csr_dst"]
+
+    def _build_csr(self) -> None:
+        if "csr_indptr" not in self._cache:
+            indptr, eids = _group_edges(self.src, self.num_vertices)
+            self._cache["csr_indptr"] = indptr
+            self._cache["csr_eids"] = eids
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Graph":
+        """Graph with every edge direction flipped (edge ids preserved)."""
+        return Graph(self.dst.copy(), self.src.copy(), self.num_vertices)
+
+    def add_self_loops(self) -> "Graph":
+        """Return a new graph with one self-loop appended per vertex.
+
+        The new self-loop edges receive the highest edge ids, so existing
+        edge-feature tensors remain aligned as a prefix.
+        """
+        loops = np.arange(self.num_vertices, dtype=np.int64)
+        return Graph(
+            np.concatenate([self.src, loops]),
+            np.concatenate([self.dst, loops]),
+            self.num_vertices,
+        )
+
+    def symmetrize(self) -> "Graph":
+        """Return the graph with each edge also present in reverse."""
+        return Graph(
+            np.concatenate([self.src, self.dst]),
+            np.concatenate([self.dst, self.src]),
+            self.num_vertices,
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def stats(self) -> "GraphStats":
+        """Degree-level summary consumed by analytic counters."""
+        from repro.graph.stats import GraphStats
+
+        return GraphStats(
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            in_degrees=self.in_degrees.copy(),
+            out_degrees=self.out_degrees.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,114 @@
+"""Subgraph sampling for mini-batch training.
+
+The paper trains full-graph, but Reddit-scale GNNs are commonly trained
+on sampled subgraphs (Cluster-GCN / GraphSAINT style).  This module
+provides the vertex-induced-subgraph machinery that makes the library's
+single-graph training loop usable in mini-batch form:
+
+- :func:`induced_subgraph` — restrict a graph to a vertex subset,
+- :func:`khop_neighborhood` — the receptive field of a seed set (an
+  L-layer GNN needs the L-hop in-neighbourhood for exact embeddings),
+- :func:`random_vertex_batches` — a partition sampler for epochs.
+
+Everything composes with the existing engine: a sampled subgraph is
+just another :class:`~repro.graph.csr.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = ["induced_subgraph", "khop_neighborhood", "random_vertex_batches"]
+
+
+def induced_subgraph(
+    graph: Graph, vertices: np.ndarray
+) -> Tuple[Graph, np.ndarray, np.ndarray]:
+    """The subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, kept_vertices, kept_edge_ids)``:
+
+    - ``subgraph`` has ``len(vertices)`` vertices, relabeled
+      ``0..len-1`` in the order given,
+    - ``kept_vertices`` is the (deduplicated, order-preserving) vertex
+      list — index new id → old id; slice vertex features with it,
+    - ``kept_edge_ids`` are the original COO edge ids retained — slice
+      edge features with it.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.ndim != 1:
+        raise ValueError("vertices must be a 1-D id array")
+    if vertices.size and (
+        vertices.min() < 0 or vertices.max() >= graph.num_vertices
+    ):
+        raise ValueError("vertex ids out of range")
+    kept = np.asarray(
+        list(dict.fromkeys(vertices.tolist())), dtype=np.int64
+    )
+    new_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    new_id[kept] = np.arange(kept.size)
+    mask = (new_id[graph.src] >= 0) & (new_id[graph.dst] >= 0)
+    eids = np.nonzero(mask)[0].astype(np.int64)
+    sub = Graph(
+        new_id[graph.src[eids]],
+        new_id[graph.dst[eids]],
+        max(int(kept.size), 1),
+    )
+    return sub, kept, eids
+
+
+def khop_neighborhood(
+    graph: Graph, seeds: np.ndarray, hops: int
+) -> np.ndarray:
+    """Vertices reachable by following ≤ ``hops`` in-edges backwards.
+
+    The receptive field of ``seeds`` under ``hops`` rounds of message
+    passing: seeds plus every vertex with a directed path of length
+    ≤ hops *into* a seed.  Returned sorted.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    if frontier.size and (
+        frontier.min() < 0 or frontier.max() >= graph.num_vertices
+    ):
+        raise ValueError("seed ids out of range")
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    visited[frontier] = True
+    indptr, eids = graph.csc_indptr, graph.csc_eids
+    src_by_dst = graph.csc_src
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        segments = [
+            src_by_dst[indptr[v]:indptr[v + 1]] for v in frontier
+        ]
+        if not segments:
+            break
+        neighbours = np.unique(np.concatenate(segments)) if segments else np.array([], dtype=np.int64)
+        fresh = neighbours[~visited[neighbours]]
+        visited[fresh] = True
+        frontier = fresh
+    return np.nonzero(visited)[0].astype(np.int64)
+
+
+def random_vertex_batches(
+    num_vertices: int,
+    batch_size: int,
+    *,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    """Yield a random partition of the vertex set in fixed-size batches.
+
+    The last batch may be smaller.  One full pass = one epoch of
+    Cluster-GCN-style subgraph training.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = rng.permutation(num_vertices)
+    for start in range(0, num_vertices, batch_size):
+        yield order[start:start + batch_size]

@@ -1,0 +1,525 @@
+"""Backward-graph construction following the paper's Appendix B.
+
+The central theorem the paper relies on (§2.2): *the backward pass of
+every operator in the abstraction is expressible in the same operator
+set*.  Concretely:
+
+- backward(``Gather``)  = ``Scatter`` (+ ``ApplyEdge``),
+- backward(``Scatter``) = ``Gather``  (+ ``ApplyVertex``),
+- backward(``Apply-``)  = two ``Apply-`` (input grad + weight grad).
+
+:func:`differentiate` materialises that theorem: given a forward
+:class:`~repro.ir.module.Module` it emits a *backward module in the same
+IR*, which is why the fusion and recomputation passes run on training
+graphs unchanged.
+
+Saved values
+------------
+Whenever a backward rule references a forward value, that value becomes
+an input of the backward module **under its forward name**.  The set of
+such references that are forward *intermediates* (produced by forward
+nodes, not bound inputs/params) is exactly the "intermediate data must
+be stashed" set the paper's Section 6 is about; the recomputation pass
+later decides, per value, stash vs recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.builder import Builder, Val
+from repro.ir.module import Module
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain, TensorSpec
+from repro.ir.transform import prune_dead
+
+__all__ = ["differentiate", "TrainingGraph", "grad_seed_name"]
+
+
+def grad_seed_name(value_name: str) -> str:
+    """Backward-module input name holding the gradient of ``value_name``."""
+    return f"grad__{value_name}"
+
+
+@dataclass
+class TrainingGraph:
+    """A forward module paired with its derived backward module.
+
+    Attributes
+    ----------
+    forward, backward:
+        The two IR modules.  ``backward``'s inputs are the gradient
+        seeds (``grad__<output>``) plus every forward value its rules
+        referenced (under forward names).
+    saved_values:
+        Forward values (node outputs) the backward pass references —
+        §6's intermediate-data set.  Order follows first reference.
+    param_grads:
+        Forward param name → backward output name of its gradient.
+    input_grads:
+        Forward input name → backward output name (only for inputs
+        requested via ``wrt_inputs``).
+    """
+
+    forward: Module
+    backward: Module
+    saved_values: List[str]
+    param_grads: Dict[str, str]
+    input_grads: Dict[str, str]
+
+    def seeded_outputs(self) -> List[str]:
+        return [
+            name
+            for name in self.forward.outputs
+            if grad_seed_name(name) in self.backward.specs
+        ]
+
+
+class _Diff:
+    """Single-use context for one differentiation run."""
+
+    def __init__(self, forward: Module, wrt_inputs: Sequence[str]):
+        self.fwd = forward
+        # The fresh-name prefix guarantees backward-generated names never
+        # collide with forward names spliced in by the recompute pass.
+        self.b = Builder(f"{forward.name}_backward", fresh_prefix="bwd$")
+        self.wrt_inputs = list(wrt_inputs)
+        self.saved: List[str] = []
+        # forward value name -> list of partial grads to be summed
+        self.partials: Dict[str, List[Val]] = {}
+        self._combined: Dict[str, Val] = {}
+        self._fwd_produced = {
+            o for node in forward.nodes for o in node.outputs
+        }
+        self._ref_cache: Dict[str, Val] = {}
+
+    # -- referencing forward values from backward ----------------------
+    def ref(self, name: str) -> Val:
+        """Make forward value ``name`` available inside the backward module."""
+        if name in self._ref_cache:
+            return self._ref_cache[name]
+        spec = self.fwd.specs[name]
+        val = self.b.input(name, spec.domain, spec.feat_shape, spec.dtype)
+        if name in self._fwd_produced:
+            self.saved.append(name)
+        self._ref_cache[name] = val
+        return val
+
+    # -- gradient bookkeeping ------------------------------------------
+    def add_partial(self, name: str, grad: Val) -> None:
+        target = self.fwd.specs[name]
+        grad = self._match_shape(grad, target)
+        self.partials.setdefault(name, []).append(grad)
+        self._combined.pop(name, None)
+
+    def grad_of(self, name: str) -> Optional[Val]:
+        """Combined gradient of a forward value, or None if none flowed."""
+        if name in self._combined:
+            return self._combined[name]
+        parts = self.partials.get(name)
+        if not parts:
+            return None
+        total = parts[0]
+        for p in parts[1:]:
+            total = self.b.apply("add", total, p, name=self.b.fresh(f"gacc_{name}"))
+        self._combined[name] = total
+        return total
+
+    def _match_shape(self, grad: Val, target: TensorSpec) -> Val:
+        """Undo right-pad broadcasting so the partial matches its value."""
+        if grad.spec.feat_shape == target.feat_shape:
+            return grad
+        return self.b.apply(
+            "reduce_to_shape",
+            grad,
+            attrs={"target_shape": target.feat_shape},
+        )
+
+    # -- main loop ------------------------------------------------------
+    def run(self, wrt_outputs: Sequence[str]) -> TrainingGraph:
+        for out in wrt_outputs:
+            spec = self.fwd.specs[out]
+            seed = self.b.input(
+                grad_seed_name(out), spec.domain, spec.feat_shape, spec.dtype
+            )
+            self.add_partial(out, seed)
+
+        for node in reversed(self.fwd.nodes):
+            if node.attrs.get("stop_gradient"):
+                continue
+            g = self.grad_of(node.outputs[0])
+            if g is None:
+                continue
+            rule = _RULES.get(node.kind)
+            if rule is None:
+                raise NotImplementedError(f"no backward rule for kind {node.kind}")
+            # Backward nodes inherit the forward macro: the backward of a
+            # framework-builtin fused kernel is itself a hand-written
+            # fused kernel (DGL's edge-softmax/SpMM backward), which
+            # macro-scope fusion must reproduce.
+            self.b.default_macro = node.macro
+            try:
+                rule(self, node, g)
+            finally:
+                self.b.default_macro = None
+
+        param_grads: Dict[str, str] = {}
+        for p in self.fwd.params:
+            g = self.grad_of(p)
+            if g is not None:
+                self.b.output(g)
+                param_grads[p] = g.name
+        input_grads: Dict[str, str] = {}
+        for i in self.wrt_inputs:
+            g = self.grad_of(i)
+            if g is not None:
+                self.b.output(g)
+                input_grads[i] = g.name
+
+        backward = prune_dead(self.b.build())
+        # Recompute the saved set from the *pruned* interface: gradient
+        # paths killed by stop_gradient must not force stashes.
+        saved = [i for i in backward.inputs if i in self._fwd_produced]
+        return TrainingGraph(
+            forward=self.fwd,
+            backward=backward,
+            saved_values=saved,
+            param_grads=param_grads,
+            input_grads=input_grads,
+        )
+
+
+# ======================================================================
+# Per-kind rules
+# ======================================================================
+def _rule_scatter(d: _Diff, node: OpNode, g: Val) -> None:
+    """backward(Scatter) = Gather (+ ApplyVertex) — Appendix B."""
+    b = d.b
+    fn = node.fn
+    if fn == "max_grad":
+        raise NotImplementedError("max_grad appears only in backward graphs")
+    if fn == "copy_u":
+        d.add_partial(node.inputs[0], b.gather("sum", g, orientation="out"))
+        return
+    if fn == "copy_v":
+        d.add_partial(node.inputs[0], b.gather("sum", g, orientation="in"))
+        return
+    u_name, v_name = node.inputs
+    if fn == "u_add_v":
+        d.add_partial(u_name, b.gather("sum", g, orientation="out"))
+        d.add_partial(v_name, b.gather("sum", g, orientation="in"))
+        return
+    if fn == "u_sub_v":
+        d.add_partial(u_name, b.gather("sum", g, orientation="out"))
+        gv = b.gather("sum", g, orientation="in")
+        d.add_partial(v_name, b.apply("neg", gv))
+        return
+    if fn in ("u_mul_v", "u_dot_v"):
+        hv_e = b.scatter("copy_v", v=d.ref(v_name))
+        hu_e = b.scatter("copy_u", u=d.ref(u_name))
+        d.add_partial(
+            u_name, b.gather("sum", b.apply("mul", g, hv_e), orientation="out")
+        )
+        d.add_partial(
+            v_name, b.gather("sum", b.apply("mul", g, hu_e), orientation="in")
+        )
+        return
+    if fn == "u_concat_v":
+        fu = d.fwd.specs[u_name].feat_shape[-1]
+        fv = d.fwd.specs[v_name].feat_shape[-1]
+        gu = b.apply("slice_axis", g, attrs={"axis": -1, "start": 0, "stop": fu})
+        gv = b.apply(
+            "slice_axis", g, attrs={"axis": -1, "start": fu, "stop": fu + fv}
+        )
+        d.add_partial(u_name, b.gather("sum", gu, orientation="out"))
+        d.add_partial(v_name, b.gather("sum", gv, orientation="in"))
+        return
+    raise NotImplementedError(f"no backward rule for scatter fn {fn!r}")
+
+
+def _rule_gather(d: _Diff, node: OpNode, g: Val) -> None:
+    """backward(Gather) = Scatter (+ ApplyEdge) — Appendix B."""
+    b = d.b
+    orientation = node.orientation
+    back_copy = "copy_v" if orientation == "in" else "copy_u"
+    (edge_name,) = node.inputs
+    if node.fn == "sum":
+        d.add_partial(edge_name, b.scatter(back_copy, **{back_copy[-1]: g}))
+        return
+    if node.fn == "mean":
+        deg = b.graph_constant(
+            "in_degrees" if orientation == "in" else "out_degrees"
+        )
+        safe = b.apply("clamp_min", deg, attrs={"min": 1.0})
+        scaled = b.apply("div", g, safe)
+        d.add_partial(edge_name, b.scatter(back_copy, **{back_copy[-1]: scaled}))
+        return
+    if node.fn == "max":
+        if orientation != "in":
+            raise NotImplementedError("max gather backward only for 'in' orientation")
+        argmax = d.ref(node.outputs[1])
+        d.add_partial(edge_name, b.max_grad(g, argmax))
+        return
+    raise NotImplementedError(f"no backward rule for gather reduce {node.fn!r}")
+
+
+def _rule_view(d: _Diff, node: OpNode, g: Val) -> None:
+    in_shape = d.fwd.specs[node.inputs[0]].feat_shape
+    d.add_partial(node.inputs[0], d.b.view(g, in_shape))
+
+
+def _rule_param_grad(d: _Diff, node: OpNode, g: Val) -> None:
+    raise NotImplementedError("param_grad appears only in backward graphs")
+
+
+# ----------------------------------------------------------------------
+# Apply rules, keyed by function name
+# ----------------------------------------------------------------------
+ApplyRule = Callable[[_Diff, OpNode, Val], None]
+_APPLY_RULES: Dict[str, ApplyRule] = {}
+
+
+def _apply_rule(name: str):
+    def register(fn: ApplyRule) -> ApplyRule:
+        _APPLY_RULES[name] = fn
+        return fn
+
+    return register
+
+
+def _rule_apply(d: _Diff, node: OpNode, g: Val) -> None:
+    rule = _APPLY_RULES.get(node.fn)
+    if rule is None:
+        raise NotImplementedError(f"no backward rule for apply fn {node.fn!r}")
+    rule(d, node, g)
+
+
+@_apply_rule("identity")
+def _bw_identity(d, node, g):
+    d.add_partial(node.inputs[0], g)
+
+
+@_apply_rule("neg")
+def _bw_neg(d, node, g):
+    d.add_partial(node.inputs[0], d.b.apply("neg", g))
+
+
+@_apply_rule("scale")
+def _bw_scale(d, node, g):
+    d.add_partial(
+        node.inputs[0],
+        d.b.apply("scale", g, attrs={"factor": node.attrs["factor"]}),
+    )
+
+
+@_apply_rule("relu")
+def _bw_relu(d, node, g):
+    d.add_partial(node.inputs[0], d.b.apply("relu_grad", g, d.ref(node.inputs[0])))
+
+
+@_apply_rule("leaky_relu")
+def _bw_leaky_relu(d, node, g):
+    d.add_partial(
+        node.inputs[0],
+        d.b.apply(
+            "leaky_relu_grad", g, d.ref(node.inputs[0]),
+            attrs={"slope": node.attrs.get("slope", 0.01)},
+        ),
+    )
+
+
+@_apply_rule("exp")
+def _bw_exp(d, node, g):
+    d.add_partial(node.inputs[0], d.b.apply("mul", g, d.ref(node.outputs[0])))
+
+
+@_apply_rule("sigmoid")
+def _bw_sigmoid(d, node, g):
+    d.add_partial(node.inputs[0], d.b.apply("sigmoid_grad", g, d.ref(node.outputs[0])))
+
+
+@_apply_rule("tanh")
+def _bw_tanh(d, node, g):
+    d.add_partial(node.inputs[0], d.b.apply("tanh_grad", g, d.ref(node.outputs[0])))
+
+
+@_apply_rule("add")
+def _bw_add(d, node, g):
+    d.add_partial(node.inputs[0], g)
+    d.add_partial(node.inputs[1], g)
+
+
+@_apply_rule("sub")
+def _bw_sub(d, node, g):
+    d.add_partial(node.inputs[0], g)
+    d.add_partial(node.inputs[1], d.b.apply("neg", g))
+
+
+@_apply_rule("mul")
+def _bw_mul(d, node, g):
+    a, b_name = node.inputs
+    d.add_partial(a, d.b.apply("mul", g, d.ref(b_name)))
+    d.add_partial(b_name, d.b.apply("mul", g, d.ref(a)))
+
+
+@_apply_rule("div")
+def _bw_div(d, node, g):
+    a, b_name = node.inputs
+    ga = d.b.apply("div", g, d.ref(b_name))
+    d.add_partial(a, ga)
+    gb = d.b.apply("neg", d.b.apply("div", d.b.apply("mul", ga, d.ref(a)), d.ref(b_name)))
+    d.add_partial(b_name, gb)
+
+
+@_apply_rule("clamp_min")
+def _bw_clamp_min(d, node, g):
+    # clamp_min is only used on graph constants (degrees); no gradient
+    # ever needs to flow through it, so the partial is intentionally
+    # dropped rather than emitting dead mask arithmetic.
+    return
+
+
+@_apply_rule("linear")
+def _bw_linear(d, node, g):
+    (x,) = node.inputs
+    (w,) = node.params
+    d.add_partial(x, d.b.apply("linear_grad_input", g, params=[d.ref(w)]))
+    w_shape = d.fwd.specs[w].feat_shape
+    d.add_partial(
+        w,
+        d.b.param_grad("linear_wgrad", d.ref(x), g, out_shape=w_shape),
+    )
+
+
+@_apply_rule("bias_add")
+def _bw_bias_add(d, node, g):
+    (x,) = node.inputs
+    (bias,) = node.params
+    d.add_partial(x, g)
+    bias_shape = d.fwd.specs[bias].feat_shape
+    d.add_partial(bias, d.b.param_grad("bias_grad", g, out_shape=bias_shape))
+
+
+@_apply_rule("param_scale")
+def _bw_param_scale(d, node, g):
+    (x,) = node.inputs
+    (p,) = node.params
+    d.add_partial(x, d.b.apply("param_scale", g, params=[d.ref(p)]))
+    d.add_partial(
+        p, d.b.param_grad("param_scale_wgrad", d.ref(x), g, out_shape=())
+    )
+
+
+@_apply_rule("head_dot")
+def _bw_head_dot(d, node, g):
+    (x,) = node.inputs
+    (a,) = node.params
+    d.add_partial(x, d.b.apply("head_dot_grad_input", g, params=[d.ref(a)]))
+    a_shape = d.fwd.specs[a].feat_shape
+    d.add_partial(
+        a, d.b.param_grad("head_dot_wgrad", d.ref(x), g, out_shape=a_shape)
+    )
+
+
+@_apply_rule("gaussian")
+def _bw_gaussian(d, node, g):
+    (m,) = node.inputs
+    mu, inv_sigma = node.params
+    w_out = d.ref(node.outputs[0])
+    d.add_partial(
+        m,
+        d.b.apply(
+            "gaussian_grad_input", g, d.ref(m), w_out,
+            params=[d.ref(mu), d.ref(inv_sigma)],
+        ),
+    )
+    mu_shape = d.fwd.specs[mu].feat_shape
+    d.add_partial(
+        mu,
+        d.b.param_grad(
+            "gaussian_mu_grad", d.ref(m), w_out, g,
+            out_shape=mu_shape, params=[d.ref(mu), d.ref(inv_sigma)],
+        ),
+    )
+    d.add_partial(
+        inv_sigma,
+        d.b.param_grad(
+            "gaussian_sigma_grad", d.ref(m), w_out, g,
+            out_shape=mu_shape, params=[d.ref(mu), d.ref(inv_sigma)],
+        ),
+    )
+
+
+@_apply_rule("kernel_mean")
+def _bw_kernel_mean(d, node, g):
+    k = d.fwd.specs[node.inputs[0]].feat_shape[0]
+    d.add_partial(
+        node.inputs[0],
+        d.b.apply("kernel_mean_grad", g, attrs={"num_kernels": k}),
+    )
+
+
+@_apply_rule("slice_axis")
+def _bw_slice_axis(d, node, g):
+    in_shape = d.fwd.specs[node.inputs[0]].feat_shape
+    axis = node.attrs.get("axis", -1)
+    axis = axis + len(in_shape) if axis < 0 else axis
+    d.add_partial(
+        node.inputs[0],
+        d.b.apply(
+            "pad_axis", g,
+            attrs={
+                "axis": axis,
+                "start": node.attrs["start"],
+                "stop": node.attrs["stop"],
+                "width": in_shape[axis],
+            },
+        ),
+    )
+
+
+@_apply_rule("view")
+def _bw_view_apply(d, node, g):  # pragma: no cover - views use OpKind.VIEW
+    _rule_view(d, node, g)
+
+
+_RULES = {
+    OpKind.SCATTER: _rule_scatter,
+    OpKind.GATHER: _rule_gather,
+    OpKind.APPLY: _rule_apply,
+    OpKind.VIEW: _rule_view,
+    OpKind.PARAM_GRAD: _rule_param_grad,
+}
+
+
+# ======================================================================
+def differentiate(
+    forward: Module,
+    *,
+    wrt_outputs: Optional[Sequence[str]] = None,
+    wrt_inputs: Sequence[str] = (),
+) -> TrainingGraph:
+    """Construct the backward module of ``forward``.
+
+    Parameters
+    ----------
+    wrt_outputs:
+        Forward outputs receiving gradient seeds (default: all).  Each
+        seed becomes a backward input named ``grad__<output>``.
+    wrt_inputs:
+        Forward data inputs whose gradients should be exposed as
+        backward outputs (off by default — GNN training differentiates
+        with respect to parameters only).
+
+    Returns
+    -------
+    TrainingGraph
+        Forward + backward pair with the saved-value inventory that the
+        recomputation pass (and the engine's stash logic) consume.
+    """
+    outs = list(wrt_outputs) if wrt_outputs is not None else list(forward.outputs)
+    unknown = [o for o in outs if o not in forward.outputs]
+    if unknown:
+        raise ValueError(f"wrt_outputs not in module outputs: {unknown}")
+    return _Diff(forward, wrt_inputs).run(outs)

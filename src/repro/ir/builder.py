@@ -1,0 +1,367 @@
+"""Authoring API for operator DAGs.
+
+The :class:`Builder` is how models (and optimization passes) assemble
+:class:`~repro.ir.module.Module` instances.  It owns unique-name
+generation, runs shape/domain inference on every emitted node, and
+provides the composite macros of §2.1 (``aggregate``, ``edge_softmax``)
+which expand into basic operators tagged with a shared macro id.
+
+Typical use::
+
+    b = Builder("gcn_layer")
+    h = b.input("h", Domain.VERTEX, (16,))
+    w = b.param("w", (16, 8))
+    hw = b.apply("linear", h, params=[w])
+    msg = b.scatter("copy_u", u=hw)
+    agg = b.gather("sum", msg)
+    b.output(agg)
+    module = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.module import GRAPH_CONSTANTS, Module, infer_output_specs
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain, TensorSpec
+
+__all__ = ["Builder", "Val"]
+
+
+@dataclass(frozen=True)
+class Val:
+    """A handle to one value in the module under construction."""
+
+    name: str
+    spec: TensorSpec
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.spec}"
+
+
+def _name_of(v: Union[Val, str]) -> str:
+    return v.name if isinstance(v, Val) else v
+
+
+class Builder:
+    """Incrementally constructs a :class:`Module`.
+
+    ``fresh_prefix`` namespaces generated value names — the autodiff
+    builder uses it so backward-generated names can never collide with
+    forward names when the recomputation pass splices forward nodes
+    into a backward module.
+    """
+
+    def __init__(self, name: str, *, fresh_prefix: str = ""):
+        self._module = Module(name=name)
+        self._counters: Dict[str, itertools.count] = {}
+        self._macro_counter = itertools.count()
+        self._fresh_prefix = fresh_prefix
+        #: When set, nodes emitted without an explicit macro inherit this
+        #: id.  The autodiff builder uses it to give backward nodes the
+        #: provenance of their forward macro, so framework-builtin fused
+        #: kernels (edge-softmax, gSpMM) keep their hand-written fused
+        #: *backward* kernels under macro-scope fusion.
+        self.default_macro: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str) -> str:
+        """A value name unique within this module."""
+        prefix = f"{self._fresh_prefix}{prefix}"
+        while True:
+            counter = self._counters.setdefault(prefix, itertools.count())
+            candidate = f"{prefix}.{next(counter)}"
+            if candidate not in self._module.specs:
+                return candidate
+
+    def _register(self, name: str, spec: TensorSpec) -> Val:
+        if name in self._module.specs:
+            raise ValueError(f"value {name!r} already defined")
+        self._module.specs[name] = spec
+        return Val(name, spec)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        name: str,
+        domain: Domain,
+        feat_shape: Tuple[int, ...] = (),
+        dtype: str = "float32",
+    ) -> Val:
+        """Declare a data input."""
+        val = self._register(name, TensorSpec(domain, feat_shape, dtype))
+        self._module.inputs.append(name)
+        return val
+
+    def graph_constant(self, which: str) -> Val:
+        """Declare a graph-derived input (``in_degrees``/``out_degrees``).
+
+        The execution engine supplies these from the bound graph; they
+        are never stashed and cost nothing to recompute.
+        """
+        name = f"g_{which}"
+        if name not in GRAPH_CONSTANTS:
+            raise KeyError(
+                f"unknown graph constant {which!r}; available: "
+                f"{sorted(k[2:] for k in GRAPH_CONSTANTS)}"
+            )
+        if name in self._module.specs:
+            return Val(name, self._module.specs[name])
+        val = self._register(name, GRAPH_CONSTANTS[name])
+        self._module.inputs.append(name)
+        return val
+
+    def param(self, name: str, shape: Tuple[int, ...], dtype: str = "float32") -> Val:
+        """Declare a trainable parameter."""
+        val = self._register(name, TensorSpec(Domain.PARAM, shape, dtype))
+        self._module.params.append(name)
+        return val
+
+    def output(self, val: Union[Val, str]) -> None:
+        """Expose a value as a module output."""
+        name = _name_of(val)
+        if name not in self._module.specs:
+            raise KeyError(f"cannot output unknown value {name!r}")
+        if name not in self._module.outputs:
+            self._module.outputs.append(name)
+
+    # ------------------------------------------------------------------
+    # Node emission
+    # ------------------------------------------------------------------
+    def add_node(self, node: OpNode) -> List[Val]:
+        """Validate, infer output specs, and append a fully formed node."""
+        out_specs = infer_output_specs(node, self._module.specs)
+        vals = [self._register(o, out_specs[o]) for o in node.outputs]
+        self._module.nodes.append(node)
+        return vals
+
+    def _emit(
+        self,
+        kind: OpKind,
+        fn: str,
+        inputs: Sequence[Union[Val, str]],
+        *,
+        params: Sequence[Union[Val, str]] = (),
+        n_outputs: int = 1,
+        attrs: Optional[dict] = None,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> List[Val]:
+        base = name or self.fresh(fn)
+        outputs = [base] + [f"{base}.aux{i}" for i in range(1, n_outputs)]
+        node = OpNode(
+            kind=kind,
+            fn=fn,
+            inputs=tuple(_name_of(i) for i in inputs),
+            outputs=tuple(outputs),
+            params=tuple(_name_of(p) for p in params),
+            attrs=dict(attrs or {}),
+            macro=macro if macro is not None else self.default_macro,
+        )
+        return self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Basic operators (§2.1)
+    # ------------------------------------------------------------------
+    def scatter(
+        self,
+        fn: str,
+        u: Optional[Union[Val, str]] = None,
+        v: Optional[Union[Val, str]] = None,
+        *,
+        stop_gradient: bool = False,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> Val:
+        """Emit a Scatter: per-edge function of endpoint features."""
+        inputs = [x for x in (u, v) if x is not None]
+        attrs = {"stop_gradient": True} if stop_gradient else {}
+        (out,) = self._emit(
+            OpKind.SCATTER, fn, inputs, attrs=attrs, name=name, macro=macro
+        )
+        return out
+
+    def max_grad(
+        self,
+        grad: Union[Val, str],
+        argmax: Union[Val, str],
+        *,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> Val:
+        """Route a vertex gradient to the argmax in-edge of each vertex."""
+        (out,) = self._emit(
+            OpKind.SCATTER, "max_grad", [grad, argmax], name=name, macro=macro
+        )
+        return out
+
+    def gather(
+        self,
+        reduce: str,
+        edge: Union[Val, str],
+        *,
+        orientation: str = "in",
+        stop_gradient: bool = False,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> Union[Val, Tuple[Val, Val]]:
+        """Emit a Gather: per-vertex reduction over incident edges.
+
+        ``reduce='max'`` returns ``(values, argmax)``; others return a
+        single value.  ``orientation='out'`` reduces over out-edges
+        (needed by Scatter backward).  ``stop_gradient`` marks reductions
+        that autodiff treats as constants (the edge-softmax max).
+        """
+        attrs = {"orientation": orientation}
+        if stop_gradient:
+            attrs["stop_gradient"] = True
+        n_out = 2 if reduce == "max" else 1
+        vals = self._emit(
+            OpKind.GATHER, reduce, [edge],
+            n_outputs=n_out, attrs=attrs, name=name, macro=macro,
+        )
+        return (vals[0], vals[1]) if reduce == "max" else vals[0]
+
+    def apply(
+        self,
+        fn: str,
+        *inputs: Union[Val, str],
+        params: Sequence[Union[Val, str]] = (),
+        attrs: Optional[dict] = None,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> Val:
+        """Emit an Apply (ApplyEdge / ApplyVertex by input domain)."""
+        (out,) = self._emit(
+            OpKind.APPLY, fn, list(inputs),
+            params=params, attrs=attrs, name=name, macro=macro,
+        )
+        return out
+
+    def view(
+        self,
+        x: Union[Val, str],
+        out_shape: Tuple[int, ...],
+        *,
+        name: Optional[str] = None,
+        macro: Optional[str] = None,
+    ) -> Val:
+        """Zero-cost feature reshape."""
+        (out,) = self._emit(
+            OpKind.VIEW, "view", [x],
+            attrs={"out_shape": tuple(out_shape)}, name=name, macro=macro,
+        )
+        return out
+
+    def param_grad(
+        self,
+        fn: str,
+        *inputs: Union[Val, str],
+        out_shape: Tuple[int, ...],
+        params: Sequence[Union[Val, str]] = (),
+        name: Optional[str] = None,
+    ) -> Val:
+        """Emit a weight-gradient reduction."""
+        (out,) = self._emit(
+            OpKind.PARAM_GRAD, fn, list(inputs),
+            params=params, attrs={"out_shape": tuple(out_shape)}, name=name,
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience compositions
+    # ------------------------------------------------------------------
+    def linear(
+        self,
+        x: Union[Val, str],
+        weight: Union[Val, str],
+        bias: Optional[Union[Val, str]] = None,
+        *,
+        name: Optional[str] = None,
+    ) -> Val:
+        """``x @ W (+ b)`` — an expensive Apply plus optional bias_add."""
+        y = self.apply("linear", x, params=[weight], name=name)
+        if bias is not None:
+            y = self.apply("bias_add", y, params=[bias])
+        return y
+
+    # ------------------------------------------------------------------
+    # Macros (§2.1 composite operators)
+    # ------------------------------------------------------------------
+    def new_macro(self, label: str) -> str:
+        return f"{label}#{next(self._macro_counter)}"
+
+    def edge_softmax(self, e: Union[Val, str], *, name: Optional[str] = None) -> Val:
+        """ReduceScatter macro: numerically stable softmax over in-edges.
+
+        Expands per Appendix A into RS1 (max, subtract) and RS2 (sum,
+        divide).  The max reduction is marked ``stop_gradient`` — softmax
+        is invariant to the subtracted constant, so no gradient flows
+        through the max path (matching standard implementations).
+        """
+        macro = self.new_macro("edge_softmax")
+        mx, _argmax = self.gather(
+            "max", e, stop_gradient=True, macro=macro,
+            name=self.fresh("esm_max"),
+        )
+        mx_e = self.scatter(
+            "copy_v", v=mx, stop_gradient=True, macro=macro,
+            name=self.fresh("esm_bmax"),
+        )
+        shifted = self.apply("sub", e, mx_e, macro=macro, name=self.fresh("esm_shift"))
+        expd = self.apply("exp", shifted, macro=macro, name=self.fresh("esm_exp"))
+        denom = self.gather("sum", expd, macro=macro, name=self.fresh("esm_sum"))
+        denom_e = self.scatter(
+            "copy_v", v=denom, macro=macro, name=self.fresh("esm_bsum")
+        )
+        out = self.apply(
+            "div", expd, denom_e, macro=macro, name=name or self.fresh("esm_out")
+        )
+        return out
+
+    def aggregate(
+        self,
+        vertex: Union[Val, str],
+        edge: Optional[Union[Val, str]] = None,
+        *,
+        reduce: str = "sum",
+        scatter_fn: str = "copy_u",
+        name: Optional[str] = None,
+    ) -> Union[Val, Tuple[Val, Val]]:
+        """Aggregate macro: scatter + optional edge weighting + gather.
+
+        This is the gSpMM-shaped composite current systems ship as one
+        fused kernel (paper §2.1): e.g. GAT's ``reduce_sum(att, h̃)`` or
+        GCN's weighted neighbour sum.
+        """
+        macro = self.new_macro("aggregate")
+        msg = self.scatter(
+            scatter_fn, u=vertex, macro=macro, name=self.fresh("agg_msg")
+        )
+        if edge is not None:
+            msg = self.apply("mul", msg, edge, macro=macro, name=self.fresh("agg_wmsg"))
+        return self.gather(reduce, msg, macro=macro, name=name or self.fresh("agg_out"))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Module:
+        """Finalise and validate the module."""
+        from repro.ir.validate import validate_module
+
+        validate_module(self._module)
+        return self._module
+
+    @property
+    def module(self) -> Module:
+        """The module under construction (not yet validated)."""
+        return self._module
+
+    def val(self, name: str) -> Val:
+        """Handle to an already-defined value."""
+        return Val(name, self._module.specs[name])

@@ -1,0 +1,536 @@
+"""Function registry: the vocabulary of Scatter and Apply operators.
+
+Separating function *metadata* (this module) from numeric kernels
+(:mod:`repro.exec.kernels`) and backward rules
+(:mod:`repro.ir.autodiff`) keeps the IR purely declarative — the
+optimization passes and cost counters never import NumPy kernels.
+
+The metadata that drives the paper's techniques:
+
+- ``expensive`` — Section 3's split between expensive Apply- (linear
+  projections, left to cuBLAS and treated as fusion barriers) and
+  lightweight Apply- (element-wise, fusible and cheap to recompute).
+- ``is_linear_map`` / ``ScatterFn.linear_coeffs`` — Section 4's
+  sufficient condition for propagation postponement: an Apply function
+  φ commutes with a Scatter function g when φ is a linear map and g is
+  a linear combination of its operands (``φ(au + bv) = aφ(u) + bφ(v)``).
+- ``param_concat_axis`` — Section 4's GAT special case: a linear map
+  applied to ``u ‖ v`` splits into two linear maps applied to ``u`` and
+  ``v`` by slicing the weight along this axis
+  (``aᵀ[hu‖hv] = aₗᵀhu + aᵣᵀhv``).
+- ``flops_per_row`` — exact FLOP formulas for the computation counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.ir.tensorspec import broadcast_feat_shapes
+
+__all__ = [
+    "ScatterFn",
+    "ApplyFn",
+    "get_scatter_fn",
+    "get_apply_fn",
+    "list_scatter_fns",
+    "list_apply_fns",
+    "PARAM_GRAD_FNS",
+]
+
+Shape = Tuple[int, ...]
+
+
+# ======================================================================
+# Scatter functions
+# ======================================================================
+@dataclass(frozen=True)
+class ScatterFn:
+    """A per-edge function of the two endpoint features.
+
+    Attributes
+    ----------
+    reads_u, reads_v:
+        Whether the source / destination operand participates.  Unary
+        copies read exactly one side.
+    linear_coeffs:
+        ``(cu, cv)`` when the function is the linear combination
+        ``cu·u + cv·v`` (``None`` entry = operand unused); ``None`` when
+        it is not a linear combination (``u_mul_v``, ``u_concat_v``,
+        ``u_dot_v``).  Drives reorganization legality.
+    is_concat:
+        Concatenation along the last feature axis — eligible for the
+        weight-splitting rewrite even though not a linear combination.
+    flops_per_out_element:
+        Arithmetic cost per output element.
+    vertex_direct_read:
+        ``True`` for special gradient scatters (``max_grad``) whose
+        vertex inputs are read once per *vertex* rather than once per
+        edge — affects IO accounting only.
+    """
+
+    name: str
+    reads_u: bool
+    reads_v: bool
+    linear_coeffs: Optional[Tuple[Optional[float], Optional[float]]]
+    is_concat: bool = False
+    flops_per_out_element: float = 0.0
+    vertex_direct_read: bool = False
+
+    def out_feat_shape(self, u_shape: Optional[Shape], v_shape: Optional[Shape]) -> Shape:
+        """Feature shape of the produced edge tensor."""
+        if self.is_concat:
+            assert u_shape is not None and v_shape is not None
+            if u_shape[:-1] != v_shape[:-1] or not u_shape or not v_shape:
+                raise ValueError(
+                    f"concat operands must agree on leading feature axes: "
+                    f"{u_shape} vs {v_shape}"
+                )
+            return u_shape[:-1] + (u_shape[-1] + v_shape[-1],)
+        if self.name == "u_dot_v":
+            assert u_shape is not None and v_shape is not None
+            if u_shape != v_shape or not u_shape:
+                raise ValueError(f"dot operands must match: {u_shape} vs {v_shape}")
+            return u_shape[:-1]
+        shapes = [s for s in (u_shape, v_shape) if s is not None]
+        return broadcast_feat_shapes(*shapes)
+
+    def flops_per_row(self, u_shape: Optional[Shape], v_shape: Optional[Shape]) -> float:
+        """Arithmetic per edge."""
+        if self.name == "u_dot_v":
+            assert u_shape is not None
+            return 2.0 * math.prod(u_shape)
+        out = self.out_feat_shape(u_shape, v_shape)
+        return self.flops_per_out_element * (math.prod(out) if out else 1.0)
+
+
+_SCATTER_FNS: Dict[str, ScatterFn] = {}
+
+
+def _scatter(fn: ScatterFn) -> ScatterFn:
+    _SCATTER_FNS[fn.name] = fn
+    return fn
+
+
+COPY_U = _scatter(ScatterFn("copy_u", True, False, (1.0, None)))
+COPY_V = _scatter(ScatterFn("copy_v", False, True, (None, 1.0)))
+U_ADD_V = _scatter(ScatterFn("u_add_v", True, True, (1.0, 1.0), flops_per_out_element=1.0))
+U_SUB_V = _scatter(ScatterFn("u_sub_v", True, True, (1.0, -1.0), flops_per_out_element=1.0))
+U_MUL_V = _scatter(ScatterFn("u_mul_v", True, True, None, flops_per_out_element=1.0))
+U_DOT_V = _scatter(ScatterFn("u_dot_v", True, True, None))
+U_CONCAT_V = _scatter(ScatterFn("u_concat_v", True, True, None, is_concat=True))
+# Backward of a max-Gather: route the vertex gradient to the argmax edge.
+MAX_GRAD = _scatter(
+    ScatterFn(
+        "max_grad",
+        True,
+        True,
+        None,
+        flops_per_out_element=1.0,
+        vertex_direct_read=True,
+    )
+)
+
+
+def get_scatter_fn(name: str) -> ScatterFn:
+    try:
+        return _SCATTER_FNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scatter fn {name!r}; available: {sorted(_SCATTER_FNS)}"
+        ) from None
+
+
+def list_scatter_fns() -> list[str]:
+    return sorted(_SCATTER_FNS)
+
+
+# ======================================================================
+# Apply functions
+# ======================================================================
+def _elementwise_shape(in_shapes: Sequence[Shape], param_shapes, attrs) -> Shape:
+    return broadcast_feat_shapes(*in_shapes)
+
+
+def _elementwise_flops(in_shapes, param_shapes, out_shape: Shape, attrs) -> float:
+    return float(math.prod(out_shape)) if out_shape else 1.0
+
+
+@dataclass(frozen=True)
+class ApplyFn:
+    """A graph-irrelevant per-row transformation.
+
+    Attributes
+    ----------
+    arity:
+        Number of data inputs (same domain).
+    n_params:
+        Number of parameter-domain inputs (weights).
+    expensive:
+        Section 3's classification.  Expensive functions are fusion
+        barriers and are executed by library kernels; lightweight ones
+        fuse and recompute freely.
+    is_linear_map:
+        ``φ(ax + by) = aφ(x) + bφ(y)`` — reorganization legality.
+    param_concat_axis:
+        For linear maps of a concatenated input: the weight axis to
+        split so that ``φ_W(u ‖ v) = φ_{Wl}(u) + φ_{Wr}(v)``.
+    is_view:
+        Zero-cost shape alias; never launches a kernel.
+    infer / flops:
+        Shape inference and per-row FLOP formula callables with
+        signature ``(in_feat_shapes, param_feat_shapes, attrs)`` and
+        ``(in_feat_shapes, param_feat_shapes, out_feat_shape, attrs)``.
+    """
+
+    name: str
+    arity: int
+    n_params: int = 0
+    expensive: bool = False
+    is_linear_map: bool = False
+    param_concat_axis: Optional[int] = None
+    is_view: bool = False
+    infer: Callable[..., Shape] = _elementwise_shape
+    flops: Callable[..., float] = _elementwise_flops
+
+    def infer_shape(self, in_shapes, param_shapes=(), attrs=None) -> Shape:
+        return self.infer(tuple(in_shapes), tuple(param_shapes), attrs or {})
+
+    def flops_per_row(self, in_shapes, param_shapes=(), out_shape=None, attrs=None) -> float:
+        attrs = attrs or {}
+        if out_shape is None:
+            out_shape = self.infer_shape(in_shapes, param_shapes, attrs)
+        return self.flops(tuple(in_shapes), tuple(param_shapes), out_shape, attrs)
+
+
+_APPLY_FNS: Dict[str, ApplyFn] = {}
+
+
+def _apply(fn: ApplyFn) -> ApplyFn:
+    _APPLY_FNS[fn.name] = fn
+    return fn
+
+
+def get_apply_fn(name: str) -> ApplyFn:
+    try:
+        return _APPLY_FNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown apply fn {name!r}; available: {sorted(_APPLY_FNS)}"
+        ) from None
+
+
+def list_apply_fns() -> list[str]:
+    return sorted(_APPLY_FNS)
+
+
+# ---------------------------------------------------------------------
+# Element-wise unary / binary
+# ---------------------------------------------------------------------
+def _flops_scaled(factor: float):
+    def f(in_shapes, param_shapes, out_shape, attrs):
+        return factor * (math.prod(out_shape) if out_shape else 1.0)
+
+    return f
+
+
+IDENTITY = _apply(ApplyFn("identity", 1, is_linear_map=True, flops=_flops_scaled(0.0)))
+NEG = _apply(ApplyFn("neg", 1, is_linear_map=True))
+RELU = _apply(ApplyFn("relu", 1))
+LEAKY_RELU = _apply(ApplyFn("leaky_relu", 1, flops=_flops_scaled(2.0)))
+EXP = _apply(ApplyFn("exp", 1, flops=_flops_scaled(4.0)))
+SIGMOID = _apply(ApplyFn("sigmoid", 1, flops=_flops_scaled(4.0)))
+TANH = _apply(ApplyFn("tanh", 1, flops=_flops_scaled(4.0)))
+ADD = _apply(ApplyFn("add", 2))
+SUB = _apply(ApplyFn("sub", 2))
+MUL = _apply(ApplyFn("mul", 2))
+DIV = _apply(ApplyFn("div", 2))
+RELU_GRAD = _apply(ApplyFn("relu_grad", 2))
+LEAKY_RELU_GRAD = _apply(ApplyFn("leaky_relu_grad", 2, flops=_flops_scaled(2.0)))
+SIGMOID_GRAD = _apply(ApplyFn("sigmoid_grad", 2, flops=_flops_scaled(3.0)))
+TANH_GRAD = _apply(ApplyFn("tanh_grad", 2, flops=_flops_scaled(3.0)))
+CLAMP_MIN = _apply(ApplyFn("clamp_min", 1))
+
+
+def _scale_shape(in_shapes, param_shapes, attrs) -> Shape:
+    return in_shapes[0]
+
+
+SCALE = _apply(
+    ApplyFn("scale", 1, is_linear_map=True, infer=_scale_shape)
+)  # attrs: {"factor": float}
+
+
+# ---------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------
+def _view_shape(in_shapes, param_shapes, attrs) -> Shape:
+    out = tuple(int(d) for d in attrs["out_shape"])
+    if math.prod(out) != math.prod(in_shapes[0]):
+        raise ValueError(
+            f"view cannot change element count: {in_shapes[0]} -> {out}"
+        )
+    return out
+
+
+VIEW = _apply(
+    ApplyFn(
+        "view", 1, is_linear_map=True, is_view=True,
+        infer=_view_shape, flops=_flops_scaled(0.0),
+    )
+)  # attrs: {"out_shape": tuple}
+
+
+def _norm_axis(axis: int, rank: int) -> int:
+    norm = axis + rank if axis < 0 else axis
+    if not 0 <= norm < rank:
+        raise ValueError(f"axis {axis} out of range for rank {rank}")
+    return norm
+
+
+def _slice_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (shape,) = in_shapes
+    if not shape:
+        raise ValueError("slice_axis requires a non-scalar feature shape")
+    axis = _norm_axis(int(attrs.get("axis", -1)), len(shape))
+    start, stop = int(attrs["start"]), int(attrs["stop"])
+    if not 0 <= start < stop <= shape[axis]:
+        raise ValueError(f"bad slice [{start}:{stop}] of axis {axis} ({shape[axis]})")
+    return shape[:axis] + (stop - start,) + shape[axis + 1:]
+
+
+SLICE_AXIS = _apply(
+    ApplyFn("slice_axis", 1, is_linear_map=True, infer=_slice_shape,
+            flops=_flops_scaled(0.0))
+)  # attrs: {"axis": int (default -1), "start": int, "stop": int}
+
+
+def _pad_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (shape,) = in_shapes
+    if not shape:
+        raise ValueError("pad_axis requires a non-scalar feature shape")
+    axis = _norm_axis(int(attrs.get("axis", -1)), len(shape))
+    start, stop, width = (int(attrs[k]) for k in ("start", "stop", "width"))
+    if not 0 <= start < stop <= width or shape[axis] != stop - start:
+        raise ValueError(
+            f"bad pad [{start}:{stop}] into width {width} from axis {axis} "
+            f"({shape[axis]})"
+        )
+    return shape[:axis] + (width,) + shape[axis + 1:]
+
+
+PAD_AXIS = _apply(
+    ApplyFn("pad_axis", 1, is_linear_map=True, infer=_pad_shape)
+)  # attrs: {"axis", "start", "stop", "width"} — inverse of slice_axis (zero fill)
+
+
+def _reduce_to_shape_infer(in_shapes, param_shapes, attrs) -> Shape:
+    return tuple(int(d) for d in attrs["target_shape"])
+
+
+def _reduce_to_shape_flops(in_shapes, param_shapes, out_shape, attrs) -> float:
+    return float(math.prod(in_shapes[0])) if in_shapes[0] else 1.0
+
+
+REDUCE_TO_SHAPE = _apply(
+    ApplyFn(
+        "reduce_to_shape", 1, is_linear_map=True,
+        infer=_reduce_to_shape_infer, flops=_reduce_to_shape_flops,
+    )
+)  # attrs: {"target_shape": tuple} — undoes right-pad broadcasting in backward
+
+
+# ---------------------------------------------------------------------
+# Projections (expensive Apply-)
+# ---------------------------------------------------------------------
+def _linear_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (x,) = in_shapes
+    (w,) = param_shapes
+    if len(w) != 2:
+        raise ValueError(f"linear weight must be 2-D, got {w}")
+    if not x or x[-1] != w[0]:
+        raise ValueError(f"linear shape mismatch: input {x} vs weight {w}")
+    return x[:-1] + (w[1],)
+
+
+def _linear_flops(in_shapes, param_shapes, out_shape, attrs) -> float:
+    (x,) = in_shapes
+    (w,) = param_shapes
+    rows = math.prod(x[:-1]) if x[:-1] else 1
+    return 2.0 * rows * w[0] * w[1]
+
+
+LINEAR = _apply(
+    ApplyFn(
+        "linear", 1, n_params=1, expensive=True, is_linear_map=True,
+        param_concat_axis=0, infer=_linear_shape, flops=_linear_flops,
+    )
+)
+
+
+def _linear_grad_input_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (g,) = in_shapes
+    (w,) = param_shapes
+    if not g or g[-1] != w[1]:
+        raise ValueError(f"linear_grad_input mismatch: grad {g} vs weight {w}")
+    return g[:-1] + (w[0],)
+
+
+LINEAR_GRAD_INPUT = _apply(
+    ApplyFn(
+        "linear_grad_input", 1, n_params=1, expensive=True, is_linear_map=True,
+        infer=_linear_grad_input_shape, flops=_linear_flops,
+    )
+)
+
+BIAS_ADD = _apply(
+    ApplyFn(
+        "bias_add", 1, n_params=1,
+        infer=lambda i, p, a: broadcast_feat_shapes(i[0], p[0]),
+    )
+)
+
+
+def _param_scale_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (x,) = in_shapes
+    (p,) = param_shapes
+    if p != ():
+        raise ValueError(f"param_scale expects a scalar parameter, got {p}")
+    return x
+
+
+# GIN's (1+ε) self-term: multiply a tensor by a learnable scalar.  A
+# linear map in its data input, so it reorganizes/fuses freely.
+PARAM_SCALE = _apply(
+    ApplyFn(
+        "param_scale", 1, n_params=1, is_linear_map=True,
+        infer=_param_scale_shape,
+    )
+)
+
+
+def _head_dot_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (x,) = in_shapes
+    (a,) = param_shapes
+    if len(x) < 2 or x[-2:] != a:
+        raise ValueError(f"head_dot expects input (..., h, f) matching param {a}, got {x}")
+    return x[:-1]
+
+
+def _head_dot_flops(in_shapes, param_shapes, out_shape, attrs) -> float:
+    (a,) = param_shapes
+    rows = math.prod(out_shape[:-1]) if out_shape[:-1] else 1
+    return 2.0 * rows * a[0] * a[1]
+
+
+HEAD_DOT = _apply(
+    ApplyFn(
+        "head_dot", 1, n_params=1, expensive=True, is_linear_map=True,
+        param_concat_axis=-1, infer=_head_dot_shape, flops=_head_dot_flops,
+    )
+)
+
+
+def _head_dot_grad_input_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (g,) = in_shapes
+    (a,) = param_shapes
+    if not g or g[-1] != a[0]:
+        raise ValueError(f"head_dot_grad_input mismatch: grad {g} vs param {a}")
+    return g + (a[1],)
+
+
+HEAD_DOT_GRAD_INPUT = _apply(
+    ApplyFn(
+        "head_dot_grad_input", 1, n_params=1, is_linear_map=True,
+        infer=_head_dot_grad_input_shape,
+    )
+)
+
+
+# ---------------------------------------------------------------------
+# MoNet Gaussian mixture kernel (Appendix A, GMMConv)
+# ---------------------------------------------------------------------
+def _gaussian_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (m,) = in_shapes
+    mu, inv_sigma = param_shapes
+    if len(mu) != 2 or mu != inv_sigma:
+        raise ValueError(f"gaussian params must be matching (K, r): {mu} vs {inv_sigma}")
+    if m != mu[1:]:
+        raise ValueError(f"pseudo-coords {m} must have shape (r,) = ({mu[1]},)")
+    return (mu[0],)
+
+
+def _gaussian_flops(in_shapes, param_shapes, out_shape, attrs) -> float:
+    mu, _ = param_shapes
+    k, r = mu
+    return float(k * (3 * r + 4))
+
+
+GAUSSIAN = _apply(
+    ApplyFn(
+        "gaussian", 1, n_params=2,
+        infer=_gaussian_shape, flops=_gaussian_flops,
+    )
+)
+
+
+def _gaussian_grad_input_shape(in_shapes, param_shapes, attrs) -> Shape:
+    g, m, w = in_shapes
+    mu, _ = param_shapes
+    if g != (mu[0],) or w != (mu[0],) or m != (mu[1],):
+        raise ValueError(
+            f"gaussian_grad_input mismatch: g={g}, m={m}, w={w}, mu={mu}"
+        )
+    return m
+
+
+GAUSSIAN_GRAD_INPUT = _apply(
+    ApplyFn(
+        "gaussian_grad_input", 3, n_params=2,
+        infer=_gaussian_grad_input_shape,
+        flops=lambda i, p, o, a: float(p[0][0] * p[0][1] * 5),
+    )
+)
+
+
+def _kernel_mean_shape(in_shapes, param_shapes, attrs) -> Shape:
+    (x,) = in_shapes
+    if len(x) < 1:
+        raise ValueError("kernel_mean requires a leading kernel axis")
+    return x[1:]
+
+
+KERNEL_MEAN = _apply(
+    ApplyFn(
+        "kernel_mean", 1, is_linear_map=True, infer=_kernel_mean_shape,
+        flops=lambda i, p, o, a: float(math.prod(i[0])),
+    )
+)
+
+
+def _kernel_mean_grad_shape(in_shapes, param_shapes, attrs) -> Shape:
+    return (int(attrs["num_kernels"]),) + in_shapes[0]
+
+
+KERNEL_MEAN_GRAD = _apply(
+    ApplyFn(
+        "kernel_mean_grad", 1, is_linear_map=True, infer=_kernel_mean_grad_shape,
+    )
+)  # attrs: {"num_kernels": int}
+
+
+# ---------------------------------------------------------------------
+# Parameter-gradient reductions (OpKind.PARAM_GRAD)
+# ---------------------------------------------------------------------
+# fn name -> (arity, per-row flops callable(in_shapes, out_shape)).
+# These reduce a vertex/edge-domain pair into a PARAM-shaped gradient;
+# they are always expensive library kernels (GEMM-shaped), never fused.
+PARAM_GRAD_FNS: Dict[str, int] = {
+    "linear_wgrad": 2,        # (x, grad_y) -> (f_in, f_out)
+    "bias_grad": 1,           # (grad_y,) -> bias shape
+    "head_dot_wgrad": 2,      # (x, grad_y) -> (h, f)
+    "gaussian_mu_grad": 3,    # (m, w, grad_w) -> (K, r)
+    "gaussian_sigma_grad": 3, # (m, w, grad_w) -> (K, r)
+    "param_scale_wgrad": 2,   # (x, grad_y) -> ()
+}

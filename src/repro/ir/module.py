@@ -1,0 +1,240 @@
+"""The IR container: a named DAG of operator nodes.
+
+A :class:`Module` is an ordered list of :class:`~repro.ir.ops.OpNode`
+(the order is a valid topological order — enforced by
+:func:`repro.ir.validate.validate_module`), plus the value-name →
+:class:`~repro.ir.tensorspec.TensorSpec` table and the interface lists
+(inputs / params / outputs).
+
+Shape and domain inference for every node kind lives here
+(:func:`infer_output_specs`) so the builder, the optimization passes and
+the validator all agree on one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.ir.functions import get_apply_fn, get_scatter_fn
+from repro.ir.ops import GATHER_REDUCES, OpKind, OpNode
+from repro.ir.tensorspec import Domain, TensorSpec
+
+__all__ = ["Module", "infer_output_specs", "GRAPH_CONSTANTS"]
+
+# Reserved input names the execution engine fills from the graph itself.
+# They are "free" inputs: never stashed, never counted as user data.
+GRAPH_CONSTANTS: Dict[str, TensorSpec] = {
+    "g_in_degrees": TensorSpec(Domain.VERTEX, (), "float32"),
+    "g_out_degrees": TensorSpec(Domain.VERTEX, (), "float32"),
+}
+
+
+def infer_output_specs(
+    node: OpNode, specs: Mapping[str, TensorSpec]
+) -> Dict[str, TensorSpec]:
+    """Compute the TensorSpec of each output of ``node``.
+
+    Raises ``ValueError``/``KeyError`` on malformed nodes — this is the
+    single source of truth for operator typing rules.
+    """
+    for name in node.all_inputs():
+        if name not in specs:
+            raise KeyError(f"node {node.name!r} references unknown value {name!r}")
+
+    if node.kind is OpKind.SCATTER:
+        return _infer_scatter(node, specs)
+    if node.kind is OpKind.GATHER:
+        return _infer_gather(node, specs)
+    if node.kind is OpKind.APPLY:
+        return _infer_apply(node, specs)
+    if node.kind is OpKind.PARAM_GRAD:
+        return _infer_param_grad(node, specs)
+    if node.kind is OpKind.VIEW:
+        return _infer_view(node, specs)
+    raise AssertionError(f"unhandled kind {node.kind}")
+
+
+def _infer_scatter(node: OpNode, specs) -> Dict[str, TensorSpec]:
+    fn = get_scatter_fn(node.fn)
+    if fn.name == "max_grad":
+        grad_spec, idx_spec = (specs[n] for n in node.inputs)
+        for s, label in ((grad_spec, "gradient"), (idx_spec, "argmax")):
+            if s.domain is not Domain.VERTEX:
+                raise ValueError(f"max_grad {label} input must be VERTEX, got {s}")
+        if grad_spec.feat_shape != idx_spec.feat_shape:
+            raise ValueError(
+                "max_grad gradient/argmax feature shapes must match: "
+                f"{grad_spec.feat_shape} vs {idx_spec.feat_shape}"
+            )
+        out = TensorSpec(Domain.EDGE, grad_spec.feat_shape, grad_spec.dtype)
+        return {node.outputs[0]: out}
+
+    expected_arity = int(fn.reads_u) + int(fn.reads_v)
+    if len(node.inputs) != expected_arity:
+        raise ValueError(
+            f"scatter {fn.name} expects {expected_arity} inputs, got {len(node.inputs)}"
+        )
+    shapes: List[Optional[Tuple[int, ...]]] = [None, None]
+    dtype = None
+    pos = 0
+    for side, reads in ((0, fn.reads_u), (1, fn.reads_v)):
+        if reads:
+            spec = specs[node.inputs[pos]]
+            if spec.domain is not Domain.VERTEX:
+                raise ValueError(
+                    f"scatter {fn.name} operand {node.inputs[pos]!r} must be "
+                    f"VERTEX, got {spec.domain}"
+                )
+            shapes[side] = spec.feat_shape
+            dtype = spec.dtype
+            pos += 1
+    out_shape = fn.out_feat_shape(shapes[0], shapes[1])
+    return {node.outputs[0]: TensorSpec(Domain.EDGE, out_shape, dtype)}
+
+
+def _infer_gather(node: OpNode, specs) -> Dict[str, TensorSpec]:
+    reduce = node.fn
+    if reduce not in GATHER_REDUCES:
+        raise ValueError(f"unknown gather reduce {reduce!r}; allowed {GATHER_REDUCES}")
+    if node.orientation not in ("in", "out"):
+        raise ValueError(f"gather orientation must be 'in' or 'out', got {node.orientation!r}")
+    (edge_name,) = node.inputs
+    edge_spec = specs[edge_name]
+    if edge_spec.domain is not Domain.EDGE:
+        raise ValueError(f"gather input must be EDGE, got {edge_spec}")
+    out = TensorSpec(Domain.VERTEX, edge_spec.feat_shape, edge_spec.dtype)
+    result = {node.outputs[0]: out}
+    if reduce == "max":
+        if len(node.outputs) != 2:
+            raise ValueError("gather(max) must declare (values, argmax) outputs")
+        result[node.outputs[1]] = TensorSpec(
+            Domain.VERTEX, edge_spec.feat_shape, "int64"
+        )
+    elif len(node.outputs) != 1:
+        raise ValueError(f"gather({reduce}) must have exactly one output")
+    return result
+
+
+def _infer_apply(node: OpNode, specs) -> Dict[str, TensorSpec]:
+    fn = get_apply_fn(node.fn)
+    if len(node.inputs) != fn.arity:
+        raise ValueError(
+            f"apply {fn.name} expects {fn.arity} inputs, got {len(node.inputs)}"
+        )
+    if len(node.params) != fn.n_params:
+        raise ValueError(
+            f"apply {fn.name} expects {fn.n_params} params, got {len(node.params)}"
+        )
+    domains = {specs[n].domain for n in node.inputs}
+    if len(domains) != 1:
+        raise ValueError(
+            f"apply {fn.name} inputs must share one domain, got {domains}"
+        )
+    domain = domains.pop()
+    for p in node.params:
+        if specs[p].domain is not Domain.PARAM:
+            raise ValueError(f"apply param {p!r} must be PARAM domain")
+    in_shapes = [specs[n].feat_shape for n in node.inputs]
+    param_shapes = [specs[n].feat_shape for n in node.params]
+    out_shape = fn.infer_shape(in_shapes, param_shapes, node.attrs)
+    dtype = specs[node.inputs[0]].dtype
+    return {node.outputs[0]: TensorSpec(domain, out_shape, dtype)}
+
+
+def _infer_param_grad(node: OpNode, specs) -> Dict[str, TensorSpec]:
+    out_shape = tuple(int(d) for d in node.attrs["out_shape"])
+    domains = {specs[n].domain for n in node.inputs}
+    if not domains <= {Domain.VERTEX, Domain.EDGE}:
+        raise ValueError(f"param_grad inputs must be VERTEX/EDGE, got {domains}")
+    if len(domains) != 1:
+        raise ValueError("param_grad inputs must share one domain")
+    dtype = specs[node.inputs[0]].dtype
+    return {node.outputs[0]: TensorSpec(Domain.PARAM, out_shape, dtype)}
+
+
+def _infer_view(node: OpNode, specs) -> Dict[str, TensorSpec]:
+    (x,) = node.inputs
+    spec = specs[x]
+    fn = get_apply_fn("view")
+    out_shape = fn.infer_shape([spec.feat_shape], (), node.attrs)
+    return {node.outputs[0]: TensorSpec(spec.domain, out_shape, spec.dtype)}
+
+
+@dataclass
+class Module:
+    """An operator DAG with a typed interface.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label (``"gat_forward"``, ``"gat_backward"`` …).
+    nodes:
+        Operator list in a valid topological order.
+    specs:
+        Every value name (inputs, params, all node outputs) → spec.
+    inputs:
+        Data inputs, including any graph constants used.
+    params:
+        Trainable parameter inputs.
+    outputs:
+        Values exposed to the caller.
+    """
+
+    name: str
+    nodes: List[OpNode] = field(default_factory=list)
+    specs: Dict[str, TensorSpec] = field(default_factory=dict)
+    inputs: List[str] = field(default_factory=list)
+    params: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Indexes (rebuilt on demand; modules are treated as immutable once
+    # built, passes construct new ones)
+    # ------------------------------------------------------------------
+    def producer_map(self) -> Dict[str, OpNode]:
+        """Value name → producing node (absent for inputs/params)."""
+        out: Dict[str, OpNode] = {}
+        for node in self.nodes:
+            for o in node.outputs:
+                out[o] = node
+        return out
+
+    def consumer_map(self) -> Dict[str, List[OpNode]]:
+        """Value name → consuming nodes (data and param uses)."""
+        out: Dict[str, List[OpNode]] = {name: [] for name in self.specs}
+        for node in self.nodes:
+            for i in node.all_inputs():
+                out.setdefault(i, []).append(node)
+        return out
+
+    def interface_names(self) -> set:
+        return set(self.inputs) | set(self.params)
+
+    def intermediate_names(self) -> List[str]:
+        """Values produced by nodes, excluding module outputs."""
+        outs = set(self.outputs)
+        names = []
+        for node in self.nodes:
+            for o in node.outputs:
+                if o not in outs:
+                    names.append(o)
+        return names
+
+    def node_by_output(self, name: str) -> OpNode:
+        for node in self.nodes:
+            if name in node.outputs:
+                return node
+        raise KeyError(f"no node produces {name!r}")
+
+    # ------------------------------------------------------------------
+    def total_flops(self, stats) -> float:
+        """Sum of node FLOPs on ``stats`` — the computation counter."""
+        return sum(node.flops(self.specs, stats) for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Module({self.name!r}, nodes={len(self.nodes)}, "
+            f"inputs={self.inputs}, params={len(self.params)}, "
+            f"outputs={self.outputs})"
+        )

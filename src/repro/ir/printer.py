@@ -1,0 +1,90 @@
+"""Human-readable and Graphviz dumps of IR modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.module import Module
+from repro.ir.ops import OpKind
+
+__all__ = ["format_module", "to_dot"]
+
+
+def format_module(module: Module, *, show_specs: bool = True) -> str:
+    """Pretty-print a module, one node per line.
+
+    Example output::
+
+        module gat_layer
+          inputs: h:vertex[64]:float32
+          params: w:param[64x64]:float32
+          linear.0       = apply:linear(h | w)
+          copy_u.0       = scatter:copy_u(linear.0)
+          ...
+          outputs: agg_out.0
+    """
+    lines = [f"module {module.name}"]
+    if module.inputs:
+        rendered = ", ".join(
+            f"{n}:{module.specs[n]}" if show_specs else n for n in module.inputs
+        )
+        lines.append(f"  inputs: {rendered}")
+    if module.params:
+        rendered = ", ".join(
+            f"{n}:{module.specs[n]}" if show_specs else n for n in module.params
+        )
+        lines.append(f"  params: {rendered}")
+    width = max((len(", ".join(n.outputs)) for n in module.nodes), default=0)
+    for node in module.nodes:
+        lhs = ", ".join(node.outputs).ljust(width)
+        args = ", ".join(node.inputs)
+        if node.params:
+            args += " | " + ", ".join(node.params)
+        extra = ""
+        if node.attrs:
+            shown = {k: v for k, v in node.attrs.items() if k != "orientation"}
+            orient = node.attrs.get("orientation")
+            if orient and orient != "in":
+                shown["orientation"] = orient
+            if shown:
+                extra += f" {shown}"
+        if node.macro:
+            extra += f"  # {node.macro}"
+        lines.append(f"  {lhs} = {node.kind.value}:{node.fn}({args}){extra}")
+    lines.append(f"  outputs: {', '.join(module.outputs)}")
+    return "\n".join(lines)
+
+
+_KIND_COLORS = {
+    OpKind.SCATTER: "lightblue",
+    OpKind.GATHER: "lightsalmon",
+    OpKind.APPLY: "lightgrey",
+    OpKind.PARAM_GRAD: "plum",
+    OpKind.VIEW: "white",
+}
+
+
+def to_dot(module: Module, *, name: Optional[str] = None) -> str:
+    """Graphviz DOT rendering (one node per op, edges are dataflow)."""
+    out = [f'digraph "{name or module.name}" {{', "  rankdir=TB;"]
+    for n in module.inputs + module.params:
+        out.append(f'  "{n}" [shape=ellipse, style=dashed];')
+    for node in module.nodes:
+        color = _KIND_COLORS.get(node.kind, "white")
+        label = f"{node.kind.value}:{node.fn}"
+        if node.is_expensive():
+            label += " ($$)"
+        out.append(
+            f'  "{node.name}" [shape=box, style=filled, '
+            f'fillcolor={color}, label="{label}\\n{node.name}"];'
+        )
+        for i in node.all_inputs():
+            out.append(f'  "{i}" -> "{node.name}";')
+        for extra in node.outputs[1:]:
+            out.append(f'  "{extra}" [shape=note];')
+            out.append(f'  "{node.name}" -> "{extra}";')
+    for o in module.outputs:
+        out.append(f'  "out:{o}" [shape=doublecircle];')
+        out.append(f'  "{o}" -> "out:{o}";')
+    out.append("}")
+    return "\n".join(out)

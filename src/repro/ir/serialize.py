@@ -1,0 +1,114 @@
+"""JSON serialization of IR modules.
+
+Lets compiled computation graphs be persisted, diffed, or shipped to
+other tooling.  Round-trips are exact: deserialised modules validate
+and compare node-for-node with the original (attr tuples are restored
+from JSON lists).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.ir.module import Module
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain, TensorSpec
+from repro.ir.validate import validate_module
+
+__all__ = ["module_to_dict", "module_from_dict", "dumps_module", "loads_module"]
+
+_FORMAT_VERSION = 1
+
+
+def _attr_to_json(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _attr_from_json(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def module_to_dict(module: Module) -> Dict[str, Any]:
+    """Plain-dict representation (JSON-compatible)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": module.name,
+        "inputs": list(module.inputs),
+        "params": list(module.params),
+        "outputs": list(module.outputs),
+        "specs": {
+            name: {
+                "domain": spec.domain.value,
+                "feat_shape": list(spec.feat_shape),
+                "dtype": spec.dtype,
+            }
+            for name, spec in module.specs.items()
+        },
+        "nodes": [
+            {
+                "kind": node.kind.value,
+                "fn": node.fn,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "params": list(node.params),
+                "attrs": {k: _attr_to_json(v) for k, v in node.attrs.items()},
+                "macro": node.macro,
+            }
+            for node in module.nodes
+        ],
+    }
+
+
+def module_from_dict(data: Dict[str, Any]) -> Module:
+    """Rebuild (and validate) a module from :func:`module_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported module format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    specs = {
+        name: TensorSpec(
+            Domain(entry["domain"]),
+            tuple(entry["feat_shape"]),
+            entry["dtype"],
+        )
+        for name, entry in data["specs"].items()
+    }
+    nodes = [
+        OpNode(
+            kind=OpKind(entry["kind"]),
+            fn=entry["fn"],
+            inputs=tuple(entry["inputs"]),
+            outputs=tuple(entry["outputs"]),
+            params=tuple(entry["params"]),
+            attrs={k: _attr_from_json(v) for k, v in entry["attrs"].items()},
+            macro=entry.get("macro"),
+        )
+        for entry in data["nodes"]
+    ]
+    module = Module(
+        name=data["name"],
+        nodes=nodes,
+        specs=specs,
+        inputs=list(data["inputs"]),
+        params=list(data["params"]),
+        outputs=list(data["outputs"]),
+    )
+    validate_module(module)
+    return module
+
+
+def dumps_module(module: Module, **json_kwargs: Any) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(module_to_dict(module), **json_kwargs)
+
+
+def loads_module(text: str) -> Module:
+    """Deserialise from a JSON string (validates structurally)."""
+    return module_from_dict(json.loads(text))

@@ -1,0 +1,129 @@
+"""Tensor domains and shape/byte accounting.
+
+A tensor in this library is characterised by its *domain* (which graph
+dimension its leading axis runs over) and its *feature shape* (all
+trailing axes).  The leading extent is implied by the graph:
+
+=========  ==========================  =============================
+Domain     Leading extent              Examples
+=========  ==========================  =============================
+VERTEX     ``|V|``                     vertex features, degrees
+EDGE       ``|E|``                     messages, attention scores
+PARAM      1 (feat_shape is full)      weights, biases
+DENSE      1 (feat_shape is full)      loss scalars, global stats
+=========  ==========================  =============================
+
+Keeping the leading extent symbolic is what lets the analytic pipeline
+account for tensors on graphs that are never materialised (reddit-full).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Domain", "TensorSpec"]
+
+
+class Domain(Enum):
+    """Which graph dimension a tensor's leading axis runs over."""
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+    PARAM = "param"
+    DENSE = "dense"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Domain.{self.name}"
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of a tensor: domain, feature shape, dtype.
+
+    Parameters
+    ----------
+    domain:
+        Graph dimension of the leading axis.
+    feat_shape:
+        Trailing axes.  ``()`` denotes a per-row scalar (e.g. an
+        attention logit per edge).
+    dtype:
+        NumPy dtype string.  Defaults to ``float32`` — matching the GPU
+        precision the paper's byte counts assume.  The concrete engine
+        may compute in float64 for gradient checking; *accounting* always
+        uses this declared dtype.
+    """
+
+    domain: Domain
+    feat_shape: Tuple[int, ...] = ()
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        fs = tuple(int(d) for d in self.feat_shape)
+        if any(d <= 0 for d in fs):
+            raise ValueError(f"feature dims must be positive, got {fs}")
+        object.__setattr__(self, "feat_shape", fs)
+        # Validate the dtype eagerly so errors surface at build time.
+        np.dtype(self.dtype)
+
+    # ------------------------------------------------------------------
+    @property
+    def feat_elements(self) -> int:
+        """Number of elements per leading row."""
+        return math.prod(self.feat_shape) if self.feat_shape else 1
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    def rows(self, num_vertices: int, num_edges: int) -> int:
+        """Leading extent given the graph size."""
+        if self.domain is Domain.VERTEX:
+            return num_vertices
+        if self.domain is Domain.EDGE:
+            return num_edges
+        return 1
+
+    def elements(self, num_vertices: int, num_edges: int) -> int:
+        return self.rows(num_vertices, num_edges) * self.feat_elements
+
+    def nbytes(self, num_vertices: int, num_edges: int) -> int:
+        return self.elements(num_vertices, num_edges) * self.itemsize
+
+    # ------------------------------------------------------------------
+    def with_feat(self, feat_shape: Tuple[int, ...]) -> "TensorSpec":
+        """Same domain/dtype with a different feature shape."""
+        return TensorSpec(self.domain, tuple(feat_shape), self.dtype)
+
+    def with_domain(self, domain: Domain) -> "TensorSpec":
+        return TensorSpec(domain, self.feat_shape, self.dtype)
+
+    def with_dtype(self, dtype: str) -> "TensorSpec":
+        return TensorSpec(self.domain, self.feat_shape, dtype)
+
+    def __str__(self) -> str:
+        fs = "x".join(str(d) for d in self.feat_shape) or "scalar"
+        return f"{self.domain.value}[{fs}]:{self.dtype}"
+
+
+def broadcast_feat_shapes(*shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Broadcast feature shapes under the library's right-pad rule.
+
+    Lower-rank shapes are padded with singleton axes **on the right**
+    before standard NumPy broadcasting.  Right-padding (instead of
+    NumPy's left-padding) is what makes per-row scalars broadcast against
+    per-row vectors: an attention logit ``()`` multiplies a message
+    ``(f,)`` by expanding to ``(1,)``, and a MoNet kernel weight ``(K,)``
+    multiplies projected features ``(K, f)`` by expanding to ``(K, 1)``.
+    """
+    rank = max((len(s) for s in shapes), default=0)
+    padded = [s + (1,) * (rank - len(s)) for s in shapes]
+    try:
+        return tuple(int(d) for d in np.broadcast_shapes(*padded))
+    except ValueError as exc:  # pragma: no cover - message passthrough
+        raise ValueError(f"feature shapes not broadcastable: {shapes}") from exc

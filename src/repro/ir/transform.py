@@ -1,0 +1,114 @@
+"""Small structural IR transformations shared by autodiff and passes.
+
+These are deliberately conservative: they never change values, only
+remove provably dead structure or re-derive interface lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.ir.module import GRAPH_CONSTANTS, Module
+from repro.ir.ops import OpKind, OpNode
+
+__all__ = ["prune_dead", "used_value_names", "common_subexpression_eliminate"]
+
+
+def used_value_names(module: Module) -> Set[str]:
+    """Values transitively needed to produce the module outputs."""
+    producer = module.producer_map()
+    live: Set[str] = set()
+    stack = list(module.outputs)
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        node = producer.get(name)
+        if node is not None:
+            stack.extend(node.all_inputs())
+    return live
+
+
+def prune_dead(module: Module) -> Module:
+    """Drop nodes (and unused interface entries) not reaching any output.
+
+    A multi-output node survives if *any* of its outputs is live; its
+    dead auxiliary outputs stay declared (the engine skips materialising
+    aux outputs with no consumers).  Unused inputs are dropped from the
+    interface — important for backward modules, where a dead reference
+    would otherwise force a pointless stash.  Params are kept even when
+    unused so optimizer state stays aligned with the model.
+    """
+    live = used_value_names(module)
+    nodes = [n for n in module.nodes if any(o in live for o in n.outputs)]
+    defined = {o for n in nodes for o in n.outputs}
+
+    inputs = [i for i in module.inputs if i in live]
+    params = list(module.params)
+    keep = set(inputs) | set(params) | defined
+    specs = {name: spec for name, spec in module.specs.items() if name in keep}
+    return Module(
+        name=module.name,
+        nodes=nodes,
+        specs=specs,
+        inputs=inputs,
+        params=params,
+        outputs=list(module.outputs),
+    )
+
+
+def _node_key(node: OpNode):
+    attrs = tuple(sorted((k, _freeze(v)) for k, v in node.attrs.items()))
+    return (node.kind, node.fn, node.inputs, node.params, attrs)
+
+
+def _freeze(v):
+    if isinstance(v, (list, tuple)):
+        return tuple(_freeze(x) for x in v)
+    return v
+
+
+def common_subexpression_eliminate(module: Module) -> Module:
+    """Merge structurally identical nodes (same kind/fn/inputs/attrs).
+
+    Used after reorganization, which can materialise the same vertex
+    projection for both Scatter operands; CSE folds them back into one
+    (paper §4: the projection is computed once per vertex).
+    """
+    replace: dict = {}
+    seen: dict = {}
+    nodes = []
+    for node in module.nodes:
+        remapped = OpNode(
+            kind=node.kind,
+            fn=node.fn,
+            inputs=tuple(replace.get(i, i) for i in node.inputs),
+            outputs=node.outputs,
+            params=tuple(replace.get(p, p) for p in node.params),
+            attrs=dict(node.attrs),
+            macro=node.macro,
+        )
+        key = _node_key(remapped)
+        prior = seen.get(key)
+        if prior is not None:
+            for mine, theirs in zip(remapped.outputs, prior.outputs):
+                replace[mine] = theirs
+            continue
+        seen[key] = remapped
+        nodes.append(remapped)
+
+    outputs = [replace.get(o, o) for o in module.outputs]
+    defined = {o for n in nodes for o in n.outputs}
+    keep = set(module.inputs) | set(module.params) | defined
+    specs = {name: spec for name, spec in module.specs.items() if name in keep}
+    return prune_dead(
+        Module(
+            name=module.name,
+            nodes=nodes,
+            specs=specs,
+            inputs=list(module.inputs),
+            params=list(module.params),
+            outputs=outputs,
+        )
+    )

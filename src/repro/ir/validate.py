@@ -1,0 +1,82 @@
+"""Structural validation of IR modules.
+
+Checks performed:
+
+1. every value name has a spec and a unique definition site,
+2. node order is topological (defs precede uses),
+3. every node re-passes shape/domain inference against the recorded
+   specs (catches passes that edit nodes without updating specs),
+4. module outputs exist,
+5. params are PARAM-domain, graph constants match their reserved specs.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.module import GRAPH_CONSTANTS, Module, infer_output_specs
+from repro.ir.tensorspec import Domain
+
+__all__ = ["validate_module", "IRValidationError"]
+
+
+class IRValidationError(ValueError):
+    """A structural invariant of the IR was violated."""
+
+
+def validate_module(module: Module) -> None:
+    """Raise :class:`IRValidationError` on any malformed structure."""
+    defined: Set[str] = set()
+
+    for name in module.inputs:
+        if name not in module.specs:
+            raise IRValidationError(f"input {name!r} has no spec")
+        if name in defined:
+            raise IRValidationError(f"duplicate interface value {name!r}")
+        if name in GRAPH_CONSTANTS and module.specs[name] != GRAPH_CONSTANTS[name]:
+            raise IRValidationError(
+                f"graph constant {name!r} has wrong spec {module.specs[name]}"
+            )
+        defined.add(name)
+
+    for name in module.params:
+        if name not in module.specs:
+            raise IRValidationError(f"param {name!r} has no spec")
+        if module.specs[name].domain is not Domain.PARAM:
+            raise IRValidationError(
+                f"param {name!r} must be PARAM domain, got {module.specs[name]}"
+            )
+        if name in defined:
+            raise IRValidationError(f"duplicate interface value {name!r}")
+        defined.add(name)
+
+    for node in module.nodes:
+        for used in node.all_inputs():
+            if used not in defined:
+                raise IRValidationError(
+                    f"node {node.name!r} uses {used!r} before definition "
+                    "(or it is never defined)"
+                )
+        try:
+            inferred = infer_output_specs(node, module.specs)
+        except (ValueError, KeyError) as exc:
+            raise IRValidationError(f"node {node.name!r}: {exc}") from exc
+        for out in node.outputs:
+            if out in defined:
+                raise IRValidationError(f"value {out!r} defined twice")
+            if out not in module.specs:
+                raise IRValidationError(f"output {out!r} missing from specs")
+            if module.specs[out] != inferred[out]:
+                raise IRValidationError(
+                    f"spec mismatch for {out!r}: recorded {module.specs[out]} "
+                    f"vs inferred {inferred[out]}"
+                )
+            defined.add(out)
+
+    for out in module.outputs:
+        if out not in defined:
+            raise IRValidationError(f"module output {out!r} is never defined")
+
+    extra = set(module.specs) - defined
+    if extra:
+        raise IRValidationError(f"specs recorded for undefined values: {sorted(extra)}")

@@ -1,0 +1,33 @@
+"""GNN model zoo expressed in the operator IR.
+
+Every model builds its computation graph in the *naive* textbook form
+(the "before our optimization" graphs of the paper's Figure 12) — e.g.
+GAT concatenates endpoint features on edges before projecting, EdgeConv
+applies Θ to per-edge differences.  The optimization passes, not the
+model definitions, are responsible for the §4 rewrites; the
+``dgl_library_reorganized`` flag records which models DGL's module
+library hand-optimises (GAT — the practice §8.1 cites), so the DGL
+baseline strategy can reproduce that behaviour.
+"""
+
+from repro.models.base import GNNModel
+from repro.models.gat import GAT
+from repro.models.edgeconv import EdgeConv
+from repro.models.monet import MoNet
+from repro.models.gcn import GCN
+from repro.models.sage import GraphSAGE
+from repro.models.gin import GIN
+from repro.models.dotgat import DotGAT
+from repro.models.rgcn import RGCN
+
+__all__ = [
+    "GNNModel",
+    "GAT",
+    "EdgeConv",
+    "MoNet",
+    "GCN",
+    "GraphSAGE",
+    "GIN",
+    "DotGAT",
+    "RGCN",
+]

@@ -1,0 +1,103 @@
+"""EdgeConv / DGCNN layer (Wang et al., 2019) in naive IR form.
+
+Per layer (paper Appendix, Fig. 12(e))::
+
+    h'_v = max_{u ∈ N(v)}  Θ·(h_u − h_v) + Φ·h_v
+
+The naive construction scatters ``u_sub_v`` differences to edges and
+applies the Θ projection **per edge** — the paper measures this
+redundancy at 92.4 % of EdgeConv's operator FLOPs.  Reorganization
+rewrites it to project on vertices first (Fig. 12(f)); because both
+Scatter operands are the same tensor, CSE folds the two projections
+into one, exactly the ``|E|→|V|`` saving of §4.
+
+The max-Gather stashes only its argmax indices (O(|V|·f)) for backward
+— §7.2's observation that EdgeConv needs no recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.tensorspec import Domain
+from repro.models.base import GNNModel, glorot, zeros
+
+__all__ = ["EdgeConv"]
+
+
+class EdgeConv(GNNModel):
+    """Multi-layer EdgeConv on a (batched) k-NN graph.
+
+    Parameters
+    ----------
+    in_dim:
+        Input coordinate width (3 for raw point clouds).
+    hidden_dims:
+        Per-layer output widths; the paper's training setting is
+        ``(64, 64, 128, 256)``.
+    """
+
+    dgl_library_reorganized = False  # DGL computes Θ·E on edges (Fig. 12(e))
+
+    def __init__(self, in_dim: int = 3, hidden_dims: Sequence[int] = (64, 64, 128, 256)):
+        if not hidden_dims:
+            raise ValueError("need at least one layer")
+        self.in_dim = int(in_dim)
+        self.hidden_dims = [int(d) for d in hidden_dims]
+
+    @property
+    def name(self) -> str:
+        dims = "x".join(str(d) for d in self.hidden_dims)
+        return f"edgeconv_l{len(self.hidden_dims)}_d{dims}"
+
+    # ------------------------------------------------------------------
+    def build_module(self) -> Module:
+        b = Builder(self.name)
+        h = b.input("h", Domain.VERTEX, (self.in_dim,))
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            theta = b.param(f"l{layer}_theta", (f_in, f_out))
+            phi = b.param(f"l{layer}_phi", (f_in, f_out))
+            bias = b.param(f"l{layer}_bias", (f_out,))
+
+            diff = b.scatter("u_sub_v", u=h, v=h, name=b.fresh(f"l{layer}_diff"))
+            # Naive: Θ applied per edge — |E| projections (§4 redundancy).
+            e_theta = b.apply(
+                "linear", diff, params=[theta], name=b.fresh(f"l{layer}_etheta")
+            )
+            n_phi = b.apply(
+                "linear", h, params=[phi], name=b.fresh(f"l{layer}_nphi")
+            )
+            phi_e = b.scatter("copy_v", v=n_phi, name=b.fresh(f"l{layer}_phie"))
+            combined = b.apply(
+                "add", e_theta, phi_e, name=b.fresh(f"l{layer}_eadd")
+            )
+            combined = b.apply(
+                "bias_add", combined, params=[bias], name=b.fresh(f"l{layer}_ebias")
+            )
+            pooled, _argmax = b.gather(
+                "max", combined, name=b.fresh(f"l{layer}_max")
+            )
+            last = layer == len(self.hidden_dims) - 1
+            h = pooled if last else b.apply(
+                "relu", pooled, name=b.fresh(f"l{layer}_act")
+            )
+            f_in = f_out
+        b.output(h)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def init_params(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        params: Dict[str, np.ndarray] = {}
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            params[f"l{layer}_theta"] = glorot(rng, (f_in, f_out))
+            params[f"l{layer}_phi"] = glorot(rng, (f_in, f_out))
+            params[f"l{layer}_bias"] = zeros((f_out,))
+            f_in = f_out
+        return params

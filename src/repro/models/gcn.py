@@ -1,0 +1,80 @@
+"""Vanilla GCN (Kipf & Welling, 2016) in IR form.
+
+Per layer (paper Appendix, Fig. 12(a))::
+
+    h'_v = σ( b + Σ_{u∈N(v)} e_uv · h_u W )
+
+with the symmetric normalisation ``e_uv = (deg(u) · deg(v))^-1/2``
+supplied as a graph-derived edge input.  The projection is applied on
+vertices before propagation (the standard formulation); GCN carries no
+edge-side neural operator, so it mainly exercises the fusion pass
+(copy_u + mul + sum → one gSpMM-shaped kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.tensorspec import Domain
+from repro.models.base import GNNModel, glorot, zeros
+
+__all__ = ["GCN"]
+
+
+class GCN(GNNModel):
+    """Multi-layer GCN with symmetric normalisation."""
+
+    dgl_library_reorganized = False
+
+    def __init__(self, in_dim: int, hidden_dims: Sequence[int] = (16, 16)):
+        if not hidden_dims:
+            raise ValueError("need at least one layer")
+        self.in_dim = int(in_dim)
+        self.hidden_dims = [int(d) for d in hidden_dims]
+
+    @property
+    def name(self) -> str:
+        dims = "x".join(str(d) for d in self.hidden_dims)
+        return f"gcn_l{len(self.hidden_dims)}_d{dims}"
+
+    # ------------------------------------------------------------------
+    def build_module(self) -> Module:
+        b = Builder(self.name)
+        h = b.input("h", Domain.VERTEX, (self.in_dim,))
+        norm = b.input("gcn_norm", Domain.EDGE, ())
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            w = b.param(f"l{layer}_w", (f_in, f_out))
+            bias = b.param(f"l{layer}_bias", (f_out,))
+            hw = b.apply("linear", h, params=[w], name=b.fresh(f"l{layer}_proj"))
+            agg = b.aggregate(hw, norm, reduce="sum", name=b.fresh(f"l{layer}_agg"))
+            out = b.apply(
+                "bias_add", agg, params=[bias], name=b.fresh(f"l{layer}_out")
+            )
+            last = layer == len(self.hidden_dims) - 1
+            h = out if last else b.apply("relu", out, name=b.fresh(f"l{layer}_act"))
+            f_in = f_out
+        b.output(h)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def init_params(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        params: Dict[str, np.ndarray] = {}
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            params[f"l{layer}_w"] = glorot(rng, (f_in, f_out))
+            params[f"l{layer}_bias"] = zeros((f_out,))
+            f_in = f_out
+        return params
+
+    # ------------------------------------------------------------------
+    def edge_inputs(self, graph: Graph) -> Dict[str, np.ndarray]:
+        du = np.maximum(graph.out_degrees[graph.src], 1.0)
+        dv = np.maximum(graph.in_degrees[graph.dst], 1.0)
+        return {"gcn_norm": 1.0 / np.sqrt(du * dv)}

@@ -1,0 +1,78 @@
+"""GraphSAGE with mean aggregation (Hamilton et al., 2017) in IR form.
+
+Per layer::
+
+    h'_v = σ( W_self·h_v + W_neigh·mean_{u∈N(v)} h_u + b )
+
+Exercises the mean-Gather (whose backward divides by degree — a
+graph-constant input) and the Aggregation-Combination pattern §2.1
+contrasts the operator abstraction against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.tensorspec import Domain
+from repro.models.base import GNNModel, glorot, zeros
+
+__all__ = ["GraphSAGE"]
+
+
+class GraphSAGE(GNNModel):
+    """Multi-layer mean-aggregator GraphSAGE."""
+
+    dgl_library_reorganized = False
+
+    def __init__(self, in_dim: int, hidden_dims: Sequence[int] = (16, 16)):
+        if not hidden_dims:
+            raise ValueError("need at least one layer")
+        self.in_dim = int(in_dim)
+        self.hidden_dims = [int(d) for d in hidden_dims]
+
+    @property
+    def name(self) -> str:
+        dims = "x".join(str(d) for d in self.hidden_dims)
+        return f"sage_l{len(self.hidden_dims)}_d{dims}"
+
+    # ------------------------------------------------------------------
+    def build_module(self) -> Module:
+        b = Builder(self.name)
+        h = b.input("h", Domain.VERTEX, (self.in_dim,))
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            w_self = b.param(f"l{layer}_w_self", (f_in, f_out))
+            w_neigh = b.param(f"l{layer}_w_neigh", (f_in, f_out))
+            bias = b.param(f"l{layer}_bias", (f_out,))
+            neigh = b.aggregate(h, reduce="mean", name=b.fresh(f"l{layer}_neigh"))
+            hs = b.apply(
+                "linear", h, params=[w_self], name=b.fresh(f"l{layer}_self")
+            )
+            hn = b.apply(
+                "linear", neigh, params=[w_neigh], name=b.fresh(f"l{layer}_nproj")
+            )
+            out = b.apply("add", hs, hn, name=b.fresh(f"l{layer}_sum"))
+            out = b.apply(
+                "bias_add", out, params=[bias], name=b.fresh(f"l{layer}_out")
+            )
+            last = layer == len(self.hidden_dims) - 1
+            h = out if last else b.apply("relu", out, name=b.fresh(f"l{layer}_act"))
+            f_in = f_out
+        b.output(h)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def init_params(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        params: Dict[str, np.ndarray] = {}
+        f_in = self.in_dim
+        for layer, f_out in enumerate(self.hidden_dims):
+            params[f"l{layer}_w_self"] = glorot(rng, (f_in, f_out))
+            params[f"l{layer}_w_neigh"] = glorot(rng, (f_in, f_out))
+            params[f"l{layer}_bias"] = zeros((f_out,))
+            f_in = f_out
+        return params

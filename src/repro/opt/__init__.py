@@ -1,0 +1,25 @@
+"""The paper's three optimization passes plus pipeline assembly.
+
+- :mod:`~repro.opt.reorganize` — §4 propagation-postponed operator
+  reorganization (compute redundancy elimination),
+- :mod:`~repro.opt.fusion` — §5 unified-thread-mapping kernel
+  partitioning (IO elimination),
+- :mod:`~repro.opt.recompute` — §6 intermediate-data recomputation
+  (training-memory elimination),
+- :mod:`~repro.opt.autotune` — per-kernel thread-mapping selection by
+  the cost model (§5's "based on performance profiling").
+"""
+
+from repro.opt.reorganize import reorganize
+from repro.opt.fusion import partition_kernels
+from repro.opt.recompute import plan_recompute, RecomputeDecision
+from repro.opt.autotune import autotune_plan, mapping_choices
+
+__all__ = [
+    "reorganize",
+    "partition_kernels",
+    "plan_recompute",
+    "RecomputeDecision",
+    "autotune_plan",
+    "mapping_choices",
+]

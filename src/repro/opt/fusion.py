@@ -1,0 +1,314 @@
+"""§5 — Kernel partitioning under unified thread mapping.
+
+Thread-mapping background (paper Fig. 5): prior systems bind
+edge-centric operators to edge-balanced mappings and vertex-centric
+operators to vertex-balanced mappings; two adjacent operators with
+different mappings cannot share a kernel because a thread's local data
+would belong to an edge in one half and a vertex in the other.  The
+paper's insight is that the mapping can be *decoupled* from the operator
+type — an edge-centric operator runs fine under vertex-balanced mapping
+(loop over a vertex's incident edges, Fig. 5(c)) and a vertex-centric
+reduction runs under edge-balanced mapping via atomics (Fig. 5(d)) — so
+any chain of graph-related + lightweight-Apply operators can share one
+mapping and fuse.
+
+Fusion scopes implemented (used by the baseline strategies):
+
+- ``per_op``      — every node a kernel (handled in exec.plan),
+- ``macro``       — framework-builtin fused kernels only: nodes sharing
+  a builder macro id (edge-softmax, aggregate/gSpMM) form one kernel —
+  this is the DGL model,
+- ``edge_chains`` — additionally fuse producer→consumer pairs *of the
+  same centricity* (both edge-output or both vertex-output) — the
+  FuseGNN model, which "lacks the technique to fuse a vertex-centric
+  operator with an edge-centric one",
+- ``unified``     — fuse every fusible producer→consumer pair regardless
+  of centricity (this paper).
+
+Mapping selection per fused kernel: a kernel containing a
+ReduceScatter shape (an internal Gather feeding an internal Scatter)
+*must* be vertex-balanced with the vertex feature buffered in shared
+memory (§5 "a special case"); otherwise the strategy preference picks
+vertex-balanced (no atomics, degree-imbalance exposure) or
+edge-balanced (atomic reductions, perfect balance).
+
+Convexity: a fused kernel must be executable as one launch, so no
+dataflow path may leave the kernel and re-enter it.  The partitioner
+splits any violating node out of its group and repeats to fixpoint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exec.plan import Kernel
+from repro.ir.module import Module
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import Domain
+
+__all__ = ["partition_kernels", "FUSION_MODES"]
+
+FUSION_MODES = ("per_op", "macro", "edge_chains", "unified")
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _graph_fusible(node: OpNode, specs) -> bool:
+    """May participate in a fused graph kernel (graph-related or
+    lightweight Apply on a graph domain).  Views and PARAM/DENSE-domain
+    arithmetic stay out — views are free aliases, parameter slicing runs
+    on its own tiny kernels.  Lightweight param-grad reductions fuse by
+    their *input* domain (they read graph rows, accumulate into a tiny
+    buffer)."""
+    if node.kind is OpKind.VIEW:
+        return False
+    if not node.is_fusible():
+        return False
+    if node.kind is OpKind.PARAM_GRAD:
+        return specs[node.inputs[0]].domain in (Domain.VERTEX, Domain.EDGE)
+    domain = specs[node.outputs[0]].domain
+    return domain in (Domain.VERTEX, Domain.EDGE)
+
+
+def _centricity(node: OpNode, specs) -> str:
+    """'edge' or 'vertex' by output domain (the paper's definition)."""
+    return "edge" if specs[node.outputs[0]].domain is Domain.EDGE else "vertex"
+
+
+def partition_kernels(
+    module: Module,
+    *,
+    mode: str,
+    prefer_mapping: str = "vertex",
+) -> List[Kernel]:
+    """Group module nodes into kernels according to the fusion scope."""
+    if mode not in FUSION_MODES:
+        raise ValueError(f"unknown fusion mode {mode!r}; allowed {FUSION_MODES}")
+    nodes = module.nodes
+    specs = module.specs
+    index = {node.name: i for i, node in enumerate(nodes)}
+    producer = module.producer_map()
+
+    uf = _UnionFind(len(nodes))
+
+    def maybe_union(p: OpNode, c: OpNode) -> None:
+        if not (_graph_fusible(p, specs) and _graph_fusible(c, specs)):
+            return
+        if mode == "edge_chains":
+            if _centricity(p, specs) != _centricity(c, specs):
+                return
+            # Framework-builtin macro kernels are hand-written and
+            # closed: FuseGNN-style chain fusion cannot absorb ops into
+            # them (or pull their members out).
+            if p.macro != c.macro and (p.macro or c.macro):
+                return
+        uf.union(index[p.name], index[c.name])
+
+    if mode in ("macro", "edge_chains", "unified"):
+        # Framework-builtin macro kernels fuse in every system modelled.
+        by_macro: Dict[str, List[int]] = defaultdict(list)
+        for i, node in enumerate(nodes):
+            if node.macro is not None and _graph_fusible(node, specs):
+                by_macro[node.macro].append(i)
+        for members in by_macro.values():
+            for other in members[1:]:
+                uf.union(members[0], other)
+
+    if mode in ("edge_chains", "unified"):
+        for node in nodes:
+            for input_name in node.inputs:
+                p = producer.get(input_name)
+                if p is not None:
+                    maybe_union(p, node)
+
+    groups = _resolve_convexity(nodes, specs, uf, producer, index)
+    return _emit_kernels(nodes, specs, groups, prefer_mapping)
+
+
+# ----------------------------------------------------------------------
+def _resolve_convexity(
+    nodes, specs, uf: _UnionFind, producer, index
+) -> List[int]:
+    """Group assignment per node, with convexity violations split out.
+
+    A group is convex iff no node outside the group both depends on the
+    group and feeds it.  Violating consumer nodes are evicted into fresh
+    singleton groups until a fixpoint is reached (modules here are tens
+    of nodes, so the quadratic loop is immaterial).
+    """
+    group = [uf.find(i) for i in range(len(nodes))]
+    fresh = len(nodes)
+
+    for _ in range(len(nodes) + 1):
+        violation = _find_violation(nodes, group, producer, index)
+        if violation is None:
+            return group
+        group[violation] = fresh
+        fresh += 1
+    raise RuntimeError("convexity resolution failed to converge")  # pragma: no cover
+
+
+def _find_violation(nodes, group, producer, index) -> Optional[int]:
+    # depends_on[g] for each node: does this node transitively consume
+    # any output of group g produced by a *different* group's path?
+    n = len(nodes)
+    depends: List[Set[int]] = [set() for _ in range(n)]
+    for i, node in enumerate(nodes):
+        for input_name in node.all_inputs():
+            p = producer.get(input_name)
+            if p is None:
+                continue
+            j = index[p.name]
+            depends[i] |= depends[j]
+            depends[i].add(group[j])
+    for i, node in enumerate(nodes):
+        g = group[i]
+        members = [j for j in range(n) if group[j] == g]
+        if len(members) <= 1:
+            continue
+        for input_name in node.all_inputs():
+            p = producer.get(input_name)
+            if p is None:
+                continue
+            j = index[p.name]
+            if group[j] != g and g in depends[j]:
+                return i
+    return None
+
+
+# ----------------------------------------------------------------------
+def _emit_kernels(nodes, specs, group: List[int], prefer_mapping: str) -> List[Kernel]:
+    """Emit kernels in a topological order of the group DAG.
+
+    First-member order is not sufficient: a group may contain a late
+    node depending on a singleton group whose only node appears after
+    the group's first member.  Kahn's algorithm over inter-group edges
+    (with first-member order as the tiebreak) yields a valid schedule —
+    convexity resolution guarantees the group DAG is acyclic.
+    """
+    n = len(nodes)
+    producer_group: Dict[str, int] = {}
+    for i, node in enumerate(nodes):
+        for o in node.outputs:
+            producer_group[o] = group[i]
+
+    first_member: Dict[int, int] = {}
+    members_of: Dict[int, List[int]] = defaultdict(list)
+    for i in range(n):
+        members_of[group[i]].append(i)
+        first_member.setdefault(group[i], i)
+
+    deps: Dict[int, Set[int]] = {g: set() for g in members_of}
+    for i, node in enumerate(nodes):
+        for name in node.all_inputs():
+            pg = producer_group.get(name)
+            if pg is not None and pg != group[i]:
+                deps[group[i]].add(pg)
+
+    ready = sorted(
+        (g for g in deps if not deps[g]), key=first_member.__getitem__
+    )
+    emitted: List[int] = []
+    remaining = {g: set(d) for g, d in deps.items()}
+    while ready:
+        g = ready.pop(0)
+        emitted.append(g)
+        newly = []
+        for other, pending in remaining.items():
+            if g in pending:
+                pending.discard(g)
+                if not pending and other not in emitted and other not in ready:
+                    newly.append(other)
+        ready.extend(sorted(newly, key=first_member.__getitem__))
+        ready.sort(key=first_member.__getitem__)
+    if len(emitted) != len(members_of):  # pragma: no cover - convexity guards
+        raise RuntimeError("cyclic kernel group graph")
+
+    kernels = []
+    for g in emitted:
+        members = tuple(nodes[i] for i in members_of[g])
+        kernels.append(_make_kernel(members, specs, prefer_mapping))
+    return kernels
+
+
+def _make_kernel(members: Tuple[OpNode, ...], specs, prefer_mapping: str) -> Kernel:
+    inside = {o for node in members for o in node.outputs}
+    has_gather = any(n.kind is OpKind.GATHER for n in members)
+    has_scatter = any(n.kind is OpKind.SCATTER for n in members)
+
+    # ReduceScatter shape: an internal Gather result feeding a Scatter
+    # in the same kernel forces vertex-balanced mapping (§5).
+    reduce_scatter = False
+    gather_outputs = {
+        o for n in members if n.kind is OpKind.GATHER for o in n.outputs
+    }
+    for node in members:
+        if node.kind is OpKind.SCATTER and any(
+            i in gather_outputs for i in node.inputs
+        ):
+            reduce_scatter = True
+            break
+
+    label = "+".join(f"{n.kind.value}:{n.fn}" for n in members[:4])
+    if len(members) > 4:
+        label += f"+{len(members) - 4}more"
+
+    if all(n.kind is OpKind.VIEW for n in members):
+        return Kernel(nodes=members, mapping="none", label=label)
+    if len(members) == 1 and members[0].is_expensive():
+        return Kernel(nodes=members, mapping="dense", label=label)
+    if len(members) == 1 and not members[0].is_graph_related():
+        domain = specs[members[0].outputs[0]].domain
+        mapping = {
+            Domain.EDGE: "edge",
+            Domain.VERTEX: "vertex",
+        }.get(domain, "dense")
+        return Kernel(nodes=members, mapping=mapping, label=label)
+
+    if reduce_scatter:
+        mapping = "vertex"
+    elif has_gather and has_scatter:
+        mapping = prefer_mapping
+    elif has_gather:
+        mapping = "vertex" if prefer_mapping == "vertex" else "edge"
+    elif has_scatter:
+        # Pure edge-producing kernels default to edge-balanced (their
+        # natural mapping) unless fused with a reduction.
+        mapping = "edge"
+    else:
+        domains = {specs[n.outputs[0]].domain for n in members}
+        domains |= {
+            specs[n.inputs[0]].domain
+            for n in members
+            if n.kind is OpKind.PARAM_GRAD
+        }
+        if Domain.EDGE in domains:
+            mapping = "edge"
+        elif Domain.VERTEX in domains:
+            mapping = "vertex"
+        else:
+            mapping = "dense"
+
+    atomic = mapping == "edge" and has_gather
+    return Kernel(
+        nodes=members,
+        mapping=mapping,
+        label=label,
+        atomic=atomic,
+        reduce_scatter=reduce_scatter,
+    )

@@ -1,0 +1,243 @@
+"""§6 — Intermediate-data recomputation for training.
+
+Training must make every forward value the backward pass references
+available again.  Stashing them all costs the ``O(d × |E|)`` memory the
+paper measures at 91.9 % of GAT's total; the paper's criterion trades
+memory for compute instead:
+
+    recompute an intermediate iff ComputationCost / MemoryCost ≤ O(1),
+
+i.e. one element can be reproduced with roughly one arithmetic
+operation.  Cheap producers (Scatter, lightweight Apply) are recomputed;
+reductions (Gather — whose per-element cost is the mean degree) have
+their ``O(|V|)`` outputs *checkpointed*.  For GAT's edge-softmax this
+lands exactly on the paper's example: store the per-vertex max and
+denominator, regenerate every ``O(|E|)`` edge tensor on the fly.
+
+The pass returns a **combined backward module**: the recompute cone
+(a slice of forward nodes) spliced in front of the backward nodes.
+Because cone nodes are by construction graph-related/lightweight, the
+§5 fusion pass later merges them into the backward's fused kernels —
+the paper's "fusion–recomputation combo" that keeps regenerated edge
+tensors entirely on-chip.
+
+Policies (selected by the baseline strategies):
+
+- ``"recompute"``   — full criterion, anchors = model inputs + params
+  (this paper),
+- ``"boundary"``    — recomputation allowed only from values already
+  written at forward kernel boundaries; models frameworks whose
+  hand-written fused backward kernels regenerate their *internal*
+  values (DGL's edge-softmax / SpMM backward) but stash everything
+  crossing kernels,
+- ``"stash_all"``   — no recomputation; every referenced value stashed
+  (FuseGNN's "fuse but stash", and the w/o-fusion ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graph.stats import GraphStats
+from repro.ir.autodiff import TrainingGraph
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.ops import OpKind, OpNode
+
+__all__ = ["plan_recompute", "RecomputeDecision", "CHEAP_FLOPS_PER_ELEMENT"]
+
+# §6's O(1) threshold, in FLOPs per recomputed element.  Elementwise
+# chains (copy/add/exp/div) cost ≤ 4; the MoNet Gaussian costs ~3r+4
+# (≤ 13 for r ≤ 3) and the paper recomputes it; projections cost 2f
+# (hundreds) and are never recomputed.
+CHEAP_FLOPS_PER_ELEMENT = 16.0
+
+# A tiny stats instance: per-element costs of Scatter/Apply nodes are
+# graph-size independent, so any positive extents work for the check.
+_UNIT_STATS = GraphStats(
+    num_vertices=1,
+    num_edges=1,
+    in_degrees=np.array([1]),
+    out_degrees=np.array([1]),
+)
+
+
+@dataclass
+class RecomputeDecision:
+    """Outcome of the stash-vs-recompute analysis.
+
+    Attributes
+    ----------
+    stash:
+        Forward values that must be stored across forward → backward
+        (saved values judged too costly to recompute, plus checkpoints
+        feeding the recompute cone).  Order is forward-definition order.
+    recomputed:
+        Saved values regenerated during backward instead of stored.
+    cone:
+        The forward nodes spliced into the backward module, in forward
+        order.
+    combined_backward:
+        Backward module with the cone spliced in front; its inputs are
+        gradient seeds + model inputs/params + ``stash``.
+    """
+
+    stash: List[str]
+    recomputed: List[str]
+    cone: List[OpNode]
+    combined_backward: Module
+
+    def recompute_flops(self, specs, stats: GraphStats) -> float:
+        """Arithmetic overhead paid in backward to regenerate values."""
+        return sum(node.flops(specs, stats) for node in self.cone)
+
+
+def _is_cheap(node: OpNode, specs) -> bool:
+    """The §6 criterion for one producer node."""
+    if node.kind is OpKind.VIEW:
+        return True
+    if node.kind is OpKind.GATHER:
+        # Per-element cost is the mean in-degree: > O(1).  Checkpoint
+        # the O(|V|) output instead (paper's max/denominator choice).
+        return False
+    if not node.is_fusible():
+        return False
+    return node.recompute_cost_per_element(specs, _UNIT_STATS) <= CHEAP_FLOPS_PER_ELEMENT
+
+
+def plan_recompute(
+    tg: TrainingGraph,
+    *,
+    policy: str = "recompute",
+    boundary_values: Iterable[str] = (),
+) -> RecomputeDecision:
+    """Decide stash vs recompute for every saved value of ``tg``.
+
+    Parameters
+    ----------
+    policy:
+        ``"recompute"`` / ``"boundary"`` / ``"stash_all"`` (see module
+        docstring).
+    boundary_values:
+        For ``"boundary"``: forward values already written to DRAM at
+        kernel boundaries (available to backward for free).
+    """
+    if policy not in ("recompute", "boundary", "stash_all"):
+        raise ValueError(f"unknown recompute policy {policy!r}")
+    forward = tg.forward
+    saved = list(tg.saved_values)
+
+    if policy == "stash_all":
+        return RecomputeDecision(
+            stash=_forward_order(forward, saved),
+            recomputed=[],
+            cone=[],
+            combined_backward=tg.backward,
+        )
+
+    anchors: Set[str] = set(forward.inputs) | set(forward.params)
+    if policy == "boundary":
+        anchors |= set(boundary_values)
+
+    # A value is recomputable iff its producer is cheap.  Its inputs
+    # need not be recomputable themselves: a non-recomputable input of a
+    # recompute cone simply becomes a *checkpoint* (stashed) — this is
+    # how the paper keeps edge-softmax's O(|V|) max/denominator while
+    # regenerating every O(|E|) tensor built from them.
+    recomputable: Dict[str, bool] = {}
+    for node in forward.nodes:
+        ok = _is_cheap(node, forward.specs)
+        for o in node.outputs:
+            recomputable[o] = ok
+
+    stash: Set[str] = set()
+    recomputed: List[str] = []
+    for s in saved:
+        if s in anchors:
+            continue  # already materialised for other reasons
+        if recomputable.get(s, False):
+            recomputed.append(s)
+        else:
+            stash.add(s)
+
+    # Collect the recompute cone and its checkpoints.
+    required: Set[str] = set(recomputed)
+    cone_nodes: List[OpNode] = []
+    for node in reversed(forward.nodes):
+        if not any(o in required for o in node.outputs):
+            continue
+        cone_nodes.append(node)
+        for i in node.inputs:
+            if i in anchors:
+                continue
+            if recomputable.get(i, False):
+                required.add(i)
+            else:
+                stash.add(i)
+    cone_nodes.reverse()
+
+    combined = _splice(tg, cone_nodes, recomputed_and_required=required, stash=stash)
+    return RecomputeDecision(
+        stash=_forward_order(forward, stash),
+        recomputed=recomputed,
+        cone=cone_nodes,
+        combined_backward=combined,
+    )
+
+
+def _forward_order(forward: Module, names: Iterable[str]) -> List[str]:
+    wanted = set(names)
+    ordered = [n for n in forward.inputs + forward.params if n in wanted]
+    for node in forward.nodes:
+        ordered.extend(o for o in node.outputs if o in wanted)
+    return ordered
+
+
+def _splice(
+    tg: TrainingGraph,
+    cone: Sequence[OpNode],
+    *,
+    recomputed_and_required: Set[str],
+    stash: Set[str],
+) -> Module:
+    """Prepend the recompute cone to the backward module.
+
+    The result's inputs are the backward inputs minus recomputed values,
+    plus any cone dependency (checkpoints / model inputs / params) not
+    already present.  Value names are shared with the forward module by
+    construction, so no renaming is needed.
+    """
+    forward, backward = tg.forward, tg.backward
+    b = Builder(f"{backward.name}_recompute")
+
+    declared: Set[str] = set()
+
+    def declare(name: str) -> None:
+        if name in declared:
+            return
+        spec = forward.specs.get(name) or backward.specs[name]
+        b.input(name, spec.domain, spec.feat_shape, spec.dtype)
+        declared.add(name)
+
+    # Gradient seeds and non-recomputed backward references.
+    for name in backward.inputs:
+        if name in recomputed_and_required:
+            continue
+        declare(name)
+    # Cone dependencies not produced by the cone itself.
+    cone_defined = {o for node in cone for o in node.outputs}
+    for node in cone:
+        for name in node.all_inputs():
+            if name not in cone_defined:
+                declare(name)
+
+    for node in cone:
+        b.add_node(node)
+    for node in backward.nodes:
+        b.add_node(node)
+    for out in backward.outputs:
+        b.output(out)
+    return b.build()

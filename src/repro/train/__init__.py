@@ -1,0 +1,32 @@
+"""Training substrate: losses, optimizers, and the concrete train loop.
+
+The loop drives a :class:`~repro.frameworks.strategy.CompiledTraining`
+through the NumPy engine: forward plan → loss + gradient seed →
+backward plan (which contains any recompute cone) → optimizer step.
+All strategies produce identical parameter trajectories on the same
+model/graph/seed — the invariant the integration tests assert.
+"""
+
+from repro.train.loop import Trainer, softmax_cross_entropy, accuracy
+from repro.train.optim import SGD, Adam, Optimizer
+from repro.train.schedule import (
+    CosineLR,
+    LRSchedule,
+    ScheduledOptimizer,
+    StepLR,
+    WarmupLR,
+)
+
+__all__ = [
+    "Trainer",
+    "softmax_cross_entropy",
+    "accuracy",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "LRSchedule",
+    "StepLR",
+    "CosineLR",
+    "WarmupLR",
+    "ScheduledOptimizer",
+]

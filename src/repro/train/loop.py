@@ -1,0 +1,161 @@
+"""Loss functions and the concrete training loop."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.engine import Engine
+from repro.frameworks.strategy import CompiledTraining
+from repro.graph.csr import Graph
+from repro.ir.autodiff import grad_seed_name
+from repro.ir.module import GRAPH_CONSTANTS
+from repro.train.optim import Optimizer
+
+__all__ = ["softmax_cross_entropy", "accuracy", "Trainer"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Mean masked cross-entropy and its gradient w.r.t. ``logits``.
+
+    Returns ``(loss, grad)`` where ``grad`` has the shape of ``logits``
+    and is already divided by the number of contributing rows.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (rows, classes), got {logits.shape}")
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels must be ({n},), got {labels.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    expd = np.exp(shifted)
+    probs = expd / expd.sum(axis=1, keepdims=True)
+    rows = np.arange(n)
+    nll = -np.log(np.maximum(probs[rows, labels], 1e-30))
+    if mask is None:
+        count = n
+        loss = float(nll.mean())
+        grad = probs.copy()
+        grad[rows, labels] -= 1.0
+        grad /= count
+    else:
+        mask = mask.astype(bool)
+        count = max(int(mask.sum()), 1)
+        loss = float(nll[mask].sum() / count)
+        grad = np.zeros_like(probs)
+        grad[mask] = probs[mask]
+        grad[rows[mask], labels[mask]] -= 1.0
+        grad /= count
+    return loss, grad
+
+
+def accuracy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    pred = logits.argmax(axis=1)
+    hit = pred == labels
+    if mask is not None:
+        hit = hit[mask.astype(bool)]
+    return float(hit.mean()) if hit.size else 0.0
+
+
+class Trainer:
+    """Drives one compiled training configuration on one graph.
+
+    Parameters
+    ----------
+    compiled:
+        Output of :func:`repro.frameworks.compile_training`.
+    graph:
+        Concrete topology.
+    params:
+        Initial parameter arrays (defaults to the model's initialiser).
+    precision:
+        Engine float dtype.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTraining,
+        graph: Graph,
+        *,
+        params: Optional[Dict[str, np.ndarray]] = None,
+        precision: str = "float64",
+        seed: int = 0,
+    ):
+        self.compiled = compiled
+        self.graph = graph
+        self.engine = Engine(graph, precision=precision)
+        self.params = dict(
+            params if params is not None else compiled.model.init_params(seed)
+        )
+        if len(compiled.forward.outputs) != 1:
+            raise ValueError("Trainer expects a single-output model")
+        self.output_name = compiled.forward.outputs[0]
+
+    # ------------------------------------------------------------------
+    def forward(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run the forward plan; returns outputs plus stash (wrapped)."""
+        arrays = self.compiled.model.make_inputs(self.graph, features)
+        arrays.update(self.params)
+        env = self.engine.bind(self.compiled.forward, arrays)
+        self._fwd_env = env
+        return self.engine.run_plan(self.compiled.fwd_plan, env, unwrap=False)
+
+    def backward(
+        self,
+        fwd_result: Dict[str, np.ndarray],
+        seed_grad: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Run the backward plan; returns parameter gradients."""
+        bwd_module = self.compiled.bwd_plan.module
+        env: Dict[str, np.ndarray] = {}
+        seed_name = grad_seed_name(self.output_name)
+        for name in list(bwd_module.inputs) + list(bwd_module.params):
+            if name == seed_name:
+                env[name] = seed_grad.astype(self.engine.precision, copy=False)
+            elif name in GRAPH_CONSTANTS:
+                env[name] = self.engine.graph_constant(name)
+            elif name in fwd_result:
+                env[name] = fwd_result[name]
+            elif name in self._fwd_env:
+                env[name] = self._fwd_env[name]
+            else:
+                raise KeyError(f"backward input {name!r} unavailable")
+        grads_raw = self.engine.run_plan(self.compiled.bwd_plan, env)
+        return {
+            param: grads_raw[gname]
+            for param, gname in self.compiled.param_grads.items()
+        }
+
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[float, float]:
+        """One full step; returns ``(loss, accuracy)``."""
+        fwd = self.forward(features)
+        logits = fwd[self.output_name]
+        loss, grad = softmax_cross_entropy(logits, labels, mask)
+        acc = accuracy(logits, labels, mask)
+        grads = self.backward(fwd, grad)
+        optimizer.step(self.params, grads)
+        return loss, acc
+
+    def evaluate(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[float, float]:
+        fwd = self.forward(features)
+        logits = fwd[self.output_name]
+        loss, _ = softmax_cross_entropy(logits, labels, mask)
+        return loss, accuracy(logits, labels, mask)

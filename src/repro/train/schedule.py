@@ -1,0 +1,92 @@
+"""Learning-rate schedules.
+
+Schedules wrap an :class:`~repro.train.optim.Optimizer` and mutate its
+``lr`` before each step.  Composable with any optimizer in the library.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+from repro.train.optim import Optimizer
+
+__all__ = ["LRSchedule", "StepLR", "CosineLR", "WarmupLR", "ScheduledOptimizer"]
+
+
+class LRSchedule(abc.ABC):
+    """Maps a step counter to a learning rate."""
+
+    @abc.abstractmethod
+    def lr_at(self, step: int, base_lr: float) -> float:
+        ...
+
+
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, period: int, gamma: float = 0.5):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.period = period
+        self.gamma = gamma
+
+    def lr_at(self, step: int, base_lr: float) -> float:
+        return base_lr * self.gamma ** (step // self.period)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from the base rate to ``min_lr`` over ``total`` steps."""
+
+    def __init__(self, total: int, min_lr: float = 0.0):
+        if total <= 0:
+            raise ValueError("total must be positive")
+        self.total = total
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int, base_lr: float) -> float:
+        progress = min(step / self.total, 1.0)
+        return self.min_lr + 0.5 * (base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRSchedule):
+    """Linear warmup for ``warmup`` steps, then an inner schedule."""
+
+    def __init__(self, warmup: int, after: Optional[LRSchedule] = None):
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        self.warmup = warmup
+        self.after = after
+
+    def lr_at(self, step: int, base_lr: float) -> float:
+        if self.warmup and step < self.warmup:
+            return base_lr * (step + 1) / self.warmup
+        if self.after is not None:
+            return self.after.lr_at(step - self.warmup, base_lr)
+        return base_lr
+
+
+class ScheduledOptimizer(Optimizer):
+    """Optimizer wrapper applying a schedule to the learning rate."""
+
+    def __init__(self, inner: Optimizer, schedule: LRSchedule):
+        if not hasattr(inner, "lr"):
+            raise TypeError("inner optimizer must expose an 'lr' attribute")
+        self.inner = inner
+        self.schedule = schedule
+        self.base_lr = inner.lr
+        self._step = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self.schedule.lr_at(self._step, self.base_lr)
+
+    def step(self, params, grads) -> None:
+        self.inner.lr = self.current_lr
+        self.inner.step(params, grads)
+        self._step += 1

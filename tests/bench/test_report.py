@@ -1,0 +1,57 @@
+"""Tests for table rendering and aggregation helpers."""
+
+import math
+import os
+
+import pytest
+
+from repro.bench.report import format_table, geomean, save_table
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["longer", 22.25]],
+            title="t",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        # All rows equal width per column.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # header+rule may differ from data rows by trailing spaces
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [12345.6], [1.5]])
+        assert "1.230e-04" in text
+        assert "1.235e+04" in text or "12345" in text
+        assert "1.500" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestSaveTable:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        path = save_table("unit_test_table", "hello\nworld")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read() == "hello\nworld\n"

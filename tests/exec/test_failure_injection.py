@@ -1,0 +1,69 @@
+"""Failure-injection tests: non-finite localisation and robustness."""
+
+import numpy as np
+import pytest
+
+from repro.exec import Engine, plan_module
+from repro.ir import Builder, Domain
+
+
+def div_module():
+    b = Builder("m")
+    a = b.input("a", Domain.VERTEX, (3,))
+    c = b.input("c", Domain.VERTEX, (3,))
+    out = b.apply("div", a, c, name="ratio")
+    b.output(b.gather("sum", b.scatter("copy_u", u=out)))
+    return b.build()
+
+
+class TestCheckFinite:
+    def test_localises_producing_node(self, tiny_graph, rng):
+        m = div_module()
+        eng = Engine(tiny_graph, precision="float64", check_finite=True)
+        arrays = {
+            "a": rng.normal(size=(4, 3)),
+            "c": np.zeros((4, 3)),  # division by zero
+        }
+        with pytest.raises(FloatingPointError, match="'ratio'"):
+            eng.run_plan(plan_module(m, mode="per_op"), eng.bind(m, arrays))
+
+    def test_disabled_by_default(self, tiny_graph, rng):
+        m = div_module()
+        eng = Engine(tiny_graph, precision="float64")
+        arrays = {"a": rng.normal(size=(4, 3)), "c": np.zeros((4, 3))}
+        res = eng.run_plan(plan_module(m, mode="per_op"), eng.bind(m, arrays))
+        assert not np.isfinite(res[m.outputs[0]]).all()
+
+    def test_clean_run_unaffected(self, tiny_graph, rng):
+        m = div_module()
+        eng = Engine(tiny_graph, precision="float64", check_finite=True)
+        arrays = {
+            "a": rng.normal(size=(4, 3)),
+            "c": np.ones((4, 3)),
+        }
+        res = eng.run_plan(plan_module(m, mode="per_op"), eng.bind(m, arrays))
+        assert np.isfinite(res[m.outputs[0]]).all()
+
+    def test_nan_in_exp_overflow_detected(self, tiny_graph):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (2,))
+        e = b.apply("exp", h, name="boom")
+        b.output(e)
+        m = b.build()
+        eng = Engine(tiny_graph, precision="float32", check_finite=True)
+        arrays = {"h": np.full((4, 2), 1e9, dtype=np.float32)}
+        with pytest.raises(FloatingPointError, match="'boom'"):
+            eng.run_plan(plan_module(m, mode="per_op"), eng.bind(m, arrays))
+
+    def test_integer_outputs_ignored(self, tiny_graph, rng):
+        # Argmax outputs are int64; the checker must not choke on them.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (2,))
+        e = b.scatter("copy_u", u=h)
+        val, idx = b.gather("max", e, name="mx")
+        b.output(val)
+        m = b.build()
+        eng = Engine(tiny_graph, precision="float64", check_finite=True)
+        plan = plan_module(m, mode="per_op", keep=[idx.name])
+        res = eng.run_plan(plan, eng.bind(m, {"h": rng.normal(size=(4, 2))}))
+        assert res["mx.aux1"].dtype == np.int64

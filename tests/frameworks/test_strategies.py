@@ -1,0 +1,176 @@
+"""Strategy/compile-path tests: configuration semantics and the
+cross-strategy equivalence invariant (same math, different accounting).
+"""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    compile_forward,
+    compile_training,
+    get_strategy,
+    list_strategies,
+)
+from repro.frameworks.strategy import ExecutionStrategy
+from repro.graph import chung_lu
+from repro.ir.tensorspec import Domain
+from repro.models import GAT, EdgeConv, MoNet
+from repro.train import Trainer
+from repro.train.loop import softmax_cross_entropy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(40, 200, seed=5)
+
+
+class TestRegistry:
+    def test_known_strategies(self):
+        for name in ("dgl-like", "fusegnn-like", "huang-like", "ours"):
+            assert name in list_strategies()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("tensorflow-like")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionStrategy(name="x", reorg_scope="sometimes")
+        with pytest.raises(ValueError):
+            ExecutionStrategy(name="x", stash_scope="most")
+        with pytest.raises(ValueError):
+            ExecutionStrategy(name="x", fusion_mode="mega")
+
+
+class TestReorgScope:
+    def test_library_scope_respects_model_flag(self):
+        dgl = get_strategy("dgl-like")
+        # GAT: DGL ships a reorganized implementation.
+        gat_fwd = dgl.prepare_forward(GAT(5, (4,), heads=1))
+        assert not any(n.fn == "u_concat_v" for n in gat_fwd.nodes)
+        # EdgeConv: DGL computes Θ on edges (naive).
+        ec_fwd = dgl.prepare_forward(EdgeConv(3, (4,)))
+        edge_linears = [
+            n for n in ec_fwd.nodes
+            if n.fn == "linear"
+            and ec_fwd.specs[n.inputs[0]].domain is Domain.EDGE
+        ]
+        assert edge_linears
+
+    def test_full_scope_rewrites_everything(self):
+        ours = get_strategy("ours")
+        ec_fwd = ours.prepare_forward(EdgeConv(3, (4,)))
+        edge_linears = [
+            n for n in ec_fwd.nodes
+            if n.fn == "linear"
+            and ec_fwd.specs[n.inputs[0]].domain is Domain.EDGE
+        ]
+        assert not edge_linears
+
+
+class TestCompile:
+    def test_forward_only_strategy_rejects_training(self):
+        with pytest.raises(ValueError, match="inference-only"):
+            compile_training(GAT(5, (4,), heads=1), get_strategy("huang-like"))
+
+    def test_huang_like_forward_compiles(self):
+        c = compile_forward(GAT(5, (4,), heads=1), get_strategy("huang-like"))
+        assert c.plan.kernels
+
+    def test_ours_stash_is_vertex_only_for_gat(self):
+        c = compile_training(GAT(5, (4, 3), heads=2), get_strategy("ours"))
+        for s in c.stash:
+            assert c.forward.specs[s].domain is Domain.VERTEX, s
+
+    def test_dgl_stash_includes_edge_tensors(self):
+        c = compile_training(GAT(5, (4, 3), heads=2), get_strategy("dgl-like"))
+        domains = {c.forward.specs[s].domain for s in c.stash}
+        assert Domain.EDGE in domains
+
+    def test_stash_covers_backward_inputs(self):
+        for sname in ("dgl-like", "fusegnn-like", "ours", "ours-stash"):
+            c = compile_training(MoNet(5, (4,), num_kernels=2), get_strategy(sname))
+            produced = {
+                o for n in c.forward.nodes for o in n.outputs
+            }
+            needed = [
+                i for i in c.bwd_plan.module.inputs if i in produced
+            ]
+            assert set(needed) <= set(c.stash), sname
+
+
+class TestCrossStrategyEquivalence:
+    """All strategies must compute identical losses and gradients."""
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            lambda: GAT(5, (4, 3), heads=2),
+            lambda: EdgeConv(3, (4, 3)),
+            lambda: MoNet(5, (4, 3), num_kernels=2, pseudo_dim=1),
+        ],
+        ids=["gat", "edgeconv", "monet"],
+    )
+    def test_losses_and_grads_agree(self, graph, model_factory):
+        rng = np.random.default_rng(2)
+        model = model_factory()
+        feats = rng.normal(size=(graph.num_vertices, model.in_dim))
+        labels = rng.integers(0, model.hidden_dims[-1], size=graph.num_vertices)
+        reference = None
+        for sname in ("dgl-like", "fusegnn-like", "ours", "ours-stash",
+                      "ours-nofusion", "ours-noreorg", "ours-edgemap"):
+            c = compile_training(model, get_strategy(sname))
+            tr = Trainer(c, graph, precision="float64", seed=4)
+            fwd = tr.forward(feats)
+            loss, grad = softmax_cross_entropy(fwd[tr.output_name], labels)
+            grads = tr.backward(fwd, grad)
+            packed = (loss, {k: v.copy() for k, v in grads.items()})
+            if reference is None:
+                reference = packed
+            else:
+                assert packed[0] == pytest.approx(reference[0], rel=1e-10)
+                for k in reference[1]:
+                    assert np.allclose(
+                        packed[1][k], reference[1][k], rtol=1e-8, atol=1e-12
+                    ), (sname, k)
+
+
+class TestCounterOrdering:
+    """The paper's qualitative ordering must hold on a skewed graph."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return chung_lu(3000, 90_000, alpha=1.7, seed=2).stats()
+
+    def test_ours_io_below_baselines(self, stats):
+        model = GAT(16, (16, 8), heads=2)
+        io = {
+            s: compile_training(model, get_strategy(s)).counters(stats).io_bytes
+            for s in ("dgl-like", "fusegnn-like", "ours")
+        }
+        assert io["ours"] < io["fusegnn-like"] < io["dgl-like"]
+
+    def test_ours_memory_below_baselines(self, stats):
+        model = GAT(16, (16, 8), heads=2)
+        mem = {
+            s: compile_training(model, get_strategy(s)).counters(stats).peak_memory_bytes
+            for s in ("dgl-like", "fusegnn-like", "ours")
+        }
+        assert mem["ours"] < mem["dgl-like"]
+        assert mem["fusegnn-like"] <= mem["dgl-like"]
+
+    def test_reorg_cuts_edgeconv_flops(self, stats):
+        model = EdgeConv(8, (16, 16))
+        ours = compile_training(model, get_strategy("ours")).counters(stats)
+        noreorg = compile_training(model, get_strategy("ours-noreorg")).counters(stats)
+        assert ours.flops < 0.6 * noreorg.flops
+
+    def test_recompute_trades_memory_for_flops(self, stats):
+        model = GAT(16, (16, 8), heads=2)
+        ours = compile_training(model, get_strategy("ours")).counters(stats)
+        stash = compile_training(model, get_strategy("ours-stash")).counters(stats)
+        assert ours.peak_memory_bytes < stash.peak_memory_bytes
+        assert ours.flops >= stash.flops
+        # §6: overhead is bounded (paper: <10 % latency; FLOPs ratio is
+        # looser but must stay small).
+        assert ours.flops <= 1.25 * stash.flops

@@ -1,0 +1,119 @@
+"""Unit tests for the Graph container (COO/CSR/CSC views)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 4
+        assert tiny_graph.num_edges == 6
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Graph(np.array([0, 1]), np.array([0]), 3)
+
+    def test_rejects_out_of_range_endpoints(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            Graph(np.array([0, 5]), np.array([1, 1]), 3)
+        with pytest.raises(ValueError, match="endpoints"):
+            Graph(np.array([-1]), np.array([0]), 3)
+
+    def test_rejects_bad_vertex_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            Graph(np.array([], dtype=int), np.array([], dtype=int), 0)
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Graph(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_graph_allowed(self):
+        g = Graph(np.array([], dtype=int), np.array([], dtype=int), 5)
+        assert g.num_edges == 0
+        assert g.in_degrees.tolist() == [0] * 5
+
+
+class TestDegrees:
+    def test_in_degrees(self, tiny_graph):
+        assert tiny_graph.in_degrees.tolist() == [1, 2, 3, 0]
+
+    def test_out_degrees(self, tiny_graph):
+        assert tiny_graph.out_degrees.tolist() == [3, 1, 2, 0]
+
+    def test_degree_sums_equal_edges(self, small_graph):
+        assert int(small_graph.in_degrees.sum()) == small_graph.num_edges
+        assert int(small_graph.out_degrees.sum()) == small_graph.num_edges
+
+
+class TestCSCView:
+    def test_groups_by_destination(self, tiny_graph):
+        indptr, eids = tiny_graph.csc_indptr, tiny_graph.csc_eids
+        for v in range(tiny_graph.num_vertices):
+            segment = eids[indptr[v]:indptr[v + 1]]
+            assert all(tiny_graph.dst[e] == v for e in segment)
+
+    def test_covers_all_edges_once(self, small_graph):
+        assert sorted(small_graph.csc_eids.tolist()) == list(
+            range(small_graph.num_edges)
+        )
+
+    def test_indptr_monotone(self, small_graph):
+        assert (np.diff(small_graph.csc_indptr) >= 0).all()
+        assert small_graph.csc_indptr[0] == 0
+        assert small_graph.csc_indptr[-1] == small_graph.num_edges
+
+    def test_csc_src_alignment(self, tiny_graph):
+        assert (
+            tiny_graph.csc_src == tiny_graph.src[tiny_graph.csc_eids]
+        ).all()
+
+    def test_stable_edge_order_within_segment(self, tiny_graph):
+        indptr, eids = tiny_graph.csc_indptr, tiny_graph.csc_eids
+        for v in range(tiny_graph.num_vertices):
+            seg = eids[indptr[v]:indptr[v + 1]]
+            assert list(seg) == sorted(seg)
+
+
+class TestCSRView:
+    def test_groups_by_source(self, tiny_graph):
+        indptr, eids = tiny_graph.csr_indptr, tiny_graph.csr_eids
+        for v in range(tiny_graph.num_vertices):
+            segment = eids[indptr[v]:indptr[v + 1]]
+            assert all(tiny_graph.src[e] == v for e in segment)
+
+    def test_csr_dst_alignment(self, small_graph):
+        assert (
+            small_graph.csr_dst == small_graph.dst[small_graph.csr_eids]
+        ).all()
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_endpoints(self, tiny_graph):
+        r = tiny_graph.reverse()
+        assert (r.src == tiny_graph.dst).all()
+        assert (r.dst == tiny_graph.src).all()
+        assert (r.in_degrees == tiny_graph.out_degrees).all()
+
+    def test_add_self_loops_appends(self, tiny_graph):
+        g = tiny_graph.add_self_loops()
+        assert g.num_edges == tiny_graph.num_edges + tiny_graph.num_vertices
+        # Existing edge ids preserved as a prefix.
+        assert (g.src[: tiny_graph.num_edges] == tiny_graph.src).all()
+        loops = slice(tiny_graph.num_edges, None)
+        assert (g.src[loops] == g.dst[loops]).all()
+
+    def test_symmetrize_doubles_edges(self, tiny_graph):
+        g = tiny_graph.symmetrize()
+        assert g.num_edges == 2 * tiny_graph.num_edges
+        assert (g.in_degrees == g.out_degrees).all() is not None
+        assert (
+            g.in_degrees == tiny_graph.in_degrees + tiny_graph.out_degrees
+        ).all()
+
+    def test_stats_roundtrip(self, small_graph):
+        s = small_graph.stats()
+        assert s.num_vertices == small_graph.num_vertices
+        assert s.num_edges == small_graph.num_edges
+        assert (s.in_degrees == small_graph.in_degrees).all()

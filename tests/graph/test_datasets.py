@@ -1,0 +1,84 @@
+"""Tests for the named dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph import get_dataset, list_datasets
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("ogbn-papers100M")
+
+    def test_all_listed_names_buildable_metadata(self):
+        for name in list_datasets():
+            if name.startswith("modelnet40-b64") or name == "modelnet40-b32-k40":
+                continue  # big k-NN builds exercised elsewhere
+            ds = get_dataset(name)
+            assert ds.stats.num_vertices > 0
+
+    def test_cached(self):
+        assert get_dataset("cora") is get_dataset("cora")
+        assert get_dataset("cora", fresh=True) is not get_dataset("cora")
+
+
+class TestPublishedShapes:
+    @pytest.mark.parametrize(
+        "name,v,e,f,c",
+        [
+            ("cora", 2708, 10556, 1433, 7),
+            ("citeseer", 3327, 9104, 3703, 6),
+            ("pubmed", 19717, 88648, 500, 3),
+        ],
+    )
+    def test_citation_graphs(self, name, v, e, f, c):
+        ds = get_dataset(name)
+        assert ds.stats.num_vertices == v
+        assert ds.stats.num_edges == e
+        assert ds.feature_dim == f
+        assert ds.num_classes == c
+        assert ds.has_concrete_graph
+        g = ds.graph()
+        assert g.num_edges == e
+
+    def test_reddit_lite_scale(self):
+        ds = get_dataset("reddit-lite")
+        assert ds.stats.num_vertices == 23_297
+        assert ds.stats.num_edges == 1_146_158
+        # Heavy tail preserved.
+        assert ds.stats.degree_imbalance() > 20
+
+    def test_reddit_full_is_stats_only(self):
+        ds = get_dataset("reddit-full")
+        assert ds.stats.num_vertices == 232_965
+        assert ds.stats.num_edges == 114_615_892
+        assert not ds.has_concrete_graph
+        with pytest.raises(RuntimeError, match="stats-only"):
+            ds.graph()
+
+
+class TestDataGeneration:
+    def test_features_shape_and_determinism(self):
+        ds = get_dataset("cora")
+        f1 = ds.features(dim=32, seed=1)
+        f2 = ds.features(dim=32, seed=1)
+        assert f1.shape == (2708, 32)
+        assert (f1 == f2).all()
+
+    def test_default_feature_dim(self):
+        ds = get_dataset("citeseer")
+        assert ds.features(seed=0).shape == (3327, 3703)
+
+    def test_labels_in_range(self):
+        ds = get_dataset("pubmed")
+        y = ds.labels(seed=0)
+        assert y.shape == (19717,)
+        assert y.min() >= 0 and y.max() < 3
+
+    def test_modelnet_batch(self):
+        ds = get_dataset("modelnet40-b32-k20")
+        assert ds.stats.num_vertices == 32 * 1024
+        assert (ds.stats.in_degrees == 20).all()
+        assert ds.points is not None
+        assert ds.points.shape == (32 * 1024, 3)

@@ -1,0 +1,76 @@
+"""Tests for vertex relabeling and degree reordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chung_lu
+from repro.graph.reorder import degree_sorted_relabel, relabel
+
+
+class TestRelabel:
+    def test_identity_permutation(self, small_graph):
+        g = relabel(small_graph, np.arange(small_graph.num_vertices))
+        assert (g.src == small_graph.src).all()
+        assert (g.dst == small_graph.dst).all()
+
+    def test_preserves_structure(self, small_graph, rng):
+        perm = rng.permutation(small_graph.num_vertices)
+        g = relabel(small_graph, perm)
+        assert g.num_edges == small_graph.num_edges
+        # Degree multiset is invariant; per-vertex degrees permute.
+        assert (g.in_degrees[perm] == small_graph.in_degrees).all()
+        assert sorted(g.out_degrees) == sorted(small_graph.out_degrees)
+
+    def test_rejects_non_permutation(self, small_graph):
+        bad = np.zeros(small_graph.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError, match="permutation"):
+            relabel(small_graph, bad)
+        with pytest.raises(ValueError, match="shape"):
+            relabel(small_graph, np.arange(3))
+
+    def test_edge_ids_preserved(self, small_graph, rng):
+        perm = rng.permutation(small_graph.num_vertices)
+        g = relabel(small_graph, perm)
+        # Edge e still connects the same (relabeled) endpoints.
+        assert (g.src == perm[small_graph.src]).all()
+        assert (g.dst == perm[small_graph.dst]).all()
+
+
+class TestDegreeSorted:
+    def test_descending_in_degree(self):
+        graph = chung_lu(200, 2000, alpha=1.5, seed=3)
+        g, perm = degree_sorted_relabel(graph)
+        assert (np.diff(g.in_degrees) <= 0).all()
+
+    def test_perm_maps_old_to_new(self):
+        graph = chung_lu(100, 700, seed=5)
+        g, perm = degree_sorted_relabel(graph)
+        assert (g.in_degrees[perm] == graph.in_degrees).all()
+
+    def test_stats_invariant(self):
+        graph = chung_lu(100, 700, seed=5)
+        g, _ = degree_sorted_relabel(graph)
+        assert g.stats().max_in_degree == graph.stats().max_in_degree
+        assert g.stats().num_edges == graph.stats().num_edges
+
+
+class TestNeighborGroupingCostModel:
+    def test_grouping_caps_imbalance(self):
+        from repro.exec.profiler import KernelRecord
+        from repro.gpu import RTX3090, CostModel
+        from repro.graph import GraphStats
+
+        ind = np.full(1000, 10, dtype=np.int64)
+        ind[0] = 5_000
+        ind[1] = 10 + (10 * 1000 + 5_000 - int(ind.sum()))
+        stats = GraphStats(1000, int(ind.sum()), ind, ind.copy())
+        rec = KernelRecord(
+            label="k", mapping="vertex", work="degree_in", rows=1000,
+            flops=1e6, read_bytes=10**6, write_bytes=10**6,
+        )
+        plain = CostModel(RTX3090).imbalance_factor(rec, stats)
+        grouped = CostModel(
+            RTX3090, neighbor_group_size=64
+        ).imbalance_factor(rec, stats)
+        assert grouped < plain
+        assert grouped >= 1.0

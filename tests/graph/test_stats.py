@@ -1,0 +1,73 @@
+"""Unit + property tests for GraphStats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphStats
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            GraphStats(3, 4, np.array([1, 3]), np.array([1, 1, 2]))
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="degree sums"):
+            GraphStats(3, 5, np.array([1, 1, 2]), np.array([1, 1, 2]))
+
+    def test_accepts_consistent(self):
+        s = GraphStats(3, 4, np.array([1, 1, 2]), np.array([2, 1, 1]))
+        assert s.mean_in_degree == pytest.approx(4 / 3)
+        assert s.max_in_degree == 2
+        assert s.max_out_degree == 2
+
+
+class TestRegular:
+    def test_regular_stats(self):
+        s = GraphStats.regular(10, 4)
+        assert s.num_edges == 40
+        assert s.degree_imbalance() == pytest.approx(1.0)
+        assert s.max_in_degree == 4
+
+
+class TestDegreeModel:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=2000),
+        mean=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_sampled_degrees_sum_exactly(self, n, mean, seed):
+        s = GraphStats.from_degree_model(n, mean, seed=seed)
+        assert int(s.in_degrees.sum()) == s.num_edges
+        assert int(s.out_degrees.sum()) == s.num_edges
+        assert (s.in_degrees >= 0).all()
+        assert (s.out_degrees >= 0).all()
+        assert s.num_edges == int(round(mean * n))
+
+    def test_heavy_tail_is_skewed(self):
+        s = GraphStats.from_degree_model(50_000, 20.0, alpha=1.6, seed=1)
+        # Power-law degrees: max far above the mean.
+        assert s.degree_imbalance() > 10
+
+    def test_deterministic_given_seed(self):
+        a = GraphStats.from_degree_model(500, 8.0, seed=3)
+        b = GraphStats.from_degree_model(500, 8.0, seed=3)
+        assert (a.in_degrees == b.in_degrees).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            GraphStats.from_degree_model(0, 4.0)
+        with pytest.raises(ValueError):
+            GraphStats.from_degree_model(10, -1.0)
+
+
+class TestFullRedditScale:
+    def test_reddit_scale_stats_are_cheap(self):
+        # The full 115M-edge topology as a pure degree model: this must
+        # construct fast and never materialise edges.
+        s = GraphStats.from_degree_model(232_965, 114_615_892 / 232_965, seed=7)
+        assert s.num_edges == pytest.approx(114_615_892, rel=1e-6)
+        assert s.in_degrees.shape == (232_965,)

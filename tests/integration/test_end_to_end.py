@@ -1,0 +1,164 @@
+"""End-to-end integration: every model through the whole stack.
+
+These tests tie all subsystems together — model IR, passes, plans,
+engine, trainer, counters, cost model — in the combinations a
+downstream user would actually run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    RTX2080,
+    RTX3090,
+    CostModel,
+    compile_forward,
+    compile_training,
+    get_dataset,
+    get_strategy,
+)
+from repro.exec import Engine
+from repro.graph import chung_lu
+from repro.ir.serialize import dumps_module, loads_module
+from repro.models import GAT, GCN, GIN, RGCN, DotGAT, EdgeConv, GraphSAGE, MoNet
+from repro.train import Adam, Trainer
+from repro.train.loop import softmax_cross_entropy
+
+ALL_MODELS = {
+    "gat": lambda: GAT(6, (5, 4), heads=2),
+    "edgeconv": lambda: EdgeConv(3, (5, 4)),
+    "monet": lambda: MoNet(6, (5, 4), num_kernels=2, pseudo_dim=1),
+    "gcn": lambda: GCN(6, (5, 4)),
+    "sage": lambda: GraphSAGE(6, (5, 4)),
+    "gin": lambda: GIN(6, (5, 4)),
+    "dotgat": lambda: DotGAT(6, (5, 4)),
+    "rgcn": lambda: RGCN(6, (5, 4), num_relations=3),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(60, 350, seed=21)
+
+
+@pytest.fixture(scope="module")
+def task(graph):
+    rng = np.random.default_rng(5)
+    feats = rng.normal(size=(60, 6))
+    labels = rng.integers(0, 4, size=60)
+    return feats, labels
+
+
+class TestEveryModelEveryStrategy:
+    @pytest.mark.parametrize("name", sorted(ALL_MODELS))
+    def test_training_steps_run_and_agree(self, name, graph, task):
+        feats, labels = task
+        model = ALL_MODELS[name]()
+        if name == "edgeconv":
+            feats = feats[:, :3]
+        ref_losses = None
+        for sname in ("dgl-like", "fusegnn-like", "ours"):
+            compiled = compile_training(model, get_strategy(sname))
+            trainer = Trainer(compiled, graph, precision="float64", seed=9)
+            opt = Adam(lr=0.01)
+            losses = [
+                trainer.train_step(feats, labels, opt)[0] for _ in range(3)
+            ]
+            assert all(np.isfinite(l) for l in losses)
+            if ref_losses is None:
+                ref_losses = losses
+            else:
+                assert np.allclose(losses, ref_losses, rtol=1e-9), sname
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODELS))
+    def test_forward_huang_matches_ours(self, name, graph, task):
+        feats, labels = task
+        model = ALL_MODELS[name]()
+        if name == "edgeconv":
+            feats = feats[:, :3]
+        outs = {}
+        for sname in ("huang-like", "ours"):
+            compiled = compile_forward(model, get_strategy(sname))
+            engine = Engine(graph, precision="float64")
+            arrays = model.make_inputs(graph, feats)
+            arrays.update(model.init_params(3))
+            env = engine.bind(compiled.forward, arrays)
+            outs[sname] = engine.run_plan(compiled.plan, env)[
+                compiled.forward.outputs[0]
+            ]
+        assert np.allclose(outs["huang-like"], outs["ours"], rtol=1e-9)
+
+
+class TestPublishedScaleCounters:
+    @pytest.mark.parametrize("name", sorted(ALL_MODELS))
+    def test_counters_at_reddit_scale(self, name):
+        stats = get_dataset("reddit-full").stats
+        model = ALL_MODELS[name]()
+        compiled = compile_training(model, get_strategy("ours"))
+        counters = compiled.counters(stats)
+        assert counters.flops > 0
+        assert counters.io_bytes > 0
+        assert counters.peak_memory_bytes > counters.stash_bytes
+        latency = CostModel(RTX3090).latency_seconds(counters, stats)
+        assert 0 < latency < 60
+
+    def test_ours_fits_2080_for_all_models(self):
+        stats = get_dataset("reddit-full").stats
+        for name, factory in ALL_MODELS.items():
+            counters = compile_training(
+                factory(), get_strategy("ours")
+            ).counters(stats)
+            assert CostModel(RTX2080).fits(counters), name
+
+
+class TestSerializationPipeline:
+    def test_optimized_module_roundtrips_through_json(self, graph, task):
+        feats, labels = task
+        model = GAT(6, (5, 4), heads=2)
+        forward = get_strategy("ours").prepare_forward(model)
+        restored = loads_module(dumps_module(forward))
+        engine = Engine(graph, precision="float64")
+        arrays = model.make_inputs(graph, feats)
+        arrays.update(model.init_params(0))
+        from repro.exec import plan_module
+
+        a = engine.run_plan(
+            plan_module(forward, mode="unified"), engine.bind(forward, arrays)
+        )
+        b = engine.run_plan(
+            plan_module(restored, mode="unified"), engine.bind(restored, arrays)
+        )
+        assert np.allclose(a[forward.outputs[0]], b[restored.outputs[0]])
+
+
+class TestPrecisionModes:
+    def test_float32_close_to_float64(self, graph, task):
+        feats, labels = task
+        model = GCN(6, (5, 4))
+        compiled = compile_training(model, get_strategy("ours"))
+        results = {}
+        for precision in ("float32", "float64"):
+            trainer = Trainer(compiled, graph, precision=precision, seed=2)
+            fwd = trainer.forward(feats)
+            loss, _ = softmax_cross_entropy(fwd[trainer.output_name], labels)
+            results[precision] = loss
+        assert results["float32"] == pytest.approx(results["float64"], rel=1e-4)
+
+
+class TestOptimizerIntegration:
+    def test_adam_and_sgd_both_descend(self, graph, task):
+        from repro.train import SGD
+
+        feats, labels = task
+        rng = np.random.default_rng(0)
+        learnable = (feats @ rng.normal(size=(6, 4))).argmax(1)
+        for opt in (Adam(lr=0.05), SGD(lr=0.5)):
+            model = GCN(6, (5, 4))
+            compiled = compile_training(model, get_strategy("ours"))
+            trainer = Trainer(
+                compiled, graph.add_self_loops(), precision="float64", seed=1
+            )
+            first, _ = trainer.train_step(feats, learnable, opt)
+            for _ in range(25):
+                last, _ = trainer.train_step(feats, learnable, opt)
+            assert last < first, type(opt).__name__

@@ -1,0 +1,68 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each script is executed in a subprocess with reduced workloads where it
+accepts arguments; assertions check exit status and headline output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "after reorganization" in out
+        assert "modelled RTX 3090 latency" in out
+        assert "done." in out
+
+    def test_gat_citation_training(self):
+        out = run_example(
+            "gat_citation_training.py",
+            "--epochs", "3", "--dataset", "cora", "--hidden", "8",
+            "--heads", "2",
+        )
+        assert "per-step cost" in out
+        assert "val acc" in out
+
+    def test_edgeconv_pointcloud(self):
+        out = run_example(
+            "edgeconv_pointcloud.py",
+            "--clouds", "4", "--points", "96", "--k", "8", "--epochs", "25",
+        )
+        assert "redundant FLOPs eliminated" in out
+        assert "final accuracy" in out
+
+    def test_small_gpu_budget(self):
+        out = run_example("small_gpu_budget.py")
+        assert "OOM" in out
+        assert "confirmed." in out
+
+    def test_plan_inspection(self):
+        out = run_example("plan_inspection.py")
+        assert "memory timeline" in out
+        assert "serialized optimized module" in out
+
+    def test_minibatch_clustergcn(self):
+        out = run_example(
+            "minibatch_clustergcn.py",
+            "--vertices", "600", "--edges", "5000",
+            "--batch", "200", "--epochs", "2",
+        )
+        assert "receptive field" in out
+        assert "seed-set accuracy" in out

@@ -1,0 +1,276 @@
+"""Gradient checks for every operator's backward rule (Appendix B).
+
+Each test builds a minimal module exercising one rule and compares the
+IR-derived gradient against central finite differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import Builder, Domain, differentiate
+from repro.ir.ops import OpKind
+
+from tests.helpers import analytic_grads, gradcheck, numeric_grads
+
+
+@pytest.fixture
+def arrays(rng):
+    return {
+        "h": rng.normal(size=(4, 3)),
+        "w": rng.normal(size=(3, 2)),
+    }
+
+
+def build(body):
+    """Build a module: body(builder, h, w) -> output value."""
+    b = Builder("t")
+    h = b.input("h", Domain.VERTEX, (3,))
+    w = b.param("w", (3, 2))
+    out = body(b, h, w)
+    b.output(out)
+    return b.build()
+
+
+class TestApplyRules:
+    def test_linear(self, tiny_graph, arrays):
+        gradcheck(build(lambda b, h, w: b.apply("linear", h, params=[w])),
+                  tiny_graph, arrays)
+
+    def test_linear_through_relu(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            return b.apply("relu", y)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_leaky_relu(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            return b.apply("leaky_relu", y, attrs={"slope": 0.2})
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_exp_sigmoid_tanh(self, tiny_graph, arrays):
+        for fn in ("exp", "sigmoid", "tanh"):
+            def body(b, h, w, fn=fn):
+                y = b.apply("linear", h, params=[w])
+                return b.apply(fn, y)
+            gradcheck(build(body), tiny_graph, arrays)
+
+    def test_binary_ops(self, tiny_graph, arrays):
+        for fn in ("add", "sub", "mul", "div"):
+            def body(b, h, w, fn=fn):
+                y = b.apply("linear", h, params=[w])
+                z = b.apply("sigmoid", y)  # keep div denominators safe
+                return b.apply(fn, y, z)
+            gradcheck(build(body), tiny_graph, arrays)
+
+    def test_scale_and_neg(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            y = b.apply("scale", y, attrs={"factor": 2.5})
+            return b.apply("neg", y)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_bias_add(self, tiny_graph, rng):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (3,))
+        w = b.param("w", (3, 2))
+        bias = b.param("bias", (2,))
+        y = b.apply("linear", h, params=[w])
+        b.output(b.apply("bias_add", y, params=[bias]))
+        m = b.build()
+        arrays = {
+            "h": rng.normal(size=(4, 3)),
+            "w": rng.normal(size=(3, 2)),
+            "bias": rng.normal(size=(2,)),
+        }
+        gradcheck(m, tiny_graph, arrays)
+
+    def test_view_and_slice(self, tiny_graph, rng):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (6,))
+        w = b.param("w", (6, 6))
+        y = b.apply("linear", h, params=[w])
+        y = b.view(y, (2, 3))
+        y = b.apply("slice_axis", y, attrs={"axis": -1, "start": 1, "stop": 3})
+        b.output(y)
+        arrays = {"h": rng.normal(size=(4, 6)), "w": rng.normal(size=(6, 6))}
+        gradcheck(b.build(), tiny_graph, arrays)
+
+    def test_head_dot(self, tiny_graph, rng):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (2, 3))
+        a = b.param("a", (2, 3))
+        b.output(b.apply("head_dot", h, params=[a]))
+        arrays = {"h": rng.normal(size=(4, 2, 3)), "a": rng.normal(size=(2, 3))}
+        gradcheck(b.build(), tiny_graph, arrays)
+
+    def test_kernel_mean(self, tiny_graph, rng):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (3,))
+        w = b.param("w", (3, 4))
+        y = b.apply("linear", h, params=[w])
+        y = b.view(y, (2, 2))
+        b.output(b.apply("kernel_mean", y))
+        arrays = {"h": rng.normal(size=(4, 3)), "w": rng.normal(size=(3, 4))}
+        gradcheck(b.build(), tiny_graph, arrays)
+
+    def test_gaussian(self, tiny_graph, rng):
+        b = Builder("t")
+        m = b.input("m", Domain.EDGE, (2,))
+        mu = b.param("mu", (3, 2))
+        inv = b.param("inv", (3, 2))
+        weights = b.apply("gaussian", m, params=[mu, inv])
+        b.output(b.gather("sum", weights))
+        arrays = {
+            "m": rng.normal(size=(6, 2)),
+            "mu": rng.normal(size=(3, 2)),
+            "inv": rng.uniform(0.5, 1.5, size=(3, 2)),
+        }
+        gradcheck(b.build(), tiny_graph, arrays)
+
+
+class TestScatterRules:
+    @pytest.mark.parametrize("fn", ["copy_u", "copy_v"])
+    def test_copies(self, tiny_graph, arrays, fn):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            kw = {"u": y} if fn == "copy_u" else {"v": y}
+            e = b.scatter(fn, **kw)
+            return b.gather("sum", e)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    @pytest.mark.parametrize("fn", ["u_add_v", "u_sub_v", "u_mul_v"])
+    def test_binary_scatters(self, tiny_graph, arrays, fn):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            z = b.apply("tanh", y)
+            e = b.scatter(fn, u=y, v=z)
+            return b.gather("sum", e)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_u_dot_v(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            e = b.scatter("u_dot_v", u=y, v=y)
+            em = b.scatter("copy_u", u=y)
+            weighted = b.apply("mul", em, e)
+            return b.gather("sum", weighted)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_u_concat_v(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            z = b.apply("sigmoid", y)
+            e = b.scatter("u_concat_v", u=y, v=z)
+            return b.gather("sum", e)
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_same_tensor_both_sides(self, tiny_graph, arrays):
+        # EdgeConv shape: u and v operands are the same value.
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            e = b.scatter("u_sub_v", u=y, v=y)
+            ee = b.apply("mul", e, e)  # quadratic so the grad is nonzero
+            return b.gather("sum", ee)
+        gradcheck(build(body), tiny_graph, arrays)
+
+
+class TestGatherRules:
+    def test_gather_sum(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            return b.gather("sum", b.scatter("copy_u", u=y))
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_gather_mean(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            return b.gather("mean", b.scatter("copy_u", u=y))
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_gather_max(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            out, _ = b.gather("max", b.scatter("copy_u", u=y))
+            return out
+        gradcheck(build(body), tiny_graph, arrays)
+
+    def test_edge_softmax(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            e = b.scatter("u_dot_v", u=y, v=y)
+            alpha = b.edge_softmax(e)
+            msg = b.scatter("copy_u", u=y)
+            weighted = b.apply("mul", msg, alpha)
+            return b.gather("sum", weighted)
+        gradcheck(build(body), tiny_graph, arrays)
+
+
+class TestStructure:
+    def test_backward_stays_in_operator_set(self, arrays):
+        # Appendix B: the backward of every operator is expressible in
+        # the same operator set.
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            e = b.scatter("u_add_v", u=y, v=y)
+            return b.gather("sum", e)
+        m = build(body)
+        tg = differentiate(m)
+        kinds = {n.kind for n in tg.backward.nodes}
+        assert kinds <= {
+            OpKind.SCATTER, OpKind.GATHER, OpKind.APPLY,
+            OpKind.PARAM_GRAD, OpKind.VIEW,
+        }
+
+    def test_backward_of_gather_is_scatter(self):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (3,))
+        e = b.scatter("copy_u", u=h)
+        b.output(b.gather("sum", e))
+        tg = differentiate(b.build(), wrt_inputs=["h"])
+        # Gradient of gather-sum w.r.t. edges: a copy_v scatter.
+        scatters = [n for n in tg.backward.nodes if n.kind is OpKind.SCATTER]
+        assert any(n.fn == "copy_v" for n in scatters)
+        # Gradient of copy_u scatter: a gather over out-edges.
+        gathers = [n for n in tg.backward.nodes if n.kind is OpKind.GATHER]
+        assert any(n.orientation == "out" for n in gathers)
+
+    def test_stop_gradient_prunes_path(self):
+        b = Builder("t")
+        h = b.input("h", Domain.VERTEX, (3,))
+        w = b.param("w", (3, 2))
+        y = b.apply("linear", h, params=[w])
+        e = b.scatter("u_dot_v", u=y, v=y)
+        alpha = b.edge_softmax(e)
+        b.output(b.gather("sum", alpha))
+        tg = differentiate(b.build())
+        # The max path contributes no saved argmax and no max_grad node.
+        assert not any(n.fn == "max_grad" for n in tg.backward.nodes)
+        assert not any(".aux" in s for s in tg.saved_values)
+
+    def test_grad_seed_inputs_exist(self, arrays):
+        m = build(lambda b, h, w: b.apply("linear", h, params=[w]))
+        tg = differentiate(m)
+        assert f"grad__{m.outputs[0]}" in tg.backward.inputs
+
+    def test_wrt_outputs_validation(self, arrays):
+        m = build(lambda b, h, w: b.apply("linear", h, params=[w]))
+        with pytest.raises(ValueError, match="wrt_outputs"):
+            differentiate(m, wrt_outputs=["nope"])
+
+    def test_input_grads_exposed(self, tiny_graph, arrays):
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            return b.gather("sum", b.scatter("copy_u", u=y))
+        m = build(body)
+        tg = differentiate(m, wrt_inputs=["h"])
+        assert "h" in tg.input_grads
+
+    def test_multi_consumer_accumulation(self, tiny_graph, arrays):
+        # y feeds two branches; its gradient must be the sum.
+        def body(b, h, w):
+            y = b.apply("linear", h, params=[w])
+            e1 = b.gather("sum", b.scatter("copy_u", u=y))
+            e2 = b.gather("sum", b.scatter("copy_v", v=y))
+            return b.apply("add", e1, e2)
+        gradcheck(build(body), tiny_graph, arrays)

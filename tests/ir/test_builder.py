@@ -1,0 +1,211 @@
+"""Tests for the Builder API, module validation, and macros."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Builder, Domain, validate_module
+from repro.ir.module import infer_output_specs
+from repro.ir.ops import OpKind, OpNode
+from repro.ir.tensorspec import TensorSpec
+from repro.ir.validate import IRValidationError
+
+
+def simple_builder():
+    b = Builder("m")
+    h = b.input("h", Domain.VERTEX, (4,))
+    return b, h
+
+
+class TestInterface:
+    def test_duplicate_input_rejected(self):
+        b, _ = simple_builder()
+        with pytest.raises(ValueError, match="already defined"):
+            b.input("h", Domain.VERTEX, (4,))
+
+    def test_param_domain(self):
+        b, _ = simple_builder()
+        w = b.param("w", (4, 2))
+        assert w.spec.domain is Domain.PARAM
+
+    def test_graph_constant_registered_once(self):
+        b, _ = simple_builder()
+        d1 = b.graph_constant("in_degrees")
+        d2 = b.graph_constant("in_degrees")
+        assert d1.name == d2.name == "g_in_degrees"
+        assert b.module.inputs.count("g_in_degrees") == 1
+
+    def test_unknown_graph_constant(self):
+        b, _ = simple_builder()
+        with pytest.raises(KeyError, match="unknown graph constant"):
+            b.graph_constant("laplacian")
+
+    def test_output_unknown_value(self):
+        b, _ = simple_builder()
+        with pytest.raises(KeyError):
+            b.output("nope")
+
+    def test_fresh_names_unique(self):
+        b, _ = simple_builder()
+        names = {b.fresh("x") for _ in range(10)}
+        assert len(names) == 10
+
+    def test_fresh_prefix_namespacing(self):
+        b = Builder("m", fresh_prefix="bwd$")
+        assert b.fresh("t").startswith("bwd$t")
+
+
+class TestNodeEmission:
+    def test_scatter_shapes(self):
+        b, h = simple_builder()
+        e = b.scatter("u_add_v", u=h, v=h)
+        assert e.spec.domain is Domain.EDGE
+        assert e.spec.feat_shape == (4,)
+
+    def test_scatter_copy_single_operand(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        assert e.spec.feat_shape == (4,)
+
+    def test_scatter_arity_error(self):
+        b, h = simple_builder()
+        with pytest.raises(Exception):
+            b.scatter("u_add_v", u=h)  # missing v
+
+    def test_scatter_rejects_edge_operand(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        with pytest.raises(ValueError, match="VERTEX"):
+            b.scatter("copy_u", u=e)
+
+    def test_gather_returns_vertex(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        v = b.gather("sum", e)
+        assert v.spec.domain is Domain.VERTEX
+
+    def test_gather_max_two_outputs(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        val, idx = b.gather("max", e)
+        assert idx.spec.dtype == "int64"
+        assert idx.spec.feat_shape == val.spec.feat_shape
+
+    def test_gather_rejects_vertex_input(self):
+        b, h = simple_builder()
+        with pytest.raises(ValueError, match="EDGE"):
+            b.gather("sum", h)
+
+    def test_gather_bad_reduce(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        with pytest.raises(ValueError, match="reduce"):
+            b.gather("min", e)
+
+    def test_apply_domain_mixing_rejected(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        with pytest.raises(ValueError, match="share one domain"):
+            b.apply("add", h, e)
+
+    def test_apply_param_count_checked(self):
+        b, h = simple_builder()
+        with pytest.raises(ValueError, match="params"):
+            b.apply("linear", h)
+
+    def test_view_roundtrip(self):
+        b, h = simple_builder()
+        v = b.view(h, (2, 2))
+        assert v.spec.feat_shape == (2, 2)
+
+    def test_linear_with_bias(self):
+        b, h = simple_builder()
+        w = b.param("w", (4, 3))
+        bias = b.param("bias", (3,))
+        out = b.linear(h, w, bias)
+        assert out.spec.feat_shape == (3,)
+        fns = [n.fn for n in b.module.nodes]
+        assert fns == ["linear", "bias_add"]
+
+
+class TestMacros:
+    def test_edge_softmax_normalises(self):
+        b, h = simple_builder()
+        e = b.scatter("u_dot_v", u=h, v=h)
+        out = b.edge_softmax(e)
+        m = b.module
+        macros = {n.macro for n in m.nodes if n.macro}
+        assert len(macros) == 1
+        # RS1 max is gradient-stopped.
+        max_nodes = [n for n in m.nodes if n.kind is OpKind.GATHER and n.fn == "max"]
+        assert max_nodes[0].attrs.get("stop_gradient")
+
+    def test_aggregate_unweighted(self):
+        b, h = simple_builder()
+        out = b.aggregate(h, reduce="sum")
+        kinds = [n.kind for n in b.module.nodes]
+        assert kinds == [OpKind.SCATTER, OpKind.GATHER]
+
+    def test_aggregate_weighted_inserts_mul(self):
+        b, h = simple_builder()
+        e = b.scatter("u_dot_v", u=h, v=h)
+        out = b.aggregate(h, e, reduce="sum")
+        fns = [n.fn for n in b.module.nodes]
+        assert "mul" in fns
+
+    def test_macro_ids_distinct(self):
+        b, h = simple_builder()
+        b.aggregate(h, reduce="sum")
+        b.aggregate(h, reduce="mean")
+        macros = {n.macro for n in b.module.nodes if n.macro}
+        assert len(macros) == 2
+
+
+class TestValidation:
+    def test_build_validates(self):
+        b, h = simple_builder()
+        b.output(b.scatter("copy_u", u=h))
+        m = b.build()
+        validate_module(m)  # idempotent
+
+    def test_detects_spec_tampering(self):
+        b, h = simple_builder()
+        out = b.scatter("copy_u", u=h)
+        b.output(out)
+        m = b.build()
+        m.specs[out.name] = TensorSpec(Domain.EDGE, (9,))
+        with pytest.raises(IRValidationError, match="mismatch"):
+            validate_module(m)
+
+    def test_detects_use_before_def(self):
+        b, h = simple_builder()
+        e = b.scatter("copy_u", u=h)
+        b.output(e)
+        m = b.build()
+        m.nodes.reverse() if len(m.nodes) > 1 else None
+        # Manually corrupt: make node reference a later-defined value.
+        m.nodes.insert(
+            0,
+            OpNode(
+                kind=OpKind.GATHER,
+                fn="sum",
+                inputs=("ghost",),
+                outputs=("bad",),
+            ),
+        )
+        m.specs["bad"] = TensorSpec(Domain.VERTEX, (4,))
+        with pytest.raises(IRValidationError):
+            validate_module(m)
+
+    def test_detects_missing_output(self):
+        b, h = simple_builder()
+        m = b.module
+        m.outputs.append("phantom")
+        with pytest.raises(IRValidationError, match="never defined"):
+            validate_module(m)
+
+    def test_infer_output_specs_unknown_input(self):
+        node = OpNode(
+            kind=OpKind.GATHER, fn="sum", inputs=("missing",), outputs=("o",)
+        )
+        with pytest.raises(KeyError):
+            infer_output_specs(node, {})

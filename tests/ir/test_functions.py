@@ -1,0 +1,144 @@
+"""Tests for the function registry: shapes, FLOPs, algebraic flags."""
+
+import pytest
+
+from repro.ir.functions import (
+    get_apply_fn,
+    get_scatter_fn,
+    list_apply_fns,
+    list_scatter_fns,
+)
+
+
+class TestScatterRegistry:
+    def test_known_functions_present(self):
+        names = list_scatter_fns()
+        for fn in ("copy_u", "copy_v", "u_add_v", "u_sub_v", "u_mul_v",
+                   "u_concat_v", "u_dot_v", "max_grad"):
+            assert fn in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scatter"):
+            get_scatter_fn("u_div_v")
+
+    def test_linear_coeffs(self):
+        assert get_scatter_fn("u_add_v").linear_coeffs == (1.0, 1.0)
+        assert get_scatter_fn("u_sub_v").linear_coeffs == (1.0, -1.0)
+        assert get_scatter_fn("copy_u").linear_coeffs == (1.0, None)
+        assert get_scatter_fn("u_mul_v").linear_coeffs is None
+        assert get_scatter_fn("u_concat_v").linear_coeffs is None
+
+    def test_concat_shape(self):
+        fn = get_scatter_fn("u_concat_v")
+        assert fn.out_feat_shape((2, 3), (2, 5)) == (2, 8)
+        with pytest.raises(ValueError):
+            fn.out_feat_shape((2, 3), (4, 5))
+
+    def test_dot_shape_and_flops(self):
+        fn = get_scatter_fn("u_dot_v")
+        assert fn.out_feat_shape((4,), (4,)) == ()
+        assert fn.flops_per_row((4,), (4,)) == 8.0
+        with pytest.raises(ValueError):
+            fn.out_feat_shape((4,), (5,))
+
+    def test_binary_broadcast_shape(self):
+        fn = get_scatter_fn("u_mul_v")
+        assert fn.out_feat_shape((3,), (3, 5)) == (3, 5)
+
+    def test_copy_shape_passthrough(self):
+        assert get_scatter_fn("copy_u").out_feat_shape((7,), None) == (7,)
+
+    def test_add_flops_per_row(self):
+        assert get_scatter_fn("u_add_v").flops_per_row((4,), (4,)) == 4.0
+
+
+class TestApplyRegistry:
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown apply"):
+            get_apply_fn("gelu")
+
+    def test_expensive_classification(self):
+        # §3: projections are expensive; element-wise ops are lightweight.
+        assert get_apply_fn("linear").expensive
+        assert get_apply_fn("head_dot").expensive
+        assert get_apply_fn("linear_grad_input").expensive
+        for fn in ("add", "mul", "exp", "leaky_relu", "gaussian", "div"):
+            assert not get_apply_fn(fn).expensive, fn
+
+    def test_linear_map_flags(self):
+        for fn in ("identity", "neg", "linear", "head_dot", "slice_axis",
+                   "kernel_mean", "scale", "view"):
+            assert get_apply_fn(fn).is_linear_map, fn
+        for fn in ("relu", "exp", "mul", "bias_add", "gaussian"):
+            assert not get_apply_fn(fn).is_linear_map, fn
+
+    def test_param_concat_axis(self):
+        assert get_apply_fn("linear").param_concat_axis == 0
+        assert get_apply_fn("head_dot").param_concat_axis == -1
+
+    def test_linear_shape_and_flops(self):
+        fn = get_apply_fn("linear")
+        assert fn.infer_shape([(2, 4)], [(4, 6)]) == (2, 6)
+        # 2 heads × 2·4·6 MACs.
+        assert fn.flops_per_row([(2, 4)], [(4, 6)]) == 2 * 2 * 4 * 6
+        with pytest.raises(ValueError):
+            fn.infer_shape([(5,)], [(4, 6)])
+
+    def test_head_dot_shape(self):
+        fn = get_apply_fn("head_dot")
+        assert fn.infer_shape([(3, 8)], [(3, 8)]) == (3,)
+        with pytest.raises(ValueError):
+            fn.infer_shape([(3, 8)], [(4, 8)])
+
+    def test_view_shape(self):
+        fn = get_apply_fn("view")
+        assert fn.infer_shape([(6,)], attrs={"out_shape": (2, 3)}) == (2, 3)
+        with pytest.raises(ValueError):
+            fn.infer_shape([(6,)], attrs={"out_shape": (4, 2)})
+
+    def test_slice_axis_negative_axis(self):
+        fn = get_apply_fn("slice_axis")
+        assert fn.infer_shape(
+            [(3, 8)], attrs={"axis": -1, "start": 0, "stop": 4}
+        ) == (3, 4)
+        assert fn.infer_shape(
+            [(8, 3)], attrs={"axis": 0, "start": 2, "stop": 8}
+        ) == (6, 3)
+        with pytest.raises(ValueError):
+            fn.infer_shape([(8,)], attrs={"axis": 1, "start": 0, "stop": 2})
+
+    def test_pad_axis_validates(self):
+        fn = get_apply_fn("pad_axis")
+        assert fn.infer_shape(
+            [(4,)], attrs={"axis": 0, "start": 2, "stop": 6, "width": 9}
+        ) == (9,)
+        with pytest.raises(ValueError):
+            fn.infer_shape(
+                [(4,)], attrs={"axis": 0, "start": 2, "stop": 5, "width": 9}
+            )
+
+    def test_gaussian_shapes(self):
+        fn = get_apply_fn("gaussian")
+        assert fn.infer_shape([(2,)], [(3, 2), (3, 2)]) == (3,)
+        with pytest.raises(ValueError):
+            fn.infer_shape([(5,)], [(3, 2), (3, 2)])
+        assert fn.flops_per_row([(2,)], [(3, 2), (3, 2)]) == 3 * (3 * 2 + 4)
+
+    def test_kernel_mean_shapes(self):
+        fn = get_apply_fn("kernel_mean")
+        assert fn.infer_shape([(4, 6)]) == (6,)
+        grad = get_apply_fn("kernel_mean_grad")
+        assert grad.infer_shape([(6,)], attrs={"num_kernels": 4}) == (4, 6)
+
+    def test_elementwise_broadcast_shape(self):
+        fn = get_apply_fn("mul")
+        assert fn.infer_shape([(3,), (3, 5)]) == (3, 5)
+
+    def test_flops_default_is_out_elements(self):
+        fn = get_apply_fn("add")
+        assert fn.flops_per_row([(4,), (4,)]) == 4.0
+
+    def test_all_registered_fns_have_arity(self):
+        for name in list_apply_fns():
+            fn = get_apply_fn(name)
+            assert fn.arity >= 1

@@ -1,0 +1,166 @@
+"""Unit tests for per-node cost formulas (FLOPs, IO rows, recompute cost)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStats
+from repro.ir import Builder, Domain
+from repro.ir.ops import LIGHTWEIGHT_PARAM_GRADS, OpKind, OpNode
+
+
+@pytest.fixture
+def stats():
+    return GraphStats(
+        100, 600,
+        np.full(100, 6, dtype=np.int64),
+        np.full(100, 6, dtype=np.int64),
+    )
+
+
+def build_ctx(f=8, d=4):
+    b = Builder("m")
+    h = b.input("h", Domain.VERTEX, (f,))
+    w = b.param("w", (f, d))
+    return b, h, w
+
+
+class TestFlops:
+    def test_scatter_copy_is_free(self, stats):
+        b, h, _ = build_ctx()
+        e = b.scatter("copy_u", u=h)
+        node = b.module.node_by_output(e.name)
+        assert node.flops(b.module.specs, stats) == 0.0
+
+    def test_scatter_add_counts_per_element(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("u_add_v", u=h, v=h)
+        node = b.module.node_by_output(e.name)
+        assert node.flops(b.module.specs, stats) == 600 * 8
+
+    def test_scatter_dot_counts_mac(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("u_dot_v", u=h, v=h)
+        node = b.module.node_by_output(e.name)
+        assert node.flops(b.module.specs, stats) == 600 * 2 * 8
+
+    def test_gather_one_flop_per_reduced_element(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        v = b.gather("sum", e)
+        node = b.module.node_by_output(v.name)
+        assert node.flops(b.module.specs, stats) == 600 * 8
+
+    def test_linear_gemm_flops(self, stats):
+        b, h, w = build_ctx(f=8, d=4)
+        y = b.apply("linear", h, params=[w])
+        node = b.module.node_by_output(y.name)
+        assert node.flops(b.module.specs, stats) == 100 * 2 * 8 * 4
+
+    def test_view_free(self, stats):
+        b, h, _ = build_ctx(f=8)
+        v = b.view(h, (2, 4))
+        node = b.module.node_by_output(v.name)
+        assert node.flops(b.module.specs, stats) == 0.0
+
+    def test_param_grad_flops(self, stats):
+        b, h, w = build_ctx(f=8, d=4)
+        g = b.input("g", Domain.VERTEX, (4,))
+        pg = b.param_grad("linear_wgrad", h, g, out_shape=(8, 4))
+        node = b.module.node_by_output(pg.name)
+        assert node.flops(b.module.specs, stats) == 2 * 100 * 8 * 4
+
+    def test_max_grad_flops_edge_sized(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        val, idx = b.gather("max", e)
+        ge = b.max_grad(val, idx)
+        node = b.module.node_by_output(ge.name)
+        assert node.flops(b.module.specs, stats) == 600 * 8
+
+
+class TestReadRows:
+    def test_scatter_reads_vertex_per_edge(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        node = b.module.node_by_output(e.name)
+        assert node.read_rows("h", b.module.specs, stats) == 600
+        assert node.read_bytes("h", b.module.specs, stats) == 600 * 8 * 4
+
+    def test_gather_reads_edge_in_own_extent(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        v = b.gather("sum", e)
+        node = b.module.node_by_output(v.name)
+        assert node.read_rows(e.name, b.module.specs, stats) == 600
+
+    def test_max_grad_reads_vertex_directly(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        val, idx = b.gather("max", e)
+        ge = b.max_grad(val, idx)
+        node = b.module.node_by_output(ge.name)
+        # Vertex-direct read: |V| rows, not |E|.
+        assert node.read_rows(val.name, b.module.specs, stats) == 100
+
+    def test_apply_reads_own_extent(self, stats):
+        b, h, _ = build_ctx(f=8)
+        y = b.apply("exp", h)
+        node = b.module.node_by_output(y.name)
+        assert node.read_rows("h", b.module.specs, stats) == 100
+
+
+class TestClassification:
+    def test_expensive_set(self):
+        b, h, w = build_ctx()
+        y = b.apply("linear", h, params=[w])
+        e = b.scatter("copy_u", u=h)
+        x = b.apply("exp", e)
+        m = b.module
+        assert m.node_by_output(y.name).is_expensive()
+        assert not m.node_by_output(e.name).is_expensive()
+        assert not m.node_by_output(x.name).is_expensive()
+
+    def test_lightweight_param_grads_fusible(self):
+        b, h, _ = build_ctx()
+        g = b.input("g", Domain.VERTEX, (8,))
+        pg = b.param_grad("bias_grad", g, out_shape=(8,))
+        node = b.module.node_by_output(pg.name)
+        assert node.is_fusible()
+        assert not node.is_expensive()
+
+    def test_gemm_param_grads_not_fusible(self):
+        b, h, _ = build_ctx()
+        g = b.input("g", Domain.VERTEX, (4,))
+        pg = b.param_grad("linear_wgrad", h, g, out_shape=(8, 4))
+        node = b.module.node_by_output(pg.name)
+        assert not node.is_fusible()
+
+    def test_lightweight_registry_contents(self):
+        assert "bias_grad" in LIGHTWEIGHT_PARAM_GRADS
+        assert "linear_wgrad" not in LIGHTWEIGHT_PARAM_GRADS
+
+
+class TestRecomputeCost:
+    def test_elementwise_cost_is_constant(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        x = b.apply("exp", e)
+        node = b.module.node_by_output(x.name)
+        assert node.recompute_cost_per_element(b.module.specs, stats) == 4.0
+
+    def test_gather_cost_is_mean_degree(self, stats):
+        b, h, _ = build_ctx(f=8)
+        e = b.scatter("copy_u", u=h)
+        v = b.gather("sum", e)
+        node = b.module.node_by_output(v.name)
+        assert node.recompute_cost_per_element(
+            b.module.specs, stats
+        ) == pytest.approx(6.0)
+
+    def test_linear_cost_scales_with_width(self, stats):
+        b, h, w = build_ctx(f=8, d=4)
+        y = b.apply("linear", h, params=[w])
+        node = b.module.node_by_output(y.name)
+        assert node.recompute_cost_per_element(
+            b.module.specs, stats
+        ) == pytest.approx(2 * 8)

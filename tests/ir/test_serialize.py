@@ -1,0 +1,89 @@
+"""Round-trip tests for IR JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ir import differentiate
+from repro.ir.serialize import (
+    dumps_module,
+    loads_module,
+    module_from_dict,
+    module_to_dict,
+)
+from repro.models import GAT, EdgeConv, MoNet
+from repro.opt import reorganize
+
+from tests.helpers import run_forward
+
+
+def _roundtrip(module):
+    return loads_module(dumps_module(module))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            lambda: GAT(5, (4, 3), heads=2),
+            lambda: EdgeConv(3, (4,)),
+            lambda: MoNet(5, (4,), num_kernels=2, pseudo_dim=1),
+        ],
+        ids=["gat", "edgeconv", "monet"],
+    )
+    def test_structure_preserved(self, model_factory):
+        m = model_factory().build_module()
+        back = _roundtrip(m)
+        assert back.name == m.name
+        assert back.inputs == m.inputs
+        assert back.params == m.params
+        assert back.outputs == m.outputs
+        assert len(back.nodes) == len(m.nodes)
+        for a, b in zip(m.nodes, back.nodes):
+            assert a.kind == b.kind and a.fn == b.fn
+            assert a.inputs == b.inputs and a.outputs == b.outputs
+            assert a.attrs == b.attrs
+            assert a.macro == b.macro
+        assert back.specs == m.specs
+
+    def test_attr_tuples_restored(self):
+        m = reorganize(GAT(5, (4,), heads=2).build_module())
+        back = _roundtrip(m)
+        views = [n for n in back.nodes if n.fn == "view"]
+        assert views and isinstance(views[0].attrs["out_shape"], tuple)
+
+    def test_backward_modules_roundtrip(self):
+        tg = differentiate(GAT(5, (4,), heads=1).build_module())
+        back = _roundtrip(tg.backward)
+        assert len(back.nodes) == len(tg.backward.nodes)
+
+    def test_execution_equivalence(self, small_graph, rng):
+        model = EdgeConv(3, (4, 3))
+        m = model.build_module()
+        back = _roundtrip(m)
+        feats = rng.normal(size=(60, 3))
+        arrays = dict(model.init_params(0))
+        arrays["h"] = feats
+        a = run_forward(m, small_graph, arrays)[m.outputs[0]]
+        b = run_forward(back, small_graph, arrays)[back.outputs[0]]
+        assert np.allclose(a, b)
+
+    def test_json_is_actually_json(self):
+        m = GAT(5, (4,), heads=1).build_module()
+        parsed = json.loads(dumps_module(m, indent=2))
+        assert parsed["format_version"] == 1
+
+    def test_rejects_unknown_version(self):
+        m = GAT(5, (4,), heads=1).build_module()
+        data = module_to_dict(m)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            module_from_dict(data)
+
+    def test_corrupted_module_fails_validation(self):
+        m = GAT(5, (4,), heads=1).build_module()
+        data = module_to_dict(m)
+        data["nodes"][1]["inputs"] = ["ghost"]
+        with pytest.raises(Exception):
+            module_from_dict(data)

@@ -1,0 +1,79 @@
+"""Tests for tensor domains, byte accounting, and the right-pad rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.tensorspec import Domain, TensorSpec, broadcast_feat_shapes
+
+
+class TestTensorSpec:
+    def test_rows_by_domain(self):
+        assert TensorSpec(Domain.VERTEX, (3,)).rows(10, 20) == 10
+        assert TensorSpec(Domain.EDGE, (3,)).rows(10, 20) == 20
+        assert TensorSpec(Domain.PARAM, (3, 4)).rows(10, 20) == 1
+        assert TensorSpec(Domain.DENSE, ()).rows(10, 20) == 1
+
+    def test_elements_and_bytes(self):
+        spec = TensorSpec(Domain.EDGE, (2, 3), "float32")
+        assert spec.feat_elements == 6
+        assert spec.elements(10, 20) == 120
+        assert spec.nbytes(10, 20) == 480
+
+    def test_scalar_feature(self):
+        spec = TensorSpec(Domain.VERTEX, ())
+        assert spec.feat_elements == 1
+        assert spec.elements(7, 3) == 7
+
+    def test_dtype_validation(self):
+        with pytest.raises(TypeError):
+            TensorSpec(Domain.VERTEX, (3,), "floatX")
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec(Domain.VERTEX, (0,))
+        with pytest.raises(ValueError):
+            TensorSpec(Domain.VERTEX, (3, -1))
+
+    def test_with_helpers(self):
+        spec = TensorSpec(Domain.VERTEX, (3,))
+        assert spec.with_feat((5,)).feat_shape == (5,)
+        assert spec.with_domain(Domain.EDGE).domain is Domain.EDGE
+        assert spec.with_dtype("int64").itemsize == 8
+
+    def test_int64_itemsize(self):
+        assert TensorSpec(Domain.VERTEX, (2,), "int64").itemsize == 8
+
+    def test_str(self):
+        assert "vertex" in str(TensorSpec(Domain.VERTEX, (3,)))
+
+
+class TestRightPadBroadcast:
+    def test_scalar_vs_vector(self):
+        assert broadcast_feat_shapes((), (4,)) == (4,)
+
+    def test_kernel_weight_case(self):
+        # MoNet: (K,) weights × (K, f) messages.
+        assert broadcast_feat_shapes((3,), (3, 8)) == (3, 8)
+
+    def test_equal_shapes(self):
+        assert broadcast_feat_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_incompatible(self):
+        with pytest.raises(ValueError):
+            broadcast_feat_shapes((3,), (4, 2))
+
+    def test_differs_from_numpy_left_pad(self):
+        # NumPy would align (4,) with the LAST axis of (3, 4); the
+        # library's rule aligns it with the FIRST — (4,) vs (4, 2) works,
+        # (4,) vs (3, 4) does not.
+        assert broadcast_feat_shapes((4,), (4, 2)) == (4, 2)
+        with pytest.raises(ValueError):
+            broadcast_feat_shapes((4,), (3, 4))
+
+    @given(
+        shape=st.lists(st.integers(1, 5), min_size=0, max_size=3).map(tuple)
+    )
+    def test_idempotent(self, shape):
+        assert broadcast_feat_shapes(shape, shape) == shape

@@ -1,0 +1,119 @@
+"""Tests for IR transforms: dead-code elimination and CSE."""
+
+import pytest
+
+from repro.ir import Builder, Domain
+from repro.ir.transform import (
+    common_subexpression_eliminate,
+    prune_dead,
+    used_value_names,
+)
+
+
+def module_with_dead_branch():
+    b = Builder("m")
+    h = b.input("h", Domain.VERTEX, (4,))
+    unused_in = b.input("spare", Domain.VERTEX, (4,))
+    live = b.scatter("copy_u", u=h)
+    dead = b.scatter("copy_v", v=unused_in)
+    dead2 = b.apply("exp", dead)
+    b.output(b.gather("sum", live))
+    return b.build()
+
+
+class TestPruneDead:
+    def test_removes_dead_nodes(self):
+        m = prune_dead(module_with_dead_branch())
+        fns = [n.fn for n in m.nodes]
+        assert "exp" not in fns and "copy_v" not in fns
+
+    def test_drops_unused_inputs(self):
+        m = prune_dead(module_with_dead_branch())
+        assert "spare" not in m.inputs
+
+    def test_keeps_params_even_unused(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (2,))
+        b.param("w", (2, 2))
+        b.output(b.scatter("copy_u", u=h))
+        m = prune_dead(b.build())
+        assert m.params == ["w"]
+
+    def test_keeps_multi_output_node_with_live_aux(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (2,))
+        e = b.scatter("copy_u", u=h)
+        val, idx = b.gather("max", e)
+        b.output(idx)  # only the argmax is used
+        m = prune_dead(b.build())
+        assert any(n.fn == "max" for n in m.nodes)
+
+    def test_used_value_names_transitive(self):
+        m = module_with_dead_branch()
+        live = used_value_names(m)
+        assert "h" in live
+        assert "spare" not in live
+
+    def test_idempotent(self):
+        m = prune_dead(module_with_dead_branch())
+        m2 = prune_dead(m)
+        assert [n.name for n in m.nodes] == [n.name for n in m2.nodes]
+
+
+class TestCSE:
+    def test_merges_identical_nodes(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        w = b.param("w", (4, 2))
+        p1 = b.apply("linear", h, params=[w], name="p1")
+        p2 = b.apply("linear", h, params=[w], name="p2")
+        e = b.scatter("u_sub_v", u=p1, v=p2)
+        b.output(b.gather("sum", e))
+        m = common_subexpression_eliminate(b.build())
+        linears = [n for n in m.nodes if n.fn == "linear"]
+        assert len(linears) == 1
+        scatter = next(n for n in m.nodes if n.fn == "u_sub_v")
+        assert scatter.inputs[0] == scatter.inputs[1]
+
+    def test_respects_attr_differences(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        a1 = b.apply("leaky_relu", h, attrs={"slope": 0.1})
+        a2 = b.apply("leaky_relu", h, attrs={"slope": 0.2})
+        e = b.scatter("u_add_v", u=a1, v=a2)
+        b.output(b.gather("sum", e))
+        m = common_subexpression_eliminate(b.build())
+        assert sum(1 for n in m.nodes if n.fn == "leaky_relu") == 2
+
+    def test_cascading_merge(self):
+        # Identical chains collapse end to end.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        x1 = b.apply("exp", h, name="x1")
+        x2 = b.apply("exp", h, name="x2")
+        y1 = b.apply("neg", x1, name="y1")
+        y2 = b.apply("neg", x2, name="y2")
+        e = b.scatter("u_add_v", u=y1, v=y2)
+        b.output(b.gather("sum", e))
+        m = common_subexpression_eliminate(b.build())
+        assert sum(1 for n in m.nodes if n.fn == "exp") == 1
+        assert sum(1 for n in m.nodes if n.fn == "neg") == 1
+
+    def test_outputs_remapped(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        x1 = b.apply("exp", h, name="x1")
+        x2 = b.apply("exp", h, name="x2")
+        b.output(x2)
+        m = common_subexpression_eliminate(b.build())
+        assert m.outputs == ["x1"]
+
+    def test_list_attrs_hashable(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        v1 = b.view(h, (2, 2), name="v1")
+        v2 = b.view(h, (2, 2), name="v2")
+        e = b.scatter("u_add_v", u=v1, v=v2)
+        b.output(b.gather("sum", e))
+        m = common_subexpression_eliminate(b.build())
+        assert sum(1 for n in m.nodes if n.fn == "view") == 1

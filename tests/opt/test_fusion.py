@@ -1,0 +1,208 @@
+"""Tests for §5 unified-thread-mapping fusion.
+
+Covers: fusion-mode scopes (macro / edge_chains / unified), mapping
+selection (ReduceScatter forces vertex-balanced), convexity splitting,
+schedule validity, and the §5 IO-reduction shape on GAT's graph kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import plan_module
+from repro.exec.analytic import analyze_plan
+from repro.graph import GraphStats
+from repro.ir import Builder, Domain
+from repro.ir.ops import OpKind
+from repro.opt.fusion import partition_kernels
+
+from tests.helpers import run_forward
+
+
+def gat_graph_ops(heads=1, f=8):
+    """Reorganized GAT layer: projections + fully fusible graph chain."""
+    b = Builder("gatish")
+    el = b.input("el", Domain.VERTEX, (heads,))
+    er = b.input("er", Domain.VERTEX, (heads,))
+    hw = b.input("hw", Domain.VERTEX, (heads, f))
+    logits = b.scatter("u_add_v", u=el, v=er)
+    logits = b.apply("leaky_relu", logits, attrs={"slope": 0.2})
+    alpha = b.edge_softmax(logits)
+    out = b.aggregate(hw, alpha, reduce="sum")
+    b.output(out)
+    return b.build()
+
+
+def stats(V=100, E=600):
+    return GraphStats(
+        V, E,
+        np.full(V, E // V, dtype=np.int64),
+        np.full(V, E // V, dtype=np.int64),
+    )
+
+
+class TestModes:
+    def test_per_op_one_kernel_each(self):
+        m = gat_graph_ops()
+        plan = plan_module(m, mode="per_op")
+        assert len(plan.kernels) == len(m.nodes)
+
+    def test_macro_groups_builtins(self):
+        m = gat_graph_ops()
+        plan = plan_module(m, mode="macro")
+        sizes = sorted(len(k) for k in plan.kernels)
+        # edge-softmax macro (7 nodes incl. gathers/scatters) and
+        # aggregate macro (3 nodes) fuse; u_add_v and leaky_relu stay solo.
+        assert sizes == [1, 1, 3, 7]
+
+    def test_edge_chains_no_cross_centricity(self):
+        m = gat_graph_ops()
+        plan = plan_module(m, mode="edge_chains")
+        for kernel in plan.kernels:
+            if kernel.nodes[0].macro is not None:
+                continue  # builtins exempt (hand-written kernels)
+            domains = {
+                m.specs[n.outputs[0]].domain for n in kernel.nodes
+            }
+            assert len(domains) == 1
+
+    def test_unified_single_graph_kernel(self):
+        m = gat_graph_ops()
+        plan = plan_module(m, mode="unified")
+        graph_kernels = [
+            k for k in plan.kernels if k.mapping in ("edge", "vertex")
+        ]
+        assert len(graph_kernels) == 1
+        assert len(graph_kernels[0]) == len(m.nodes)
+
+    def test_unknown_mode(self):
+        m = gat_graph_ops()
+        with pytest.raises(ValueError, match="fusion mode"):
+            partition_kernels(m, mode="hyper")
+
+
+class TestMappingSelection:
+    def test_reduce_scatter_forces_vertex(self):
+        m = gat_graph_ops()
+        plan = plan_module(m, mode="unified")
+        fused = next(k for k in plan.kernels if len(k) > 1)
+        assert fused.reduce_scatter
+        assert fused.mapping == "vertex"
+
+    def test_edge_preference_respected_without_reduce_scatter(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        e = b.scatter("u_add_v", u=h, v=h)
+        e = b.apply("exp", e)
+        out = b.gather("sum", e)
+        b.output(out)
+        m = b.build()
+        plan = plan_module(m, mode="unified", prefer_mapping="edge")
+        fused = next(k for k in plan.kernels if len(k) > 1)
+        assert fused.mapping == "edge"
+        assert fused.atomic  # vertex reduction under edge mapping
+
+    def test_vertex_preference_no_atomic(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        e = b.scatter("u_add_v", u=h, v=h)
+        out = b.gather("sum", e)
+        b.output(out)
+        plan = plan_module(b.build(), mode="unified", prefer_mapping="vertex")
+        fused = next(k for k in plan.kernels if len(k) > 1)
+        assert fused.mapping == "vertex"
+        assert not fused.atomic
+
+    def test_expensive_apply_is_dense_barrier(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        w = b.param("w", (4, 4))
+        e = b.scatter("copy_u", u=h)
+        y = b.apply("linear", e, params=[w])
+        out = b.gather("sum", y)
+        b.output(out)
+        plan = plan_module(b.build(), mode="unified")
+        mappings = [k.mapping for k in plan.kernels]
+        assert "dense" in mappings
+        # Scatter and gather cannot fuse across the dense barrier.
+        assert len(plan.kernels) == 3
+
+    def test_pure_edge_kernel_mapping(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        e = b.scatter("u_add_v", u=h, v=h)
+        e = b.apply("exp", e)
+        b.output(e)
+        plan = plan_module(b.build(), mode="unified")
+        fused = next(k for k in plan.kernels if len(k) > 1)
+        assert fused.mapping == "edge"
+
+
+class TestConvexity:
+    def test_split_when_path_leaves_and_reenters(self):
+        # fusible A -> expensive L -> fusible B, plus A -> B directly:
+        # {A, B} cannot form one kernel.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        w = b.param("w", (4, 4))
+        a = b.apply("exp", h, name="a")
+        l = b.apply("linear", a, params=[w], name="l")
+        bb = b.apply("add", a, l, name="bnode")
+        b.output(bb)
+        m = b.build()
+        plan = plan_module(m, mode="unified")
+        # Schedule validity is asserted by ExecPlan itself; also check
+        # a and bnode ended up in different kernels.
+        by_node = {}
+        for i, k in enumerate(plan.kernels):
+            for n in k.nodes:
+                by_node[n.name] = i
+        assert by_node["a"] != by_node["bnode"]
+
+    def test_all_plans_schedulable(self, small_graph, rng):
+        # Fused execution must equal per-op execution on every mode.
+        m = gat_graph_ops(heads=2, f=4)
+        arrays = {
+            "el": rng.normal(size=(60, 2)),
+            "er": rng.normal(size=(60, 2)),
+            "hw": rng.normal(size=(60, 2, 4)),
+        }
+        ref = run_forward(m, small_graph, arrays, mode="per_op")[m.outputs[0]]
+        for mode in ("macro", "edge_chains", "unified"):
+            got = run_forward(m, small_graph, arrays, mode=mode)[m.outputs[0]]
+            assert np.allclose(ref, got, rtol=1e-12), mode
+
+
+class TestIOReduction:
+    def test_unified_reads_inputs_once_writes_output_once(self):
+        m = gat_graph_ops(heads=1, f=8)
+        s = stats()
+        unified = analyze_plan(plan_module(m, mode="unified"), s)
+        per_op = analyze_plan(plan_module(m, mode="per_op"), s)
+        assert unified.io_bytes < per_op.io_bytes
+        # §5 shape: all O(|E|) producer-consumer traffic removed; what
+        # remains is reading the attention operands once per edge plus
+        # streaming hw and writing the output.
+        fused = [r for r in unified.records if r.fused_ops > 1][0]
+        V, E, f = s.num_vertices, s.num_edges, 8
+        expected_reads = 4 * (2 * E * 1 + E * f)  # el, er per edge + hw rows
+        assert fused.read_bytes == expected_reads
+        assert fused.write_bytes == 4 * V * f
+
+    def test_macro_mode_matches_paper_unfused_io_shape(self):
+        # §5's example counts |V|hf + 7|E|h + 3|E|hf for the unfused
+        # graph operators; our convention counts the same O(·) terms.
+        m = gat_graph_ops(heads=1, f=8)
+        s = stats()
+        macro = analyze_plan(plan_module(m, mode="macro"), s)
+        unified = analyze_plan(plan_module(m, mode="unified"), s)
+        V, E, f = s.num_vertices, s.num_edges, 8
+        # Unfused has Θ(|E|·h) terms that vanish under full fusion.
+        saved = macro.io_bytes - unified.io_bytes
+        assert saved >= 4 * 4 * E  # several edge-scalar round trips
+
+    def test_launch_count_drops(self):
+        m = gat_graph_ops()
+        s = stats()
+        per_op = analyze_plan(plan_module(m, mode="per_op"), s)
+        unified = analyze_plan(plan_module(m, mode="unified"), s)
+        assert unified.launches < per_op.launches

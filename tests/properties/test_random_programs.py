@@ -1,0 +1,244 @@
+"""Fuzzing the whole stack with randomly generated IR programs.
+
+A random-program generator composes valid operator DAGs (scatters,
+gathers, lightweight applies, one projection) and the properties assert
+the library's core invariants on each:
+
+1. every fusion mode executes to the same values as per-op,
+2. recompute-spliced training produces the same gradients as stash-all,
+3. plan counters obey conservation: unified IO ≤ per-op IO, unified
+   peak memory ≤ per-op peak memory, FLOPs equal across fusion modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import Engine, analyze_plan, plan_module
+from repro.graph import Graph
+from repro.ir import Builder, Domain, differentiate
+from repro.ir.module import GRAPH_CONSTANTS
+from repro.opt import plan_recompute
+
+
+@st.composite
+def random_program(draw):
+    """A random valid module over one vertex input and one weight."""
+    f = draw(st.integers(2, 4))
+    b = Builder("fuzz")
+    h = b.input("h", Domain.VERTEX, (f,))
+    w = b.param("w", (f, f))
+
+    vertex_vals = [h]
+    edge_vals = []
+    n_ops = draw(st.integers(2, 8))
+    used_projection = False
+    for i in range(n_ops):
+        choices = ["scatter", "vapply"]
+        if edge_vals:
+            choices += ["gather", "eapply", "emerge"]
+        if not used_projection:
+            choices.append("linear")
+        op = draw(st.sampled_from(choices))
+        if op == "scatter":
+            fn = draw(st.sampled_from(["copy_u", "copy_v", "u_add_v", "u_sub_v", "u_mul_v"]))
+            u = draw(st.sampled_from(vertex_vals))
+            v = draw(st.sampled_from(vertex_vals))
+            if fn == "copy_u":
+                edge_vals.append(b.scatter(fn, u=u))
+            elif fn == "copy_v":
+                edge_vals.append(b.scatter(fn, v=v))
+            else:
+                edge_vals.append(b.scatter(fn, u=u, v=v))
+        elif op == "gather":
+            reduce = draw(st.sampled_from(["sum", "mean", "max"]))
+            e = draw(st.sampled_from(edge_vals))
+            out = b.gather(reduce, e)
+            vertex_vals.append(out[0] if isinstance(out, tuple) else out)
+        elif op == "vapply":
+            fn = draw(st.sampled_from(["tanh", "sigmoid", "neg", "relu"]))
+            vertex_vals.append(b.apply(fn, draw(st.sampled_from(vertex_vals))))
+        elif op == "eapply":
+            fn = draw(st.sampled_from(["tanh", "sigmoid", "exp", "neg"]))
+            edge_vals.append(b.apply(fn, draw(st.sampled_from(edge_vals))))
+        elif op == "emerge":
+            fn = draw(st.sampled_from(["add", "mul", "sub"]))
+            a = draw(st.sampled_from(edge_vals))
+            c = draw(st.sampled_from(edge_vals))
+            edge_vals.append(b.apply(fn, a, c))
+        elif op == "linear":
+            target = draw(st.sampled_from(vertex_vals))
+            vertex_vals.append(b.apply("linear", target, params=[w]))
+            used_projection = True
+    # Reduce to a vertex output so gradients reach the weight whenever
+    # the projection was used.
+    if edge_vals:
+        final = b.gather("sum", edge_vals[-1])
+    else:
+        final = vertex_vals[-1]
+    b.output(final)
+    return b.build()
+
+
+@st.composite
+def program_with_graph(draw):
+    module = draw(random_program())
+    n = draw(st.integers(2, 8))
+    m = draw(st.integers(1, 20))
+    src = np.array(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    dst = np.array(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    seed = draw(st.integers(0, 2 ** 31))
+    return module, Graph(src, dst, n), seed
+
+
+def _arrays(module, graph, seed):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for name in list(module.inputs) + list(module.params):
+        if name in GRAPH_CONSTANTS:
+            continue
+        spec = module.specs[name]
+        rows = spec.rows(graph.num_vertices, graph.num_edges)
+        shape = ((rows,) + spec.feat_shape) if rows > 1 or spec.domain.value in ("vertex", "edge") else spec.feat_shape
+        if spec.domain in (Domain.PARAM,):
+            shape = spec.feat_shape
+        out[name] = rng.normal(size=shape) * 0.5
+    return out
+
+
+class TestFusionEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=program_with_graph())
+    def test_all_modes_equal_per_op(self, data):
+        module, graph, seed = data
+        arrays = _arrays(module, graph, seed)
+        engine = Engine(graph, precision="float64")
+        env = engine.bind(module, arrays)
+        ref = engine.run_plan(plan_module(module, mode="per_op"), env)
+        for mode in ("macro", "edge_chains", "unified"):
+            got = engine.run_plan(plan_module(module, mode=mode), dict(env))
+            for name in module.outputs:
+                assert np.allclose(ref[name], got[name], rtol=1e-10, atol=1e-12), mode
+
+
+class TestCounterConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(data=program_with_graph())
+    def test_fusion_never_increases_io_or_memory(self, data):
+        module, graph, _ = data
+        stats = graph.stats()
+        per_op = analyze_plan(plan_module(module, mode="per_op"), stats)
+        unified = analyze_plan(plan_module(module, mode="unified"), stats)
+        assert unified.io_bytes <= per_op.io_bytes
+        # Fusion can transiently raise peak memory by at most one
+        # kernel's boundary writes: a fused launch allocates all its
+        # outputs at once, where per-op scheduling may free an input in
+        # between.  Beyond that slack, fusion only removes allocations.
+        slack = max((r.write_bytes for r in unified.records), default=0)
+        assert unified.peak_memory_bytes <= per_op.peak_memory_bytes + slack
+        assert unified.end_resident_bytes == per_op.end_resident_bytes
+        assert unified.launches <= per_op.launches
+        assert unified.flops == pytest.approx(per_op.flops)
+
+
+class TestReorganizeEquivalence:
+    @st.composite
+    @staticmethod
+    def reorganizable_program(draw):
+        """A random program guaranteed to contain §4 rewrite targets."""
+        f = draw(st.integers(2, 4))
+        d = draw(st.integers(2, 4))
+        b = Builder("reorg_fuzz")
+        h = b.input("h", Domain.VERTEX, (f,))
+        w = b.param("w", (f, d))
+        pre = draw(st.sampled_from(["identity", "tanh", "relu"]))
+        base = h if pre == "identity" else b.apply(pre, h)
+        fn = draw(st.sampled_from(["copy_u", "copy_v", "u_add_v", "u_sub_v"]))
+        if fn == "copy_u":
+            e = b.scatter(fn, u=base)
+        elif fn == "copy_v":
+            e = b.scatter(fn, v=base)
+        else:
+            e = b.scatter(fn, u=base, v=base)
+        y = b.apply("linear", e, params=[w])
+        post = draw(st.sampled_from(["exp", "sigmoid", "neg"]))
+        y = b.apply(post, y)
+        reduce = draw(st.sampled_from(["sum", "mean"]))
+        b.output(b.gather(reduce, y))
+        return b.build()
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_reorganize_preserves_values(self, data):
+        from repro.opt import reorganize
+
+        module = data.draw(self.reorganizable_program())
+        n = data.draw(st.integers(2, 10))
+        m = data.draw(st.integers(1, 25))
+        src = np.array(data.draw(
+            st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+        ))
+        dst = np.array(data.draw(
+            st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+        ))
+        graph = Graph(src, dst, n)
+        opt = reorganize(module)
+        # The rewrite must actually fire on these programs.
+        edge_linears = [
+            node for node in opt.nodes
+            if node.fn == "linear"
+            and opt.specs[node.inputs[0]].domain.value == "edge"
+        ]
+        assert not edge_linears
+        engine = Engine(graph, precision="float64")
+        arrays = _arrays(module, graph, data.draw(st.integers(0, 2 ** 31)))
+        a = engine.run_plan(
+            plan_module(module, mode="per_op"), engine.bind(module, arrays)
+        )
+        bb = engine.run_plan(
+            plan_module(opt, mode="per_op"), engine.bind(opt, arrays)
+        )
+        assert np.allclose(
+            a[module.outputs[0]], bb[opt.outputs[0]], rtol=1e-9, atol=1e-11
+        )
+
+
+class TestRecomputeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(data=program_with_graph())
+    def test_gradients_match_stash_all(self, data):
+        module, graph, seed = data
+        tg = differentiate(module)
+        if not tg.param_grads:
+            return  # projection unused: nothing to compare
+        engine = Engine(graph, precision="float64")
+        grads = {}
+        for policy in ("stash_all", "recompute"):
+            dec = plan_recompute(tg, policy=policy)
+            fwd_plan = plan_module(module, mode="unified", keep=dec.stash)
+            produced = {o for n in module.nodes for o in n.outputs}
+            needed = [
+                i for i in dec.combined_backward.inputs if i in produced
+            ]
+            fwd_plan = plan_module(module, mode="unified", keep=needed)
+            bwd_plan = plan_module(dec.combined_backward, mode="unified")
+            env = engine.bind(module, _arrays(module, graph, seed))
+            fwd = engine.run_plan(fwd_plan, env, unwrap=False)
+            benv = {}
+            for name in bwd_plan.module.inputs:
+                if name.startswith("grad__"):
+                    benv[name] = np.ones_like(fwd[name[len("grad__"):]])
+                elif name in GRAPH_CONSTANTS:
+                    benv[name] = engine.graph_constant(name)
+                elif name in fwd:
+                    benv[name] = fwd[name]
+                else:
+                    benv[name] = env[name]
+            res = engine.run_plan(bwd_plan, benv)
+            grads[policy] = {p: res[g] for p, g in tg.param_grads.items()}
+        for p in grads["stash_all"]:
+            assert np.allclose(
+                grads["stash_all"][p], grads["recompute"][p],
+                rtol=1e-9, atol=1e-11,
+            )

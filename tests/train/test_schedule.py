@@ -1,0 +1,83 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.train import SGD
+from repro.train.schedule import (
+    CosineLR,
+    ScheduledOptimizer,
+    StepLR,
+    WarmupLR,
+)
+
+
+class TestStepLR:
+    def test_decays_on_boundaries(self):
+        s = StepLR(period=10, gamma=0.1)
+        assert s.lr_at(0, 1.0) == 1.0
+        assert s.lr_at(9, 1.0) == 1.0
+        assert s.lr_at(10, 1.0) == pytest.approx(0.1)
+        assert s.lr_at(25, 1.0) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(period=0)
+        with pytest.raises(ValueError):
+            StepLR(period=5, gamma=1.5)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        s = CosineLR(total=100, min_lr=0.01)
+        assert s.lr_at(0, 1.0) == pytest.approx(1.0)
+        assert s.lr_at(100, 1.0) == pytest.approx(0.01)
+        assert s.lr_at(1000, 1.0) == pytest.approx(0.01)  # clamped
+
+    def test_midpoint(self):
+        s = CosineLR(total=100)
+        assert s.lr_at(50, 1.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        s = CosineLR(total=50)
+        rates = [s.lr_at(i, 1.0) for i in range(51)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        s = WarmupLR(warmup=4)
+        assert s.lr_at(0, 1.0) == pytest.approx(0.25)
+        assert s.lr_at(3, 1.0) == pytest.approx(1.0)
+        assert s.lr_at(10, 1.0) == pytest.approx(1.0)
+
+    def test_chains_into_inner(self):
+        s = WarmupLR(warmup=2, after=StepLR(period=1, gamma=0.5))
+        assert s.lr_at(2, 1.0) == pytest.approx(1.0)   # inner step 0
+        assert s.lr_at(3, 1.0) == pytest.approx(0.5)   # inner step 1
+
+
+class TestScheduledOptimizer:
+    def test_applies_schedule(self):
+        opt = ScheduledOptimizer(SGD(lr=1.0), StepLR(period=1, gamma=0.5))
+        params = {"w": np.array([8.0])}
+        # Updates shrink with the rate: 1.0, 0.5, 0.25 on unit grads.
+        for expected in (1.0, 0.5, 0.25):
+            before = params["w"].copy()
+            opt.step(params, {"w": np.array([1.0])})
+            assert before[0] - params["w"][0] == pytest.approx(expected)
+
+    def test_current_lr_property(self):
+        opt = ScheduledOptimizer(SGD(lr=2.0), CosineLR(total=10))
+        assert opt.current_lr == pytest.approx(2.0)
+        opt.step({"w": np.zeros(1)}, {"w": np.zeros(1)})
+        assert opt.current_lr < 2.0
+
+    def test_training_with_schedule_descends(self):
+        opt = ScheduledOptimizer(
+            SGD(lr=0.5), WarmupLR(warmup=3, after=CosineLR(total=40))
+        )
+        params = {"w": np.array([5.0, -4.0])}
+        for _ in range(40):
+            opt.step(params, {k: v.copy() for k, v in params.items()})
+        assert np.abs(params["w"]).max() < 0.2
