@@ -3,24 +3,49 @@ Coordinated Computation, IO, and Memory Perspective" (MLSys 2022).
 
 The library implements the paper's operator abstraction, its three
 optimization passes (propagation-postponed reorganization, unified
-thread-mapping fusion, intermediate-data recomputation), a numerically
-exact NumPy execution engine, an analytic counter/latency substrate
-that stands in for the paper's GPUs, and the baseline systems the paper
-compares against — all over one shared IR.
+thread-mapping fusion, intermediate-data recomputation) as a
+composable pass pipeline, a numerically exact NumPy execution engine,
+an analytic counter/latency substrate that stands in for the paper's
+GPUs, and the baseline systems the paper compares against — all over
+one shared IR.  Models, strategies, passes, GPUs and datasets live in
+unified registries (:mod:`repro.registry`) that user code extends with
+decorators.
 
-Quick start::
+Quick start — the fluent Session API::
 
-    from repro import compile_training, get_strategy, get_dataset, RTX3090
-    from repro.models import GAT
+    import repro
 
-    model = GAT(in_dim=64, hidden_dims=(64, 7), heads=4)
-    compiled = compile_training(model, get_strategy("ours"))
-    stats = get_dataset("cora").stats
-    counters = compiled.counters(stats)          # exact FLOPs/IO/memory
-    seconds = compiled.latency_seconds(stats, RTX3090)
+    report = (
+        repro.session()
+        .model("gat").dataset("cora")
+        .strategy("ours").gpu("RTX3090")
+        .report(train_steps=5)
+    )
+    print(report.summary())            # exact FLOPs/IO/memory + latency
 
-See ``examples/`` for runnable end-to-end scripts and ``benchmarks/``
-for the per-figure reproduction harness.
+Sweep the design space (plans are compiled once per model × strategy
+and reused across datasets and GPUs)::
+
+    sweep = repro.run_sweep(
+        models=["gat", "gcn"], datasets=["cora", "pubmed"],
+        strategies=["dgl-like", "ours"], feature_dim=64,
+    )
+    print(sweep.table())
+
+Extend without touching library source::
+
+    from repro.registry import register_strategy, register_pass
+    from repro.frameworks.strategy import ExecutionStrategy
+
+    register_strategy(ExecutionStrategy(
+        name="mine", fusion_mode="edge_chains", recompute_policy="boundary",
+    ))
+    repro.session().model("gat").dataset("cora").strategy("mine").counters()
+
+The lower-level entry points (``compile_training``, ``get_strategy``,
+``run_experiment``) remain available.  See ``examples/`` for runnable
+end-to-end scripts and ``benchmarks/`` for the per-figure reproduction
+harness.
 """
 
 from repro.graph import Graph, GraphStats, get_dataset, list_datasets
@@ -32,9 +57,23 @@ from repro.frameworks import (
 )
 from repro.gpu import RTX2080, RTX3090, CostModel, SimulatedOOM, get_gpu
 from repro.train import Adam, SGD, Trainer
+from repro.session import (
+    PlanCache,
+    Session,
+    SweepReport,
+    run_sweep,
+    session,
+)
 from repro.experiment import run_experiment
+from repro.registry import (
+    register_dataset,
+    register_gpu,
+    register_model,
+    register_pass,
+    register_strategy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -54,5 +93,15 @@ __all__ = [
     "SGD",
     "Trainer",
     "run_experiment",
+    "Session",
+    "session",
+    "PlanCache",
+    "SweepReport",
+    "run_sweep",
+    "register_model",
+    "register_strategy",
+    "register_pass",
+    "register_gpu",
+    "register_dataset",
     "__version__",
 ]

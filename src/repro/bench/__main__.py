@@ -2,11 +2,18 @@
 
 Runs all Figure 7–11 experiments plus the §1 inline measurements at the
 published workload scales, prints each table, and persists them under
-``benchmarks/results/`` (the files EXPERIMENTS.md references).
+``benchmarks/results/`` (the files EXPERIMENTS.md references).  A
+registry-driven :func:`repro.run_sweep` over the model zoo is saved as
+JSON alongside the tables so successive PRs can track the performance
+trajectory.
+
+``python -m repro.bench --smoke`` runs a CI-sized subset instead: one
+small sweep, persisted to ``benchmarks/results/sweep_smoke.json``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -22,6 +29,7 @@ from repro.bench.figures import (
     inline_redundant_computation,
 )
 from repro.bench.report import save_table
+from repro.session import run_sweep
 
 FIGURES = (
     ("fig7_gat", fig7_gat),
@@ -34,7 +42,23 @@ FIGURES = (
 )
 
 
-def main(argv: list[str] | None = None) -> int:
+def run_smoke() -> int:
+    """CI-sized sanity sweep: small dims, citation-scale workloads."""
+    t0 = time.time()
+    sweep = run_sweep(
+        models=["gat", "gcn"],
+        datasets=["cora", "pubmed"],
+        strategies=["dgl-like", "ours"],
+        feature_dim=32,
+        save_as="sweep_smoke",
+    )
+    print(sweep.table())
+    print(f"smoke sweep done in {time.time() - t0:.1f}s "
+          f"({sweep.cache_misses} compiles, {sweep.cache_hits} cache hits)")
+    return 0
+
+
+def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
         t0 = time.time()
@@ -50,8 +74,29 @@ def main(argv: list[str] | None = None) -> int:
     print(table)
     print(f"  -> {save_table('inline_memory_share', table)}\n")
 
+    sweep = run_sweep(
+        models=["gat", "gcn", "sage", "gin"],
+        datasets=["cora", "pubmed", "reddit-full"],
+        strategies=["dgl-like", "ours"],
+        feature_dim=64,
+        save_as="sweep_main",
+    )
+    print(sweep.table())
+    print("  -> sweep_main.json\n")
+
     print(f"all figures regenerated in {time.time() - start:.1f}s")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a quick CI-sized sweep instead of all paper figures",
+    )
+    args = parser.parse_args(argv)
+    return run_smoke() if args.smoke else run_full()
 
 
 if __name__ == "__main__":

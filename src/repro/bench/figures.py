@@ -37,8 +37,8 @@ from repro.bench.harness import (
     measure_training,
     normalized_rows,
 )
-from repro.bench.report import format_table, geomean
-from repro.frameworks import compile_training, get_strategy
+from repro.bench.report import format_table
+from repro.session import PlanCache, Session
 from repro.gpu.cost_model import CostModel
 from repro.gpu.spec import GPUSpec, RTX2080, RTX3090
 from repro.graph.datasets import get_dataset
@@ -138,10 +138,15 @@ def _run_grid(
     baseline: str = "dgl-like",
 ) -> FigureResult:
     measure = measure_training if training else measure_forward
+    # One plan cache per grid: workloads sharing a model instance (and
+    # every repeated strategy) reuse one compilation.
+    cache = PlanCache()
     results: List[RunResult] = []
     for model, workload, stats in runs:
         for strategy in strategies:
-            results.append(measure(model, workload, stats, strategy, gpu))
+            results.append(
+                measure(model, workload, stats, strategy, gpu, cache=cache)
+            )
     normalized = normalized_rows(results, baseline=baseline)
     rows = [
         [
@@ -241,11 +246,14 @@ def fig10_recomputation() -> FigureResult:
          _dataset_stats("reddit-full")),
     ]
     variants = ("ours-nofusion", "ours-stash", "ours")
+    cache = PlanCache()
     results: List[RunResult] = []
     for model, workload, stats in runs:
         for strategy in variants:
             results.append(
-                measure_training(model, workload, stats, strategy, RTX3090)
+                measure_training(
+                    model, workload, stats, strategy, RTX3090, cache=cache
+                )
             )
     rows = [
         [
@@ -281,6 +289,9 @@ def fig11_small_gpu() -> FigureResult:
         (_monet_ablation(training=True), "monet-reddit",
          _dataset_stats("reddit-full")),
     ]
+    # The device only enters at latency-model time, so each (model,
+    # strategy) pair compiles once and serves both GPUs via the cache.
+    cache = PlanCache()
     results: List[RunResult] = []
     for model, workload, stats in runs:
         for strategy, gpu in (
@@ -289,7 +300,9 @@ def fig11_small_gpu() -> FigureResult:
             ("dgl-like", RTX2080),
             ("ours", RTX2080),
         ):
-            results.append(measure_training(model, workload, stats, strategy, gpu))
+            results.append(
+                measure_training(model, workload, stats, strategy, gpu, cache=cache)
+            )
     rows = [
         [
             r.workload, r.strategy, r.gpu,
@@ -339,8 +352,10 @@ def inline_intermediate_memory_share() -> Tuple[float, str]:
     """
     stats = _dataset_stats("reddit-full")
     model = _gat_ablation(training=True)
-    compiled = compile_training(model, get_strategy("dgl-like"))
-    counters = compiled.counters(stats)
+    counters = (
+        Session().model(model).stats(stats, "gat-reddit")
+        .strategy("dgl-like").counters()
+    )
     share = counters.stash_bytes / counters.forward.end_resident_bytes
     table = format_table(
         ["quantity", "paper", "measured"],

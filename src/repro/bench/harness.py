@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.frameworks import compile_forward, compile_training, get_strategy
 from repro.gpu.cost_model import CostModel, SimulatedOOM
 from repro.gpu.spec import GPUSpec
 from repro.graph.stats import GraphStats
 from repro.models.base import GNNModel
+from repro.session import PlanCache, Session
 
 __all__ = ["RunResult", "measure_training", "measure_forward", "normalized_rows"]
 
@@ -52,10 +52,19 @@ def measure_training(
     stats: GraphStats,
     strategy_name: str,
     gpu: GPUSpec,
+    *,
+    cache: Optional[PlanCache] = None,
 ) -> RunResult:
-    """Analytic counters + modelled latency for one training step."""
-    compiled = compile_training(model, get_strategy(strategy_name))
-    counters = compiled.counters(stats)
+    """Analytic counters + modelled latency for one training step.
+
+    Pass a shared ``cache`` to reuse compiled plans across workloads
+    and devices (the per-figure grids do).
+    """
+    sess = (
+        Session(cache=cache)
+        .model(model).stats(stats, workload).strategy(strategy_name).gpu(gpu)
+    )
+    counters = sess.compile(training=True).counters(stats)
     cm = CostModel(gpu)
     oom = not cm.fits(counters)
     return RunResult(
@@ -79,10 +88,15 @@ def measure_forward(
     stats: GraphStats,
     strategy_name: str,
     gpu: GPUSpec,
+    *,
+    cache: Optional[PlanCache] = None,
 ) -> RunResult:
     """Analytic counters + modelled latency for one inference pass."""
-    compiled = compile_forward(model, get_strategy(strategy_name))
-    counters = compiled.counters(stats)
+    sess = (
+        Session(cache=cache)
+        .model(model).stats(stats, workload).strategy(strategy_name).gpu(gpu)
+    )
+    counters = sess.compile(training=False).counters(stats)
     cm = CostModel(gpu)
     return RunResult(
         model=model.name,

@@ -7,89 +7,32 @@ The lowest-friction entry point for downstream users::
     report = run_experiment("gat", "cora", strategy="ours")
     print(report.summary())
 
-Wraps the registry lookups, compilation, analytic counters, latency
-modelling, and (optionally) a concrete training run into a single
-:class:`ExperimentReport`.
+Since the Session redesign this module is a thin shim: model factories
+live on the unified :data:`repro.registry.MODELS` registry (populated
+by :mod:`repro.models`), and :func:`run_experiment` delegates to the
+fluent :class:`repro.session.Session`.  Both are re-exported here so
+existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.exec.profiler import Counters
-from repro.frameworks import compile_training, get_strategy
-from repro.gpu.cost_model import CostModel
-from repro.gpu.spec import get_gpu
-from repro.graph.datasets import Dataset, get_dataset
-from repro.models import GAT, GCN, GIN, RGCN, DotGAT, EdgeConv, GraphSAGE, MoNet
 from repro.models.base import GNNModel
-from repro.train import Adam, Trainer
+from repro.registry import MODELS
+from repro.session import ExperimentReport, session
+import repro.models  # noqa: F401  (populates the model registry)
 
 __all__ = ["run_experiment", "ExperimentReport", "make_model", "MODEL_REGISTRY"]
 
-#: Model factories keyed by short name; each takes (in_dim, num_classes).
-MODEL_REGISTRY = {
-    "gat": lambda f, c: GAT(f, (64, c), heads=4),
-    "gcn": lambda f, c: GCN(f, (64, c)),
-    "sage": lambda f, c: GraphSAGE(f, (64, c)),
-    "gin": lambda f, c: GIN(f, (64, c)),
-    "monet": lambda f, c: MoNet(f, (16, c), num_kernels=2, pseudo_dim=1),
-    "edgeconv": lambda f, c: EdgeConv(f, (64, 64, c)),
-    "dotgat": lambda f, c: DotGAT(f, (64, c)),
-    "rgcn": lambda f, c: RGCN(f, (64, c), num_relations=3),
-}
+#: Back-compat alias: the unified model registry (factories keyed by
+#: short name; each takes (in_dim, num_classes)).
+MODEL_REGISTRY = MODELS
 
 
 def make_model(name: str, in_dim: int, num_classes: int) -> GNNModel:
     """Instantiate a registry model with default hyper-parameters."""
-    try:
-        factory = MODEL_REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
-        ) from None
-    return factory(in_dim, num_classes)
-
-
-@dataclass
-class ExperimentReport:
-    """Everything one configuration produced."""
-
-    model: str
-    dataset: str
-    strategy: str
-    gpu: str
-    counters: Counters
-    latency_s: float
-    fits_device: bool
-    losses: List[float] = field(default_factory=list)
-    final_accuracy: Optional[float] = None
-
-    def summary(self) -> str:
-        lines = [
-            f"{self.model} on {self.dataset} [{self.strategy}, {self.gpu}]",
-            f"  flops          {self.counters.flops / 1e9:10.2f} G",
-            f"  dram io        {self.counters.io_bytes / 2**20:10.2f} MiB",
-            f"  peak memory    {self.counters.peak_memory_bytes / 2**20:10.2f} MiB"
-            + ("" if self.fits_device else "  ** exceeds device DRAM **"),
-            f"  stash          {self.counters.stash_bytes / 2**20:10.2f} MiB",
-            f"  kernel launches{self.counters.launches:8d}",
-            f"  modelled step  {self.latency_s * 1e3:10.2f} ms",
-        ]
-        if self.losses:
-            lines.append(
-                f"  training       {len(self.losses)} steps, "
-                f"loss {self.losses[0]:.4f} -> {self.losses[-1]:.4f}"
-                + (
-                    f", acc {self.final_accuracy:.3f}"
-                    if self.final_accuracy is not None
-                    else ""
-                )
-            )
-        return "\n".join(lines)
+    return MODELS.get(name)(in_dim, num_classes)
 
 
 def run_experiment(
@@ -107,7 +50,7 @@ def run_experiment(
     Parameters
     ----------
     model / dataset / strategy / gpu:
-        Registry names (:data:`MODEL_REGISTRY`,
+        Registry names (:data:`repro.registry.MODELS`,
         :func:`repro.graph.datasets.get_dataset`,
         :func:`repro.frameworks.get_strategy`,
         :func:`repro.gpu.spec.get_gpu`).
@@ -117,38 +60,15 @@ def run_experiment(
     train_steps:
         When positive, runs that many concrete training steps on the
         dataset's graph (requires a non-stats-only dataset) and records
-        the loss curve.
+        the loss curve.  Uses the dataset's ground-truth labels when it
+        provides them, synthetic planted labels otherwise.
     """
-    ds: Dataset = get_dataset(dataset)
-    in_dim = feature_dim if feature_dim is not None else ds.feature_dim
-    gnn = make_model(model, in_dim, ds.num_classes)
-    compiled = compile_training(gnn, get_strategy(strategy))
-    counters = compiled.counters(ds.stats)
-    device = get_gpu(gpu)
-    cost = CostModel(device)
-
-    report = ExperimentReport(
-        model=model,
-        dataset=dataset,
-        strategy=strategy,
-        gpu=gpu,
-        counters=counters,
-        latency_s=cost.latency_seconds(counters, ds.stats),
-        fits_device=cost.fits(counters),
+    return (
+        session()
+        .model(model)
+        .dataset(dataset)
+        .strategy(strategy)
+        .gpu(gpu)
+        .feature_dim(feature_dim)
+        .report(train_steps=train_steps, seed=seed)
     )
-
-    if train_steps > 0:
-        graph = ds.graph()
-        rng = np.random.default_rng(seed)
-        feats = ds.features(dim=in_dim, seed=seed)
-        labels = (
-            feats @ rng.normal(size=(in_dim, ds.num_classes))
-        ).argmax(axis=1)
-        trainer = Trainer(compiled, graph, precision="float32", seed=seed)
-        opt = Adam(lr=0.01)
-        acc = None
-        for _ in range(train_steps):
-            loss, acc = trainer.train_step(feats, labels, opt)
-            report.losses.append(loss)
-        report.final_accuracy = acc
-    return report

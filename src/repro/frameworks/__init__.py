@@ -15,6 +15,11 @@ ours            full      unified         full §6     checkpoints only
 
 plus ablation variants (``ours-noreorg``, ``ours-stash``,
 ``ours-nofusion``, ``ours-edgemap``) used by the Figure 8–10 benches.
+
+Strategies are data: each selects and parameterizes passes from the
+unified registry (:mod:`repro.registry`), and compilation runs through
+the :mod:`repro.opt.pipeline` PassManager.  Register your own with
+:func:`repro.registry.register_strategy`.
 """
 
 from repro.frameworks.strategy import (

@@ -1,21 +1,25 @@
 """Strategy configuration and the model → plan compile path.
 
 ``compile_training`` is the library's main entry point: it takes a
-model (naive IR) and a strategy, applies the strategy's §4 rewrites,
-derives the backward graph (Appendix B), makes the §6 stash-vs-
-recompute decision, partitions both passes into kernels (§5), and
-returns an object that can produce exact counters on any
-:class:`~repro.graph.stats.GraphStats`, modelled latency on any
-:class:`~repro.gpu.spec.GPUSpec`, and concrete NumPy execution on any
-:class:`~repro.graph.csr.Graph`.
+model (naive IR) and a strategy, and drives the strategy's pass
+pipeline (:mod:`repro.opt.pipeline`) — §4 rewrites, backward derivation
+(Appendix B), the §6 stash-vs-recompute decision, and §5 kernel
+partitioning of both passes — returning an object that can produce
+exact counters on any :class:`~repro.graph.stats.GraphStats`, modelled
+latency on any :class:`~repro.gpu.spec.GPUSpec`, and concrete NumPy
+execution on any :class:`~repro.graph.csr.Graph`.
+
+An :class:`ExecutionStrategy` is *data*: it selects and parameterizes
+passes.  The default pass order is
+``reorganize → cse → autodiff → recompute → fusion``; a strategy's
+``pass_names`` field substitutes any ordering of registered passes
+(built-in or user-defined via ``@register_pass``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro.exec.analytic import analyze_plan, analyze_training
 from repro.exec.plan import ExecPlan, plan_module
@@ -23,10 +27,10 @@ from repro.exec.profiler import Counters, PhaseCounters
 from repro.graph.stats import GraphStats
 from repro.gpu.cost_model import CostModel
 from repro.gpu.spec import GPUSpec
-from repro.ir.autodiff import TrainingGraph, differentiate, grad_seed_name
+from repro.ir.autodiff import TrainingGraph, grad_seed_name
 from repro.ir.module import Module
-from repro.ir.transform import common_subexpression_eliminate
-from repro.opt.recompute import RecomputeDecision, plan_recompute
+from repro.opt.pipeline import PassContext, PassRecord, build_pipeline
+from repro.opt.recompute import RecomputeDecision
 from repro.opt.reorganize import reorganize
 from repro.models.base import GNNModel
 
@@ -62,6 +66,11 @@ class ExecutionStrategy:
         save-everything behaviour of eager frameworks).
     supports_training:
         Forward-only systems (Huang et al.) cannot train — §8.1.
+    pass_names:
+        Optional explicit pass pipeline, as names resolved through the
+        :data:`repro.registry.PASSES` registry.  ``None`` selects the
+        default order; training-only passes are skipped automatically
+        when compiling for inference.
     """
 
     name: str
@@ -77,6 +86,7 @@ class ExecutionStrategy:
     #: its forward fuses fully (§5) but its backward may only regenerate
     #: what framework-builtin kernels regenerate, stashing the rest.
     recompute_boundary_mode: Optional[str] = None
+    pass_names: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         from repro.opt.fusion import FUSION_MODES
@@ -93,6 +103,9 @@ class ExecutionStrategy:
             raise ValueError(
                 "recompute_policy must be 'recompute', 'boundary', or 'stash_all'"
             )
+        if self.pass_names is not None:
+            # Keep the dataclass hashable when callers pass a list.
+            object.__setattr__(self, "pass_names", tuple(self.pass_names))
 
     # ------------------------------------------------------------------
     def prepare_forward(self, model: GNNModel) -> Module:
@@ -114,6 +127,7 @@ class CompiledForward:
     strategy: ExecutionStrategy
     forward: Module
     plan: ExecPlan
+    pass_records: List[PassRecord] = field(default_factory=list)
 
     def counters(self, stats: GraphStats) -> Counters:
         phase = analyze_plan(
@@ -138,6 +152,7 @@ class CompiledTraining:
     stash: List[str]
     fwd_plan: ExecPlan
     bwd_plan: ExecPlan
+    pass_records: List[PassRecord] = field(default_factory=list)
 
     def counters(self, stats: GraphStats) -> Counters:
         pinned = list(self.forward.inputs) + list(self.forward.params)
@@ -160,15 +175,19 @@ class CompiledTraining:
 # ======================================================================
 def compile_forward(model: GNNModel, strategy: ExecutionStrategy) -> CompiledForward:
     """Inference compilation: rewrites + kernel partitioning."""
-    forward = strategy.prepare_forward(model)
-    plan = plan_module(
-        forward,
-        mode=strategy.fusion_mode,
-        prefer_mapping=strategy.prefer_mapping,
-        keep=(),
+    ctx = PassContext(
+        strategy=strategy,
+        model=model,
+        training=False,
+        state={"forward": model.build_module()},
     )
+    build_pipeline(strategy, training=False).run(ctx)
     return CompiledForward(
-        model=model, strategy=strategy, forward=forward, plan=plan
+        model=model,
+        strategy=strategy,
+        forward=ctx.require("forward"),
+        plan=ctx.require("fwd_plan"),
+        pass_records=ctx.records,
     )
 
 
@@ -179,64 +198,36 @@ def compile_training(model: GNNModel, strategy: ExecutionStrategy) -> CompiledTr
             f"strategy {strategy.name!r} is inference-only "
             "(forward fusion without the intermediate data for backward)"
         )
-    forward = strategy.prepare_forward(model)
-    tg = differentiate(forward)
-
-    boundary = _boundary_values(forward, strategy)
-    decision = plan_recompute(
-        tg,
-        policy=strategy.recompute_policy,
-        boundary_values=boundary,
+    ctx = PassContext(
+        strategy=strategy,
+        model=model,
+        training=True,
+        state={"forward": model.build_module()},
     )
-
-    # The stash is, definitionally, every forward-produced value the
-    # (recompute-spliced) backward module consumes — regardless of which
-    # policy decided it.  The save-everything scope additionally keeps
-    # every forward kernel output alive.
-    produced = {o for node in forward.nodes for o in node.outputs}
-    stash = [
-        n for n in decision.combined_backward.inputs if n in produced
-    ]
-    if strategy.stash_scope == "all_boundary":
-        stash = _dedup(list(boundary) + stash)
-
-    fwd_plan = plan_module(
-        forward,
-        mode=strategy.fusion_mode,
-        prefer_mapping=strategy.prefer_mapping,
-        keep=stash,
-    )
-    bwd_plan = plan_module(
-        decision.combined_backward,
-        mode=strategy.fusion_mode,
-        prefer_mapping=strategy.prefer_mapping,
-        keep=(),
-    )
+    build_pipeline(strategy, training=True).run(ctx)
     return CompiledTraining(
         model=model,
         strategy=strategy,
-        forward=forward,
-        training_graph=tg,
-        decision=decision,
-        stash=stash,
-        fwd_plan=fwd_plan,
-        bwd_plan=bwd_plan,
+        forward=ctx.require("forward"),
+        training_graph=ctx.require("training_graph"),
+        decision=ctx.require("decision"),
+        stash=ctx.require("stash"),
+        fwd_plan=ctx.require("fwd_plan"),
+        bwd_plan=ctx.require("bwd_plan"),
+        pass_records=ctx.records,
     )
 
 
 def _boundary_values(forward: Module, strategy: ExecutionStrategy) -> List[str]:
-    """Forward values written to DRAM under the strategy's own fusion."""
-    probe = plan_module(
+    """Forward values written to DRAM under the strategy's own fusion.
+
+    Back-compat wrapper over the pipeline's probe (the §6 pass uses it
+    to know what backward can read for free).
+    """
+    from repro.opt.pipeline import _boundary_values as _probe
+
+    return _probe(
         forward,
+        strategy,
         mode=strategy.recompute_boundary_mode or strategy.fusion_mode,
-        prefer_mapping=strategy.prefer_mapping,
-        keep=(),
     )
-    writes: List[str] = []
-    for i in range(len(probe.kernels)):
-        writes.extend(probe.kernel_io(i).writes)
-    return _dedup(writes)
-
-
-def _dedup(names: Sequence[str]) -> List[str]:
-    return list(dict.fromkeys(names))

@@ -10,7 +10,8 @@ counters, not by tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+
+from repro.registry import GPUS, register_gpu
 
 __all__ = ["GPUSpec", "RTX3090", "RTX2080", "A100", "get_gpu", "list_gpus"]
 
@@ -80,41 +81,34 @@ class GPUSpec:
         return self.kernel_launch_us * 1e-6
 
 
-RTX3090 = GPUSpec(
+RTX3090 = register_gpu(GPUSpec(
     name="RTX3090",
     num_sms=82,
     peak_fp32_tflops=35.6,
     mem_bandwidth_gbps=936.0,
     dram_gb=24.0,
-)
+))
 
-RTX2080 = GPUSpec(
+RTX2080 = register_gpu(GPUSpec(
     name="RTX2080",
     num_sms=46,
     peak_fp32_tflops=10.1,
     mem_bandwidth_gbps=448.0,
     dram_gb=8.0,
-)
+))
 
-A100 = GPUSpec(
+A100 = register_gpu(GPUSpec(
     name="A100",
     num_sms=108,
     peak_fp32_tflops=19.5,
     mem_bandwidth_gbps=1555.0,
     dram_gb=40.0,
-)
-
-_REGISTRY: Dict[str, GPUSpec] = {g.name: g for g in (RTX3090, RTX2080, A100)}
+))
 
 
 def get_gpu(name: str) -> GPUSpec:
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown GPU {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+    return GPUS.get(name)
 
 
 def list_gpus() -> list[str]:
-    return sorted(_REGISTRY)
+    return GPUS.names()

@@ -25,6 +25,7 @@ import numpy as np
 from repro.graph.csr import Graph
 from repro.graph.generators import batch_point_clouds, chung_lu
 from repro.graph.stats import GraphStats
+from repro.registry import DATASETS, register_dataset
 
 __all__ = ["Dataset", "get_dataset", "list_datasets"]
 
@@ -52,6 +53,13 @@ class Dataset:
     _graph_factory: Optional[Callable[[], Graph]] = field(default=None, repr=False)
     _graph: Optional[Graph] = field(default=None, repr=False)
     points: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Dataset-provided ground-truth labels (None for stats-only
+    #: workloads; :meth:`labels` then falls back to random draws).
+    _labels: Optional[np.ndarray] = field(default=None, repr=False)
+    #: The hidden linear map the labels were planted from (published
+    #: width × num_classes); reduced-width features keep these
+    #: directions so the labels stay learnable at any width.
+    _label_basis: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def has_concrete_graph(self) -> bool:
@@ -70,15 +78,55 @@ class Dataset:
         return self._graph
 
     def features(self, dim: Optional[int] = None, *, seed: int = 0) -> np.ndarray:
-        """Random vertex features of width ``dim`` (default: published dim)."""
+        """Vertex features of width ``dim`` (default: published dim).
+
+        Datasets with ground-truth labels have one *canonical* feature
+        matrix (published width, seed 0); other widths/seeds draw iid
+        features but embed the planted class-score directions in their
+        leading columns, so the labels stay learnable at any training
+        width.  Label-less (stats-only) datasets draw fully independent
+        features per (dim, seed).
+        """
         dim = self.feature_dim if dim is None else dim
         rng = np.random.default_rng(seed)
-        return rng.normal(
+        out = rng.normal(
             scale=1.0 / np.sqrt(dim), size=(self.stats.num_vertices, dim)
         ).astype(np.float64)
+        if self._label_basis is None or (dim == self.feature_dim and seed == 0):
+            return out
+        # Overwrite up to half the iid columns with the planted
+        # class-score directions (scaled to the iid column statistics):
+        # the features stay full-rank and seed-dependent, yet carry the
+        # label signal at any width.
+        scores = self._canonical_features() @ self._label_basis
+        keep = min(scores.shape[1], max(1, dim // 2))
+        out[:, :keep] = scores[:, :keep] / np.sqrt(dim)
+        return out
+
+    def _canonical_features(self) -> np.ndarray:
+        """The dataset's fixed feature matrix (published width, seed 0)."""
+        rng = np.random.default_rng(0)
+        return rng.normal(
+            scale=1.0 / np.sqrt(self.feature_dim),
+            size=(self.stats.num_vertices, self.feature_dim),
+        ).astype(np.float64)
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether this dataset ships ground-truth labels."""
+        return self._labels is not None
 
     def labels(self, *, seed: int = 0) -> np.ndarray:
-        """Random class labels over all vertices."""
+        """Per-vertex class labels.
+
+        Returns the dataset's ground-truth labels when it provides them
+        (``seed`` is then ignored); stats-only workloads fall back to
+        random class draws.
+        """
+        if self._labels is not None:
+            # Copy: callers commonly mask labels in place, and this
+            # Dataset object is shared through the process-wide cache.
+            return self._labels.copy()
         rng = np.random.default_rng(seed + 1)
         return rng.integers(
             0, self.num_classes, size=self.stats.num_vertices
@@ -99,17 +147,31 @@ _REDDIT_FULL = (232_965, 114_615_892, 602, 41)
 _REDDIT_LITE = (23_297, 1_146_158, 602, 41)
 
 
+def _plant_labels(ds: Dataset, *, seed: int) -> Dataset:
+    """Attach ground-truth labels: a hidden linear map of the canonical
+    (published-width, seed-0) features.  Deterministic per dataset, so
+    repeated builds agree; every class remains reachable."""
+    feats = ds.features(seed=0)
+    w = np.random.default_rng(seed).normal(size=(ds.feature_dim, ds.num_classes))
+    ds._labels = np.asarray((feats @ w).argmax(axis=1), dtype=np.int64)
+    ds._label_basis = w
+    return ds
+
+
 def _citation_factory(name: str, seed: int) -> Callable[[], Dataset]:
     n, m, f, c = _CITATION_SHAPES[name]
 
     def build() -> Dataset:
         g = chung_lu(n, m, alpha=2.2, seed=seed)
-        return Dataset(
-            name=name,
-            feature_dim=f,
-            num_classes=c,
-            stats=g.stats(),
-            _graph=g,
+        return _plant_labels(
+            Dataset(
+                name=name,
+                feature_dim=f,
+                num_classes=c,
+                stats=g.stats(),
+                _graph=g,
+            ),
+            seed=seed,
         )
 
     return build
@@ -124,12 +186,15 @@ def _reddit_lite(seed: int = 7) -> Dataset:
     # Stats come from the same construction so analytic and concrete runs
     # agree; building the lite graph once here is cheap (~1M edges).
     g = factory()
-    return Dataset(
-        name="reddit-lite",
-        feature_dim=f,
-        num_classes=c,
-        stats=g.stats(),
-        _graph=g,
+    return _plant_labels(
+        Dataset(
+            name="reddit-lite",
+            feature_dim=f,
+            num_classes=c,
+            stats=g.stats(),
+            _graph=g,
+        ),
+        seed=seed,
     )
 
 
@@ -151,38 +216,42 @@ def _reddit_full(seed: int = 7) -> Dataset:
 
 def _modelnet(batch_size: int, num_points: int, k: int, seed: int = 3) -> Dataset:
     g, pts = batch_point_clouds(batch_size, num_points, k, seed=seed)
-    return Dataset(
-        name=f"modelnet40-b{batch_size}-k{k}",
-        feature_dim=3,
-        num_classes=40,
-        stats=g.stats(),
-        _graph=g,
-        points=pts,
+    return _plant_labels(
+        Dataset(
+            name=f"modelnet40-b{batch_size}-k{k}",
+            feature_dim=3,
+            num_classes=40,
+            stats=g.stats(),
+            _graph=g,
+            points=pts,
+        ),
+        seed=seed,
     )
 
 
-_BUILDERS: Dict[str, Callable[[], Dataset]] = {
-    "cora": _citation_factory("cora", seed=11),
-    "citeseer": _citation_factory("citeseer", seed=13),
-    "pubmed": _citation_factory("pubmed", seed=17),
-    "reddit-lite": _reddit_lite,
-    "reddit-full": _reddit_full,
-    # EdgeConv settings from §7.2: k ∈ {20, 40}, batch ∈ {32, 64}.  The
-    # paper uses 1024-point ModelNet40 clouds; we default to 1024 points
-    # but benches may construct smaller ones directly via _modelnet-style
-    # calls for wall-clock runs.
-    "modelnet40-b32-k20": lambda: _modelnet(32, 1024, 20),
-    "modelnet40-b32-k40": lambda: _modelnet(32, 1024, 40),
-    "modelnet40-b64-k20": lambda: _modelnet(64, 1024, 20),
-    "modelnet40-b64-k40": lambda: _modelnet(64, 1024, 40),
-}
+# Built-in workloads, registered on the unified dataset registry.  Add
+# your own with ``@register_dataset("name")`` over a zero-arg builder.
+for _name, _seed in (("cora", 11), ("citeseer", 13), ("pubmed", 17)):
+    register_dataset(_name)(_citation_factory(_name, seed=_seed))
+register_dataset("reddit-lite")(_reddit_lite)
+register_dataset("reddit-full")(_reddit_full)
+# EdgeConv settings from §7.2: k ∈ {20, 40}, batch ∈ {32, 64}.  The
+# paper uses 1024-point ModelNet40 clouds; we default to 1024 points
+# but benches may construct smaller ones directly via _modelnet-style
+# calls for wall-clock runs.
+register_dataset("modelnet40-b32-k20")(lambda: _modelnet(32, 1024, 20))
+register_dataset("modelnet40-b32-k40")(lambda: _modelnet(32, 1024, 40))
+register_dataset("modelnet40-b64-k20")(lambda: _modelnet(64, 1024, 20))
+register_dataset("modelnet40-b64-k40")(lambda: _modelnet(64, 1024, 40))
 
-_CACHE: Dict[str, Dataset] = {}
+#: Built datasets, keyed by name; each entry remembers the builder it
+#: came from so a re-registered builder (replace=True) invalidates it.
+_CACHE: Dict[str, Tuple[Callable[[], Dataset], Dataset]] = {}
 
 
 def list_datasets() -> list[str]:
     """Names accepted by :func:`get_dataset`."""
-    return sorted(_BUILDERS)
+    return DATASETS.names()
 
 
 def get_dataset(name: str, *, fresh: bool = False) -> Dataset:
@@ -194,10 +263,10 @@ def get_dataset(name: str, *, fresh: bool = False) -> Dataset:
         Bypass the cache and rebuild — used by tests that mutate nothing
         but want independent RNG state.
     """
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    builder = DATASETS.get(name)
     if fresh:
-        return _BUILDERS[name]()
-    if name not in _CACHE:
-        _CACHE[name] = _BUILDERS[name]()
-    return _CACHE[name]
+        return builder()
+    cached = _CACHE.get(name)
+    if cached is None or cached[0] is not builder:
+        _CACHE[name] = (builder, builder())
+    return _CACHE[name][1]

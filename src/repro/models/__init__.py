@@ -19,6 +19,50 @@ from repro.models.sage import GraphSAGE
 from repro.models.gin import GIN
 from repro.models.dotgat import DotGAT
 from repro.models.rgcn import RGCN
+from repro.registry import register_model
+
+
+# Default-hyper-parameter factories on the unified model registry; each
+# takes (in_dim, num_classes).  Add your own with @register_model.
+@register_model("gat")
+def _gat(f: int, c: int) -> GAT:
+    return GAT(f, (64, c), heads=4)
+
+
+@register_model("gcn")
+def _gcn(f: int, c: int) -> GCN:
+    return GCN(f, (64, c))
+
+
+@register_model("sage")
+def _sage(f: int, c: int) -> GraphSAGE:
+    return GraphSAGE(f, (64, c))
+
+
+@register_model("gin")
+def _gin(f: int, c: int) -> GIN:
+    return GIN(f, (64, c))
+
+
+@register_model("monet")
+def _monet(f: int, c: int) -> MoNet:
+    return MoNet(f, (16, c), num_kernels=2, pseudo_dim=1)
+
+
+@register_model("edgeconv")
+def _edgeconv(f: int, c: int) -> EdgeConv:
+    return EdgeConv(f, (64, 64, c))
+
+
+@register_model("dotgat")
+def _dotgat(f: int, c: int) -> DotGAT:
+    return DotGAT(f, (64, c))
+
+
+@register_model("rgcn")
+def _rgcn(f: int, c: int) -> RGCN:
+    return RGCN(f, (64, c), num_relations=3)
+
 
 __all__ = [
     "GNNModel",

@@ -7,13 +7,24 @@
 - :mod:`~repro.opt.recompute` — §6 intermediate-data recomputation
   (training-memory elimination),
 - :mod:`~repro.opt.autotune` — per-kernel thread-mapping selection by
-  the cost model (§5's "based on performance profiling").
+  the cost model (§5's "based on performance profiling"),
+- :mod:`~repro.opt.pipeline` — the passes above lifted into composable
+  :class:`~repro.opt.pipeline.Pass` objects run by a
+  :class:`~repro.opt.pipeline.PassManager` (per-pass IR deltas and
+  timings; custom passes/orderings via ``@register_pass``).
 """
 
 from repro.opt.reorganize import reorganize
 from repro.opt.fusion import partition_kernels
 from repro.opt.recompute import plan_recompute, RecomputeDecision
 from repro.opt.autotune import autotune_plan, mapping_choices
+from repro.opt.pipeline import (
+    Pass,
+    PassContext,
+    PassManager,
+    PassRecord,
+    build_pipeline,
+)
 
 __all__ = [
     "reorganize",
@@ -22,4 +33,9 @@ __all__ = [
     "RecomputeDecision",
     "autotune_plan",
     "mapping_choices",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassRecord",
+    "build_pipeline",
 ]

@@ -1,0 +1,563 @@
+"""Fluent entry point: name-based configuration, cached compilation,
+and cross-product sweeps.
+
+One configuration::
+
+    import repro
+
+    report = (
+        repro.session()
+        .model("gat").dataset("cora").strategy("ours").gpu("RTX3090")
+        .report(train_steps=5)
+    )
+    print(report.summary())
+
+Every axis accepts either a registry name (resolved through
+:mod:`repro.registry`) or a concrete object (a ``GNNModel`` instance, a
+``Dataset``, an ``ExecutionStrategy``, a ``GPUSpec``, or raw
+``GraphStats`` via :meth:`Session.stats`).
+
+A sweep over the cross product of registry names::
+
+    sweep = repro.run_sweep(
+        models=["gat", "gcn"],
+        datasets=["cora", "pubmed"],
+        strategies=["dgl-like", "ours"],
+        feature_dim=64,
+        save_as="my_sweep",        # -> benchmarks/results/my_sweep.json
+    )
+    print(sweep.table())
+
+Compiled plans are cached per :class:`PlanCache` keyed by *(structural
+model signature, strategy name)* — a sweep over N datasets that share
+feature/class widths compiles each (model, strategy) pair exactly once,
+because the plan depends only on the model's IR, never on the topology
+the counters are later evaluated on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exec.profiler import Counters
+from repro.frameworks import compile_forward, compile_training, get_strategy
+from repro.frameworks.strategy import (
+    CompiledForward,
+    CompiledTraining,
+    ExecutionStrategy,
+)
+from repro.gpu.cost_model import CostModel
+from repro.gpu.spec import GPUSpec, get_gpu
+from repro.graph.datasets import Dataset, get_dataset
+from repro.graph.stats import GraphStats
+from repro.ir.serialize import dumps_module
+from repro.models.base import GNNModel
+from repro.registry import MODELS
+import repro.models  # noqa: F401  (populates the model registry)
+
+__all__ = [
+    "Session",
+    "session",
+    "PlanCache",
+    "model_signature",
+    "ExperimentReport",
+    "SweepRow",
+    "SweepReport",
+    "run_sweep",
+]
+
+
+#: Per-instance signature memo — models are immutable once built, so
+#: the IR fingerprint never needs recomputing for the same object.
+_SIGNATURES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def model_signature(model: GNNModel) -> str:
+    """Structural fingerprint of a model's naive IR.
+
+    Two model instances with identical architecture and dimensions hash
+    identically, so compiled plans are shared across datasets that agree
+    on feature/class widths.
+    """
+    try:
+        return _SIGNATURES[model]
+    except (KeyError, TypeError):
+        pass
+    payload = dumps_module(model.build_module())
+    sig = hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+    try:
+        _SIGNATURES[model] = sig
+    except TypeError:  # non-weakreferenceable model subclass
+        pass
+    return sig
+
+
+class PlanCache:
+    """Memoises compiled plans keyed by (model signature, strategy).
+
+    The strategy enters the key by *value* (it is a frozen dataclass),
+    so two strategies sharing a name but differing in any knob never
+    alias each other's plans.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple[str, ExecutionStrategy, bool], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(
+        self,
+        model: GNNModel,
+        strategy: ExecutionStrategy,
+        *,
+        training: bool = True,
+    ):
+        key = (model_signature(model), strategy, training)
+        if key in self._plans:
+            self.hits += 1
+            return self._plans[key]
+        self.misses += 1
+        compiled = (
+            compile_training(model, strategy)
+            if training
+            else compile_forward(model, strategy)
+        )
+        self._plans[key] = compiled
+        return compiled
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+# ======================================================================
+@dataclass
+class ExperimentReport:
+    """Everything one configuration produced."""
+
+    model: str
+    dataset: str
+    strategy: str
+    gpu: str
+    counters: Counters
+    latency_s: float
+    fits_device: bool
+    losses: List[float] = field(default_factory=list)
+    final_accuracy: Optional[float] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.model} on {self.dataset} [{self.strategy}, {self.gpu}]",
+            f"  flops          {self.counters.flops / 1e9:10.2f} G",
+            f"  dram io        {self.counters.io_bytes / 2**20:10.2f} MiB",
+            f"  peak memory    {self.counters.peak_memory_bytes / 2**20:10.2f} MiB"
+            + ("" if self.fits_device else "  ** exceeds device DRAM **"),
+            f"  stash          {self.counters.stash_bytes / 2**20:10.2f} MiB",
+            f"  kernel launches{self.counters.launches:8d}",
+            f"  modelled step  {self.latency_s * 1e3:10.2f} ms",
+        ]
+        if self.losses:
+            lines.append(
+                f"  training       {len(self.losses)} steps, "
+                f"loss {self.losses[0]:.4f} -> {self.losses[-1]:.4f}"
+                + (
+                    f", acc {self.final_accuracy:.3f}"
+                    if self.final_accuracy is not None
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+# ======================================================================
+class Session:
+    """Fluent configuration builder over the unified registries.
+
+    Each setter returns ``self``; terminal methods (:meth:`compile`,
+    :meth:`counters`, :meth:`latency_seconds`, :meth:`report`) resolve
+    names, compile through the shared :class:`PlanCache`, and evaluate.
+    """
+
+    def __init__(self, *, cache: Optional[PlanCache] = None) -> None:
+        self._cache = cache if cache is not None else PlanCache()
+        self._model: Union[str, GNNModel, None] = None
+        self._dataset: Union[str, Dataset, None] = None
+        self._stats: Optional[GraphStats] = None
+        self._workload: Optional[str] = None
+        self._strategy: Union[str, ExecutionStrategy] = "ours"
+        self._gpu: Union[str, GPUSpec] = "RTX3090"
+        self._feature_dim: Optional[int] = None
+        # Last (compiled, stats) -> counters, so counters() followed by
+        # latency_seconds()/fits() analyses once, not three times.
+        self._counters_memo: Optional[tuple] = None
+        # Registry-name models resolve once per configuration; the
+        # model/dataset/feature_dim setters invalidate this.
+        self._resolved_model: Optional[GNNModel] = None
+
+    # -- fluent setters ------------------------------------------------
+    def model(self, model: Union[str, GNNModel]) -> "Session":
+        """Registry name (needs a dataset for dims) or model instance."""
+        self._model = model
+        self._resolved_model = None
+        return self
+
+    def dataset(self, dataset: Union[str, Dataset]) -> "Session":
+        self._dataset = dataset
+        self._stats = None
+        self._resolved_model = None
+        return self
+
+    def stats(self, stats: GraphStats, workload: str = "custom") -> "Session":
+        """Evaluate counters on raw ``GraphStats`` (no named dataset)."""
+        self._stats = stats
+        self._workload = workload
+        self._dataset = None
+        return self
+
+    def strategy(self, strategy: Union[str, ExecutionStrategy]) -> "Session":
+        self._strategy = strategy
+        return self
+
+    def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
+        self._gpu = gpu
+        return self
+
+    def feature_dim(self, dim: Optional[int]) -> "Session":
+        """Input-width override for registry models (default: published)."""
+        self._feature_dim = dim
+        self._resolved_model = None
+        return self
+
+    def cache(self, cache: PlanCache) -> "Session":
+        """Share a plan cache with other sessions (sweeps do this)."""
+        self._cache = cache
+        return self
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._cache
+
+    # -- resolution ----------------------------------------------------
+    def resolve_strategy(self) -> ExecutionStrategy:
+        s = self._strategy
+        return get_strategy(s) if isinstance(s, str) else s
+
+    def resolve_gpu(self) -> GPUSpec:
+        g = self._gpu
+        return get_gpu(g) if isinstance(g, str) else g
+
+    def resolve_dataset(self) -> Optional[Dataset]:
+        d = self._dataset
+        if isinstance(d, str):
+            return get_dataset(d)
+        return d
+
+    def resolve_stats(self) -> GraphStats:
+        if self._stats is not None:
+            return self._stats
+        ds = self.resolve_dataset()
+        if ds is None:
+            raise ValueError(
+                "session has no workload: call .dataset(name) or "
+                ".stats(graph_stats) before evaluating counters"
+            )
+        return ds.stats
+
+    def resolve_model(self) -> GNNModel:
+        m = self._model
+        if m is None:
+            raise ValueError("session has no model: call .model(name_or_instance)")
+        if not isinstance(m, str):
+            return m
+        if self._resolved_model is not None:
+            return self._resolved_model
+        ds = self.resolve_dataset()
+        if ds is None:
+            raise ValueError(
+                f"model {m!r} is a registry name and needs a dataset for "
+                "its feature/class dimensions; call .dataset(...) first "
+                "or pass a constructed model instance"
+            )
+        in_dim = self._feature_dim if self._feature_dim is not None else ds.feature_dim
+        self._resolved_model = MODELS.get(m)(in_dim, ds.num_classes)
+        return self._resolved_model
+
+    # -- terminal operations -------------------------------------------
+    def compile(self, *, training: bool = True):
+        """Compile (or fetch from the plan cache) the configured pair."""
+        return self._cache.get_or_compile(
+            self.resolve_model(), self.resolve_strategy(), training=training
+        )
+
+    def compile_forward(self) -> CompiledForward:
+        return self.compile(training=False)
+
+    def counters(self, *, training: bool = True) -> Counters:
+        compiled = self.compile(training=training)
+        stats = self.resolve_stats()
+        memo = self._counters_memo
+        if memo is not None and memo[0] is compiled and memo[1] is stats:
+            return memo[2]
+        counters = compiled.counters(stats)
+        self._counters_memo = (compiled, stats, counters)
+        return counters
+
+    def latency_seconds(self, *, training: bool = True) -> float:
+        return CostModel(self.resolve_gpu()).latency_seconds(
+            self.counters(training=training), self.resolve_stats()
+        )
+
+    def fits(self, *, training: bool = True) -> bool:
+        return CostModel(self.resolve_gpu()).fits(self.counters(training=training))
+
+    # -- naming (for reports) ------------------------------------------
+    def _model_label(self) -> str:
+        return self._model if isinstance(self._model, str) else self._model.name
+
+    def _dataset_label(self) -> str:
+        if isinstance(self._dataset, str):
+            return self._dataset
+        if self._dataset is not None:
+            return self._dataset.name
+        return self._workload or "custom"
+
+    def _strategy_label(self) -> str:
+        s = self._strategy
+        return s if isinstance(s, str) else s.name
+
+    def _gpu_label(self) -> str:
+        g = self._gpu
+        return g if isinstance(g, str) else g.name
+
+    def report(self, *, train_steps: int = 0, seed: int = 0) -> ExperimentReport:
+        """Counters + modelled latency, optionally with concrete training.
+
+        Training uses the dataset's ground-truth labels when it provides
+        them; stats-only or label-less datasets fall back to synthetic
+        labels planted from a hidden projection of the features.
+        """
+        from repro.train import Adam, Trainer  # local: keeps import cheap
+
+        compiled = self.compile(training=True)
+        stats = self.resolve_stats()
+        counters = compiled.counters(stats)
+        cost = CostModel(self.resolve_gpu())
+        report = ExperimentReport(
+            model=self._model_label(),
+            dataset=self._dataset_label(),
+            strategy=self._strategy_label(),
+            gpu=self._gpu_label(),
+            counters=counters,
+            latency_s=cost.latency_seconds(counters, stats),
+            fits_device=cost.fits(counters),
+        )
+
+        if train_steps > 0:
+            ds = self.resolve_dataset()
+            if ds is None:
+                raise ValueError(
+                    "concrete training needs a dataset with a graph; "
+                    "this session was configured with raw stats only"
+                )
+            graph = ds.graph()
+            in_dim = (
+                self._feature_dim
+                if self._feature_dim is not None
+                else ds.feature_dim
+            )
+            feats = ds.features(dim=in_dim, seed=seed)
+            if ds.has_labels:
+                labels = ds.labels()
+            else:
+                rng = np.random.default_rng(seed)
+                labels = (
+                    feats @ rng.normal(size=(in_dim, ds.num_classes))
+                ).argmax(axis=1)
+            trainer = Trainer(compiled, graph, precision="float32", seed=seed)
+            opt = Adam(lr=0.01)
+            acc = None
+            for _ in range(train_steps):
+                loss, acc = trainer.train_step(feats, labels, opt)
+                report.losses.append(loss)
+            report.final_accuracy = acc
+        return report
+
+
+def session(*, cache: Optional[PlanCache] = None) -> Session:
+    """Start a fluent configuration: ``repro.session().model("gat")…``."""
+    return Session(cache=cache)
+
+
+# ======================================================================
+# Sweeps
+# ======================================================================
+@dataclass
+class SweepRow:
+    """One (model, dataset, strategy, gpu) point of a sweep."""
+
+    model: str
+    dataset: str
+    strategy: str
+    gpu: str
+    flops: float
+    io_bytes: int
+    peak_memory_bytes: int
+    stash_bytes: int
+    launches: int
+    latency_s: float
+    fits_device: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "strategy": self.strategy,
+            "gpu": self.gpu,
+            "flops": self.flops,
+            "io_bytes": self.io_bytes,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "stash_bytes": self.stash_bytes,
+            "launches": self.launches,
+            "latency_s": self.latency_s,
+            "fits_device": self.fits_device,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Tabular result of :func:`run_sweep` plus plan-cache accounting."""
+
+    rows: List[SweepRow]
+    cache_hits: int
+    cache_misses: int
+    feature_dim: Optional[int] = None
+
+    def by(self, **match) -> List[SweepRow]:
+        return [
+            r
+            for r in self.rows
+            if all(getattr(r, k) == v for k, v in match.items())
+        ]
+
+    def table(self) -> str:
+        from repro.bench.report import format_table  # lazy: avoids cycle
+
+        body = [
+            [
+                r.model, r.dataset, r.strategy, r.gpu,
+                f"{r.flops / 1e9:.2f}",
+                f"{r.io_bytes / 2**20:.1f}",
+                f"{r.peak_memory_bytes / 2**20:.1f}",
+                "yes" if r.fits_device else "OOM",
+                f"{r.latency_s * 1e3:.2f}",
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            ["model", "dataset", "strategy", "gpu", "GFLOPs",
+             "IO MiB", "mem MiB", "fits", "ms/step"],
+            body,
+            title=(
+                f"sweep ({len(self.rows)} rows; plan cache "
+                f"{self.cache_misses} compiles, {self.cache_hits} hits)"
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "generated_unix": time.time(),
+            "feature_dim": self.feature_dim,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+    def save_json(self, name: str, results_dir: Optional[str] = None) -> str:
+        """Persist under ``benchmarks/results/<name>.json`` (or a dir)."""
+        from repro.bench.report import RESULTS_DIR  # lazy: avoids cycle
+
+        directory = results_dir or RESULTS_DIR
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{name}.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def run_sweep(
+    models: Sequence[Union[str, GNNModel]],
+    datasets: Sequence[Union[str, Dataset]],
+    strategies: Sequence[Union[str, ExecutionStrategy]] = ("ours",),
+    gpus: Sequence[Union[str, GPUSpec]] = ("RTX3090",),
+    *,
+    feature_dim: Optional[int] = None,
+    training: bool = True,
+    cache: Optional[PlanCache] = None,
+    save_as: Optional[str] = None,
+    results_dir: Optional[str] = None,
+) -> SweepReport:
+    """Analytic sweep over the cross product of the four axes.
+
+    Plans are cached by (model signature, strategy): datasets sharing
+    feature/class widths reuse one compilation, and GPUs always do (the
+    device only enters at latency-model time).  Training sweeps skip
+    inference-only strategies (e.g. ``huang-like``); pass
+    ``training=False`` to compare forward passes instead.
+    """
+    cache = cache if cache is not None else PlanCache()
+    hits0, misses0 = cache.hits, cache.misses
+    rows: List[SweepRow] = []
+    for m in models:
+        for d in datasets:
+            s = Session(cache=cache).model(m).dataset(d)
+            s.feature_dim(feature_dim)
+            stats = s.resolve_stats()
+            for strat in strategies:
+                s.strategy(strat)
+                resolved = s.resolve_strategy()
+                if training and not resolved.supports_training:
+                    continue
+                compiled = s.compile(training=training)
+                counters = compiled.counters(stats)
+                for g in gpus:
+                    s.gpu(g)
+                    cost = CostModel(s.resolve_gpu())
+                    rows.append(
+                        SweepRow(
+                            model=s._model_label(),
+                            dataset=s._dataset_label(),
+                            strategy=s._strategy_label(),
+                            gpu=s._gpu_label(),
+                            flops=counters.flops,
+                            io_bytes=counters.io_bytes,
+                            peak_memory_bytes=counters.peak_memory_bytes,
+                            stash_bytes=counters.stash_bytes,
+                            launches=counters.launches,
+                            latency_s=cost.latency_seconds(counters, stats),
+                            fits_device=cost.fits(counters),
+                        )
+                    )
+    report = SweepReport(
+        rows=rows,
+        cache_hits=cache.hits - hits0,
+        cache_misses=cache.misses - misses0,
+        feature_dim=feature_dim,
+    )
+    if save_as:
+        report.save_json(save_as, results_dir)
+    return report

@@ -76,6 +76,69 @@ class TestDataGeneration:
         assert y.shape == (19717,)
         assert y.min() >= 0 and y.max() < 3
 
+    def test_ground_truth_labels_fixed(self):
+        ds = get_dataset("cora")
+        assert ds.has_labels
+        assert (ds.labels() == ds.labels(seed=99)).all()
+
+    def test_labels_are_mutation_safe(self):
+        ds = get_dataset("cora")
+        y = ds.labels()
+        y[:10] = -1
+        assert (ds.labels()[:10] >= 0).all()
+
+    def test_reregistered_builder_invalidates_cache(self):
+        from repro.registry import DATASETS, register_dataset
+
+        first = get_dataset("cora")
+        original = DATASETS.get("cora")
+        try:
+            register_dataset("cora", replace=True)(lambda: first)
+            # New builder registered: the cache must not serve a
+            # dataset built by the old one.
+            assert get_dataset("cora") is first
+        finally:
+            DATASETS.add("cora", original, replace=True)
+
+    def test_stats_only_has_no_labels(self):
+        ds = get_dataset("reddit-full")
+        assert not ds.has_labels
+        # Fallback random labels remain available and seed-dependent.
+        assert ds.labels(seed=0).shape == (232_965,)
+
+    def test_labeled_features_stay_seed_dependent_and_full_rank(self):
+        import numpy as np
+
+        from repro.graph.datasets import Dataset, _plant_labels
+        from repro.graph.generators import chung_lu
+
+        g = chung_lu(30, 120, seed=2)
+        ds = _plant_labels(
+            Dataset(
+                name="tiny", feature_dim=6, num_classes=3,
+                stats=g.stats(), _graph=g,
+            ),
+            seed=5,
+        )
+        # Seeds must still matter at any width (only the leading label
+        # columns are deterministic).
+        assert not (ds.features(dim=2, seed=1) == ds.features(dim=2, seed=2)).all()
+        # Widths above the published dim must not collapse in rank.
+        wide = ds.features(dim=12, seed=1)
+        assert np.linalg.matrix_rank(wide) == 12
+
+    def test_reduced_width_features_carry_label_signal(self):
+        import numpy as np
+
+        ds = get_dataset("cora")
+        X = ds.features(dim=32, seed=1)
+        y = ds.labels()
+        onehot = np.eye(ds.num_classes)[y]
+        w, *_ = np.linalg.lstsq(X, onehot, rcond=None)
+        accuracy = ((X @ w).argmax(axis=1) == y).mean()
+        # A linear probe must beat chance (1/7) by a wide margin.
+        assert accuracy > 0.5
+
     def test_modelnet_batch(self):
         ds = get_dataset("modelnet40-b32-k20")
         assert ds.stats.num_vertices == 32 * 1024

@@ -58,6 +58,12 @@ class TestExamples:
         assert "memory timeline" in out
         assert "serialized optimized module" in out
 
+    def test_custom_strategy(self):
+        out = run_example("custom_strategy.py")
+        assert "stash-audit" in out
+        assert "boundary-chains" in out
+        assert "custom strategy ran end to end." in out
+
     def test_minibatch_clustergcn(self):
         out = run_example(
             "minibatch_clustergcn.py",

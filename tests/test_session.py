@@ -1,0 +1,255 @@
+"""Tests for the fluent Session API, the plan cache, and run_sweep."""
+
+import json
+import os
+
+import pytest
+
+from repro.frameworks import compile_training, get_strategy
+from repro.frameworks.strategy import ExecutionStrategy
+from repro.graph.datasets import Dataset
+from repro.graph.generators import chung_lu
+from repro.models import GAT, GCN
+from repro.registry import DATASETS, STRATEGIES, register_dataset, register_strategy
+from repro.session import (
+    PlanCache,
+    Session,
+    model_signature,
+    run_sweep,
+    session,
+)
+
+
+def _toy_dataset(name: str, seed: int) -> Dataset:
+    g = chung_lu(50, 220, seed=seed)
+    return Dataset(
+        name=name, feature_dim=12, num_classes=4, stats=g.stats(), _graph=g
+    )
+
+
+@pytest.fixture()
+def toy_datasets():
+    # Two workloads sharing feature/class widths: plans must be shared.
+    register_dataset("toy-a")(lambda: _toy_dataset("toy-a", seed=3))
+    register_dataset("toy-b")(lambda: _toy_dataset("toy-b", seed=4))
+    yield ("toy-a", "toy-b")
+    DATASETS.remove("toy-a")
+    DATASETS.remove("toy-b")
+
+
+class TestModelSignature:
+    def test_identical_architectures_share_signature(self):
+        assert model_signature(GAT(8, (8, 4), heads=2)) == model_signature(
+            GAT(8, (8, 4), heads=2)
+        )
+
+    def test_different_dims_differ(self):
+        assert model_signature(GAT(8, (8, 4), heads=2)) != model_signature(
+            GAT(8, (16, 4), heads=2)
+        )
+        assert model_signature(GCN(8, (8, 4))) != model_signature(
+            GAT(8, (8, 4), heads=2)
+        )
+
+
+class TestPlanCache:
+    def test_hit_on_equivalent_model(self):
+        cache = PlanCache()
+        strat = get_strategy("ours")
+        a = cache.get_or_compile(GCN(8, (8, 4)), strat)
+        b = cache.get_or_compile(GCN(8, (8, 4)), strat)
+        assert a is b
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_miss_on_different_strategy_or_mode(self):
+        cache = PlanCache()
+        model = GCN(8, (8, 4))
+        cache.get_or_compile(model, get_strategy("ours"))
+        cache.get_or_compile(model, get_strategy("dgl-like"))
+        cache.get_or_compile(model, get_strategy("ours"), training=False)
+        assert cache.misses == 3 and cache.hits == 0
+        assert len(cache) == 3
+
+    def test_same_name_different_config_never_alias(self):
+        # Strategies enter the key by value: an unregistered strategy
+        # reusing a built-in's name must not steal its cached plan.
+        cache = PlanCache()
+        model = GCN(8, (8, 4))
+        a = cache.get_or_compile(model, get_strategy("ours"))
+        impostor = ExecutionStrategy(
+            name="ours", fusion_mode="macro", recompute_policy="boundary"
+        )
+        b = cache.get_or_compile(model, impostor)
+        assert a is not b
+        assert cache.misses == 2 and cache.hits == 0
+        assert b.strategy.fusion_mode == "macro"
+
+
+class TestSessionFluent:
+    def test_compile_matches_direct_path(self):
+        sess = session().model("gcn").dataset("cora").feature_dim(16)
+        compiled = sess.compile()
+        direct = compile_training(GCN(16, (64, 7)), get_strategy("ours"))
+        stats = sess.resolve_stats()
+        assert compiled.counters(stats).flops == direct.counters(stats).flops
+
+    def test_counters_and_latency(self):
+        sess = (
+            session().model("gat").dataset("pubmed")
+            .strategy("dgl-like").gpu("RTX2080").feature_dim(32)
+        )
+        c = sess.counters()
+        assert c.flops > 0
+        assert sess.latency_seconds() > 0
+
+    def test_model_instance_with_raw_stats(self):
+        g = chung_lu(40, 160, seed=9)
+        sess = session().model(GAT(8, (8, 3), heads=1)).stats(g.stats(), "toy")
+        assert sess.counters().flops > 0
+
+    def test_registry_model_requires_dataset(self):
+        with pytest.raises(ValueError, match="needs a dataset"):
+            session().model("gat").compile()
+
+    def test_missing_model_errors(self):
+        with pytest.raises(ValueError, match="no model"):
+            session().dataset("cora").compile()
+
+    def test_missing_workload_errors(self):
+        sess = session().model(GCN(8, (8, 4)))
+        with pytest.raises(ValueError, match="no workload"):
+            sess.counters()
+
+    def test_report_matches_run_experiment(self):
+        from repro.experiment import run_experiment
+
+        via_session = (
+            session().model("gcn").dataset("cora").feature_dim(16).report()
+        )
+        via_shim = run_experiment("gcn", "cora", feature_dim=16)
+        assert via_session.counters.flops == via_shim.counters.flops
+        assert via_session.latency_s == via_shim.latency_s
+        assert "gcn on cora" in via_session.summary()
+
+    def test_report_training_uses_dataset_labels(self, toy_datasets):
+        report = (
+            session().model("gcn").dataset("reddit-lite").feature_dim(8)
+            .report(train_steps=2, seed=0)
+        )
+        assert len(report.losses) == 2
+        assert report.final_accuracy is not None
+
+
+class TestCustomStrategyThroughSession:
+    """Acceptance: a user-registered strategy composed of existing
+    passes compiles and produces counters via the Session API."""
+
+    def test_custom_strategy_roundtrip(self):
+        register_strategy(ExecutionStrategy(
+            name="test-custom",
+            reorg_scope="full",
+            fusion_mode="edge_chains",
+            recompute_policy="boundary",
+            stash_scope="needed",
+            pass_names=("reorganize", "cse", "autodiff", "recompute", "fusion"),
+        ))
+        try:
+            sess = (
+                session().model("gat").dataset("cora")
+                .strategy("test-custom").feature_dim(16)
+            )
+            compiled = sess.compile()
+            assert [r.name for r in compiled.pass_records] == [
+                "reorganize", "cse", "autodiff", "recompute", "fusion",
+            ]
+            c = sess.counters()
+            assert c.flops > 0 and c.io_bytes > 0
+        finally:
+            STRATEGIES.remove("test-custom")
+
+
+class TestRunSweep:
+    def test_compiles_each_model_strategy_pair_once(self, toy_datasets):
+        cache = PlanCache()
+        sweep = run_sweep(
+            models=["gat", "gcn"],
+            datasets=list(toy_datasets),
+            strategies=["ours"],
+            cache=cache,
+        )
+        assert len(sweep.rows) == 4
+        # 2 models x 1 strategy compile; the second dataset reuses both.
+        assert cache.misses == 2
+        assert cache.hits == 2
+        assert sweep.cache_misses == 2 and sweep.cache_hits == 2
+
+    def test_gpus_never_recompile(self, toy_datasets):
+        cache = PlanCache()
+        run_sweep(
+            models=["gcn"],
+            datasets=[toy_datasets[0]],
+            strategies=["ours"],
+            gpus=["RTX3090", "RTX2080", "A100"],
+            cache=cache,
+        )
+        # One compile serves all three devices (the GPU loop reuses the
+        # compiled plan without even consulting the cache again).
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_sweep_reports_own_counters_not_cumulative(self, toy_datasets):
+        cache = PlanCache()
+        first = run_sweep(
+            models=["gcn"], datasets=[toy_datasets[0]], cache=cache
+        )
+        second = run_sweep(
+            models=["gcn"], datasets=[toy_datasets[0]], cache=cache
+        )
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        assert second.cache_misses == 0 and second.cache_hits == 1
+
+    def test_training_sweep_skips_inference_only(self, toy_datasets):
+        sweep = run_sweep(
+            models=["gcn"],
+            datasets=[toy_datasets[0]],
+            strategies=["huang-like", "ours"],
+        )
+        assert [r.strategy for r in sweep.rows] == ["ours"]
+        forward = run_sweep(
+            models=["gcn"],
+            datasets=[toy_datasets[0]],
+            strategies=["huang-like", "ours"],
+            training=False,
+        )
+        assert [r.strategy for r in forward.rows] == ["huang-like", "ours"]
+
+    def test_rows_and_table(self, toy_datasets):
+        sweep = run_sweep(
+            models=["gcn"],
+            datasets=list(toy_datasets),
+            strategies=["dgl-like", "ours"],
+        )
+        assert len(sweep.rows) == 4
+        ours = sweep.by(strategy="ours", dataset="toy-a")
+        dgl = sweep.by(strategy="dgl-like", dataset="toy-a")
+        assert len(ours) == 1 and len(dgl) == 1
+        assert ours[0].io_bytes < dgl[0].io_bytes
+        text = sweep.table()
+        assert "toy-a" in text and "ours" in text
+
+    def test_json_emission(self, toy_datasets, tmp_path):
+        sweep = run_sweep(
+            models=["gcn"],
+            datasets=[toy_datasets[0]],
+            save_as="test_sweep",
+            results_dir=str(tmp_path),
+        )
+        path = os.path.join(str(tmp_path), "test_sweep.json")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["cache"]["misses"] == 1
+        assert len(payload["rows"]) == 1
+        row = payload["rows"][0]
+        assert row["model"] == "gcn" and row["dataset"] == "toy-a"
+        assert row["flops"] > 0
+        assert sweep.rows[0].flops == row["flops"]
