@@ -1,0 +1,58 @@
+"""Golden regression: the committed figure tables must be reproducible.
+
+Pins every ``benchmarks/results/fig*.txt`` (plus the inline-stat and
+multi-GPU scaling tables) against freshly generated output, so a
+pass-pipeline or counter change that silently drifts the published
+numbers fails loudly instead of being papered over by the
+re-persisting figure tests.
+
+The committed file contents are snapshotted at *collection* time —
+before any figure test in this run rewrites them — so the comparison is
+genuinely against what the repository ships.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.report import RESULTS_DIR
+
+# name -> zero-arg callable producing the table text.
+GOLDEN_TABLES = {
+    "fig7_gat": lambda: figures.fig7_gat().table,
+    "fig7_edgeconv": lambda: figures.fig7_edgeconv().table,
+    "fig7_monet": lambda: figures.fig7_monet().table,
+    "fig8_reorganization": lambda: figures.fig8_reorganization().table,
+    "fig9_fusion": lambda: figures.fig9_fusion().table,
+    "fig10_recomputation": lambda: figures.fig10_recomputation().table,
+    "fig11_small_gpu": lambda: figures.fig11_small_gpu().table,
+    "scaling_multi_gpu": lambda: figures.fig_multi_gpu_scaling().table,
+    "inline_redundancy": lambda: figures.inline_redundant_computation()[1],
+    "inline_memory_share": lambda: figures.inline_intermediate_memory_share()[1],
+}
+
+# Snapshot at import (collection) time, before figure tests overwrite.
+_COMMITTED = {}
+for _name in GOLDEN_TABLES:
+    _path = os.path.join(RESULTS_DIR, f"{_name}.txt")
+    if os.path.exists(_path):
+        with open(_path) as _fh:
+            _COMMITTED[_name] = _fh.read()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TABLES))
+def test_committed_table_is_reproducible(name):
+    assert name in _COMMITTED, (
+        f"benchmarks/results/{name}.txt is missing — run the benchmark "
+        "suite once and commit the generated table"
+    )
+    fresh = GOLDEN_TABLES[name]().rstrip() + "\n"
+    assert fresh == _COMMITTED[name], (
+        f"{name}: freshly generated table differs from the committed "
+        f"benchmarks/results/{name}.txt.  If the change is intentional, "
+        "regenerate and commit the new table; otherwise a pass/counter "
+        "change drifted published numbers."
+    )

@@ -24,13 +24,29 @@ Quick start — the fluent Session API::
     print(report.summary())            # exact FLOPs/IO/memory + latency
 
 Sweep the design space (plans are compiled once per model × strategy
-and reused across datasets and GPUs)::
+and reused across datasets, GPUs, and GPU counts)::
 
     sweep = repro.run_sweep(
         models=["gat", "gcn"], datasets=["cora", "pubmed"],
         strategies=["dgl-like", "ours"], feature_dim=64,
     )
     print(sweep.table())
+
+Scale out to a partitioned multi-GPU cluster — per-GPU counters,
+halo-exchange traffic, and the comm/compute split::
+
+    report = (
+        repro.session()
+        .model("gat").dataset("cora").strategy("fuse_all")
+        .cluster("V100", 4)
+        .run()
+    )
+    print(report.summary())
+
+The concrete twin, :class:`repro.exec.MultiEngine`, executes the same
+plans per-partition with explicit NumPy halo exchange and reproduces
+single-GPU results exactly (see README, "differential-testing
+contract").
 
 Extend without touching library source::
 
@@ -48,14 +64,34 @@ end-to-end scripts and ``benchmarks/`` for the per-figure reproduction
 harness.
 """
 
-from repro.graph import Graph, GraphStats, get_dataset, list_datasets
+from repro.graph import (
+    Graph,
+    GraphPartition,
+    GraphStats,
+    PartitionSpec,
+    PartitionStats,
+    get_dataset,
+    list_datasets,
+    partition_graph,
+)
 from repro.frameworks import (
     compile_forward,
     compile_training,
     get_strategy,
     list_strategies,
 )
-from repro.gpu import RTX2080, RTX3090, CostModel, SimulatedOOM, get_gpu
+from repro.gpu import (
+    RTX2080,
+    RTX3090,
+    V100,
+    Cluster,
+    ClusterCostModel,
+    CostModel,
+    SimulatedOOM,
+    get_gpu,
+    make_cluster,
+)
+from repro.exec import Engine, MultiEngine
 from repro.train import Adam, SGD, Trainer
 from repro.session import (
     PlanCache,
@@ -78,6 +114,10 @@ __version__ = "1.1.0"
 __all__ = [
     "Graph",
     "GraphStats",
+    "GraphPartition",
+    "PartitionSpec",
+    "PartitionStats",
+    "partition_graph",
     "get_dataset",
     "list_datasets",
     "compile_forward",
@@ -86,9 +126,15 @@ __all__ = [
     "list_strategies",
     "RTX2080",
     "RTX3090",
+    "V100",
+    "Cluster",
+    "ClusterCostModel",
+    "make_cluster",
     "CostModel",
     "SimulatedOOM",
     "get_gpu",
+    "Engine",
+    "MultiEngine",
     "Adam",
     "SGD",
     "Trainer",

@@ -53,6 +53,7 @@ __all__ = [
     "fig9_fusion",
     "fig10_recomputation",
     "fig11_small_gpu",
+    "fig_multi_gpu_scaling",
     "inline_redundant_computation",
     "inline_intermediate_memory_share",
 ]
@@ -317,6 +318,100 @@ def fig11_small_gpu() -> FigureResult:
         title="fig11-small-gpu (one training step; OOM = exceeds DRAM)",
     )
     return FigureResult("fig11-small-gpu", results, table, [])
+
+
+# ======================================================================
+# Multi-GPU scaling (partitioned execution extension)
+# ======================================================================
+def fig_multi_gpu_scaling(
+    num_gpus: Sequence[int] = (1, 2, 4, 8),
+    *,
+    gpu_name: str = "V100",
+) -> FigureResult:
+    """Training-step scaling of GAT and MoNet across V100 clusters.
+
+    For each GPU count the same compiled plan runs on a hash-partitioned
+    Reddit workload (expected-partition model at the published 115M-edge
+    scale): per-GPU compute shrinks roughly as ``1/P`` while halo
+    exchange grows with the cut (``(P-1)/P`` of all edges), so the comm
+    share of off-chip traffic rises monotonically with the GPU count and
+    each model eventually crosses from compute- to communication-bound.
+    Rows land in ``normalized`` as dicts keyed by (workload, gpus).
+    """
+    # Speedups are always relative to one GPU.
+    if 1 not in num_gpus:
+        num_gpus = (1,) + tuple(num_gpus)
+    stats = _dataset_stats("reddit-full")
+    runs = [
+        (_gat_ablation(training=True), "gat-reddit"),
+        (_monet_ablation(training=True), "monet-reddit"),
+    ]
+    cache = PlanCache()
+    normalized: List[Dict[str, object]] = []
+    for model, workload in runs:
+        base_latency: Optional[float] = None
+        for n in num_gpus:
+            sess = (
+                Session(cache=cache)
+                .model(model).stats(stats, workload).strategy("ours")
+            )
+            if n <= 1:
+                sess.gpu(gpu_name)
+                latency = sess.latency_seconds()
+                compute_s, comm_s = latency, 0.0
+                comm_bytes, comm_fraction = 0, 0.0
+                peak = sess.counters().peak_memory_bytes
+            else:
+                sess.cluster(gpu_name, n)
+                breakdown = sess.comm_breakdown()
+                multi = sess.multi_counters()
+                latency = breakdown.total_seconds
+                compute_s, comm_s = (
+                    breakdown.compute_seconds, breakdown.comm_seconds,
+                )
+                comm_bytes = multi.comm_bytes
+                comm_fraction = multi.comm_fraction
+                peak = multi.peak_memory_bytes
+            if base_latency is None:
+                base_latency = latency
+            normalized.append(
+                {
+                    "workload": workload,
+                    "strategy": "ours",
+                    "gpus": n,
+                    "latency_s": latency,
+                    "speedup": base_latency / latency,
+                    "comm_bytes": comm_bytes,
+                    "comm_fraction": comm_fraction,
+                    "compute_s": compute_s,
+                    "comm_s": comm_s,
+                    "peak_memory_bytes": peak,
+                    "comm_bound": comm_s > compute_s,
+                }
+            )
+    table_rows = [
+        [
+            r["workload"], r["gpus"],
+            f"{r['latency_s'] * 1e3:.1f}",
+            f"{r['speedup']:.2f}x",
+            f"{r['comm_bytes'] / 2**30:.2f}",
+            f"{r['comm_fraction'] * 100:.1f}%",
+            f"{r['compute_s'] * 1e3:.1f}",
+            f"{r['comm_s'] * 1e3:.1f}",
+            "comm" if r["comm_bound"] else "compute",
+        ]
+        for r in normalized
+    ]
+    table = format_table(
+        ["workload", "gpus", "ms/step", "speedup", "halo GiB",
+         "comm share", "compute ms", "comm ms", "bound"],
+        table_rows,
+        title=(
+            f"multi-gpu-scaling ({gpu_name} clusters, one training step, "
+            "hash partition)"
+        ),
+    )
+    return FigureResult("multi-gpu-scaling", [], table, normalized)
 
 
 # ======================================================================

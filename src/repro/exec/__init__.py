@@ -20,15 +20,25 @@ and recompute programs, as produced by :mod:`repro.opt`.
 
 from repro.exec.plan import ExecPlan, Kernel, plan_module
 from repro.exec.engine import Engine
-from repro.exec.profiler import Counters
-from repro.exec.analytic import analyze_plan, analyze_training
+from repro.exec.multi import MultiEngine
+from repro.exec.profiler import Counters, MultiGPUCounters
+from repro.exec.analytic import (
+    analyze_plan,
+    analyze_plan_multi,
+    analyze_training,
+    analyze_training_multi,
+)
 
 __all__ = [
     "ExecPlan",
     "Kernel",
     "plan_module",
     "Engine",
+    "MultiEngine",
     "Counters",
+    "MultiGPUCounters",
     "analyze_plan",
     "analyze_training",
+    "analyze_plan_multi",
+    "analyze_training_multi",
 ]

@@ -13,13 +13,29 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.exec.plan import ExecPlan, Kernel
-from repro.exec.profiler import Counters, KernelRecord, PhaseCounters
+from repro.exec.profiler import (
+    CommRecord,
+    Counters,
+    GPUShard,
+    KernelRecord,
+    MultiGPUCounters,
+    PhaseCounters,
+)
+from repro.graph.partition import PartitionStats, allreduce_bytes_per_gpu
 from repro.graph.stats import GraphStats
+from repro.ir.functions import get_scatter_fn
 from repro.ir.module import GRAPH_CONSTANTS
 from repro.ir.ops import OpKind
 from repro.ir.tensorspec import Domain
 
-__all__ = ["analyze_plan", "analyze_training", "kernel_record"]
+__all__ = [
+    "analyze_plan",
+    "analyze_training",
+    "analyze_plan_multi",
+    "analyze_training_multi",
+    "plan_comm_records",
+    "kernel_record",
+]
 
 
 def kernel_record(plan: ExecPlan, index: int, stats: GraphStats) -> KernelRecord:
@@ -174,3 +190,148 @@ def analyze_training(
         specs[fwd_plan.root_of(s)].nbytes(V, E) for s in set(stash)
     )
     return Counters(forward=fwd, backward=bwd, stash_bytes=stash_bytes)
+
+
+# ======================================================================
+# Partitioned (multi-GPU) walks
+# ======================================================================
+def plan_comm_records(
+    plan: ExecPlan, pstats: PartitionStats
+) -> "list[list[CommRecord]]":
+    """Interconnect traffic each GPU receives while executing ``plan``.
+
+    Mirrors the exchange schedule of the concrete
+    :class:`~repro.exec.multi.MultiEngine` exactly:
+
+    - a Scatter reading a vertex tensor through the edge *source* pulls
+      the part's ghost rows once per (kernel, tensor) — fusion cannot
+      eliminate cross-GPU traffic, but kernels sharing an operand share
+      one exchange,
+    - an out-orientation Gather pulls the remotely-owned rows of its
+      edge operand once per (kernel, tensor),
+    - every parameter-gradient node costs a ring all-reduce share of
+      its output buffer.
+
+    ``max_grad`` is exempt: it routes owned vertex gradients onto owned
+    in-edges, which is purely local under destination edge ownership.
+    """
+    specs = plan.module.specs
+    P = pstats.num_parts
+    per_gpu: "list[list[CommRecord]]" = [[] for _ in range(P)]
+    if P <= 1:
+        return per_gpu
+    for kernel in plan.kernels:
+        halo_in: Dict[str, int] = {}
+        halo_out: Dict[str, int] = {}
+        for node in kernel.nodes:
+            if node.kind is OpKind.SCATTER:
+                fn = get_scatter_fn(node.fn)
+                if fn.reads_u and not fn.vertex_direct_read:
+                    name = node.inputs[0]
+                    spec = specs[name]
+                    if spec.domain is Domain.VERTEX:
+                        root = plan.root_of(name)
+                        halo_in[root] = spec.feat_elements * spec.itemsize
+            elif node.kind is OpKind.GATHER and node.orientation == "out":
+                name = node.inputs[0]
+                spec = specs[name]
+                root = plan.root_of(name)
+                halo_out[root] = spec.feat_elements * spec.itemsize
+            elif node.kind is OpKind.PARAM_GRAD:
+                row_domains = {specs[n].domain for n in node.inputs}
+                if row_domains <= {Domain.PARAM, Domain.DENSE}:
+                    # Replicated operands: every GPU computes the same
+                    # gradient locally, no reduction (the MultiEngine
+                    # applies the identical exemption).
+                    continue
+                out_spec = specs[node.outputs[0]]
+                share = allreduce_bytes_per_gpu(
+                    out_spec.feat_elements * out_spec.itemsize, P
+                )
+                for p in range(P):
+                    per_gpu[p].append(
+                        CommRecord(
+                            label=f"{kernel.label}:{node.name}",
+                            kind="allreduce",
+                            bytes=share,
+                        )
+                    )
+        for root, row_bytes in halo_in.items():
+            for p in range(P):
+                per_gpu[p].append(
+                    CommRecord(
+                        label=f"{kernel.label}:{root}",
+                        kind="halo_in",
+                        bytes=pstats.halo_in_rows[p] * row_bytes,
+                    )
+                )
+        for root, row_bytes in halo_out.items():
+            for p in range(P):
+                per_gpu[p].append(
+                    CommRecord(
+                        label=f"{kernel.label}:{root}",
+                        kind="halo_out",
+                        bytes=pstats.halo_out_rows[p] * row_bytes,
+                    )
+                )
+    return per_gpu
+
+
+def analyze_plan_multi(
+    plan: ExecPlan,
+    pstats: PartitionStats,
+    *,
+    pinned: Iterable[str] = (),
+) -> MultiGPUCounters:
+    """Partitioned twin of :func:`analyze_plan` (inference).
+
+    Each GPU walks the *same* plan on its own partition's stats —
+    vertex extents cover owned + ghost rows, edge extents the owned
+    edges — and additionally receives the halo traffic scheduled by
+    :func:`plan_comm_records`.
+    """
+    pinned = list(pinned)
+    comm = plan_comm_records(plan, pstats)
+    shards = [
+        GPUShard(
+            compute=Counters(
+                forward=analyze_plan(plan, pstats.parts[p], pinned=pinned),
+                backward=None,
+                stash_bytes=0,
+            ),
+            comm=comm[p],
+        )
+        for p in range(pstats.num_parts)
+    ]
+    return MultiGPUCounters(per_gpu=shards, cut_edges=pstats.cut_edges)
+
+
+def analyze_training_multi(
+    fwd_plan: ExecPlan,
+    bwd_plan: ExecPlan,
+    pstats: PartitionStats,
+    *,
+    stash: Iterable[str],
+    pinned: Iterable[str] = (),
+) -> MultiGPUCounters:
+    """Partitioned twin of :func:`analyze_training` (one step).
+
+    Per-GPU compute counters come from walking both plans on the
+    partition's stats; comm records concatenate the forward and
+    backward exchange schedules (gradient all-reduces naturally appear
+    in the backward plan's ``PARAM_GRAD`` nodes).
+    """
+    stash = list(stash)
+    pinned = list(pinned)
+    fwd_comm = plan_comm_records(fwd_plan, pstats)
+    bwd_comm = plan_comm_records(bwd_plan, pstats)
+    shards = [
+        GPUShard(
+            compute=analyze_training(
+                fwd_plan, bwd_plan, pstats.parts[p], stash=stash, pinned=pinned
+            ),
+            comm=fwd_comm[p] + bwd_comm[p],
+        )
+        for p in range(pstats.num_parts)
+    ]
+    return MultiGPUCounters(per_gpu=shards, cut_edges=pstats.cut_edges)

@@ -31,7 +31,19 @@ from repro.ir.module import GRAPH_CONSTANTS, Module
 from repro.ir.ops import OpKind, OpNode
 from repro.ir.tensorspec import Domain, TensorSpec
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "argmax_demand"]
+
+
+def argmax_demand(module: Module, wanted: Set[str]) -> Set[str]:
+    """Gather(max) nodes whose argmax output is actually consumed."""
+    consumers = module.consumer_map()
+    demand = set()
+    for node in module.nodes:
+        if node.kind is OpKind.GATHER and node.fn == "max":
+            aux = node.outputs[1]
+            if consumers.get(aux) or aux in wanted:
+                demand.add(node.name)
+    return demand
 
 
 class Engine:
@@ -188,15 +200,7 @@ class Engine:
                 )
 
     def _argmax_demand(self, module: Module, wanted: Set[str]) -> Set[str]:
-        """Gather(max) nodes whose argmax output is actually consumed."""
-        consumers = module.consumer_map()
-        demand = set()
-        for node in module.nodes:
-            if node.kind is OpKind.GATHER and node.fn == "max":
-                aux = node.outputs[1]
-                if consumers.get(aux) or aux in wanted:
-                    demand.add(node.name)
-        return demand
+        return argmax_demand(module, wanted)
 
     # ------------------------------------------------------------------
     def _execute(

@@ -122,7 +122,12 @@ def _k_neg(inputs, params, attrs):
 
 @_register_apply("scale")
 def _k_scale(inputs, params, attrs):
-    return inputs[0] * attrs["factor"]
+    x = inputs[0]
+    # Coerce the scalar attr to the array dtype: a stray np.float64
+    # factor would otherwise upcast the whole tensor under NumPy 2's
+    # promotion rules, silently breaking the declared-precision
+    # accounting (caught by the differential counter tests).
+    return x * x.dtype.type(attrs["factor"])
 
 
 @_register_apply("relu")
@@ -191,8 +196,11 @@ def _k_relu_grad(inputs, params, attrs):
 @_register_apply("leaky_relu_grad")
 def _k_leaky_relu_grad(inputs, params, attrs):
     g, x = align_trailing(inputs)
-    slope = attrs.get("slope", 0.01)
-    return g * np.where(x > 0, 1.0, slope)
+    # Scalar where-branches must carry the array dtype: float64
+    # literals would upcast the gradient under NumPy 2 promotion.
+    one = x.dtype.type(1.0)
+    slope = x.dtype.type(attrs.get("slope", 0.01))
+    return g * np.where(x > 0, one, slope)
 
 
 @_register_apply("sigmoid_grad")
@@ -209,7 +217,8 @@ def _k_tanh_grad(inputs, params, attrs):
 
 @_register_apply("clamp_min")
 def _k_clamp_min(inputs, params, attrs):
-    return np.maximum(inputs[0], attrs["min"])
+    x = inputs[0]
+    return np.maximum(x, x.dtype.type(attrs["min"]))
 
 
 @_register_apply("view")

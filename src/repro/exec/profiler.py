@@ -21,7 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["KernelRecord", "PhaseCounters", "Counters"]
+__all__ = [
+    "KernelRecord",
+    "PhaseCounters",
+    "Counters",
+    "CommRecord",
+    "GPUShard",
+    "MultiGPUCounters",
+]
 
 
 @dataclass(frozen=True)
@@ -112,3 +119,86 @@ class Counters:
         if self.backward is not None:
             records.extend(self.backward.records)
         return records
+
+
+# ======================================================================
+# Multi-GPU counters (partitioned execution)
+# ======================================================================
+@dataclass(frozen=True)
+class CommRecord:
+    """One interconnect transfer received by one GPU.
+
+    ``kind`` is ``"halo_in"`` (ghost vertex rows fetched before a
+    Scatter), ``"halo_out"`` (remotely-owned edge rows fetched before an
+    out-orientation Gather), or ``"allreduce"`` (parameter-gradient
+    ring all-reduce share).
+    """
+
+    label: str
+    kind: str
+    bytes: int
+
+
+@dataclass
+class GPUShard:
+    """One GPU's view of a partitioned step: its compute + its comm."""
+
+    compute: Counters
+    comm: List[CommRecord] = field(default_factory=list)
+
+    @property
+    def comm_bytes(self) -> int:
+        return sum(r.bytes for r in self.comm)
+
+    @property
+    def exchanges(self) -> int:
+        return len(self.comm)
+
+
+@dataclass
+class MultiGPUCounters:
+    """Whole-cluster counters: per-GPU shards plus cut statistics.
+
+    Aggregate FLOPs/IO sum over GPUs (total work); peak memory is the
+    per-GPU maximum (each partition must fit its own DRAM);
+    ``comm_fraction`` is the interconnect share of all off-chip traffic
+    — the byte-level communication-vs-computation breakdown (the
+    time-level split lives in the cluster cost model).
+    """
+
+    per_gpu: List[GPUShard]
+    cut_edges: int = 0
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.per_gpu)
+
+    @property
+    def flops(self) -> float:
+        return sum(s.compute.flops for s in self.per_gpu)
+
+    @property
+    def io_bytes(self) -> int:
+        return sum(s.compute.io_bytes for s in self.per_gpu)
+
+    @property
+    def comm_bytes(self) -> int:
+        return sum(s.comm_bytes for s in self.per_gpu)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return max((s.compute.peak_memory_bytes for s in self.per_gpu), default=0)
+
+    @property
+    def stash_bytes(self) -> int:
+        return sum(s.compute.stash_bytes for s in self.per_gpu)
+
+    @property
+    def launches(self) -> int:
+        return sum(s.compute.launches for s in self.per_gpu)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Interconnect bytes over all off-chip bytes (DRAM + halo)."""
+        total = self.comm_bytes + self.io_bytes
+        return self.comm_bytes / total if total > 0 else 0.0

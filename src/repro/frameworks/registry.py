@@ -56,6 +56,16 @@ register_strategy(ExecutionStrategy(
     stash_scope="needed",
 ))
 
+# Descriptive alias of the full unified-fusion stack, used by the
+# multi-GPU examples/docs ("fuse everything, recompute the rest").
+register_strategy(ExecutionStrategy(
+    name="fuse_all",
+    reorg_scope="full",
+    fusion_mode="unified",
+    recompute_policy="recompute",
+    stash_scope="needed",
+))
+
 # Ablations ------------------------------------------------------------
 # Fig. 8 baseline: reorganization off, everything else per-op.
 register_strategy(ExecutionStrategy(

@@ -21,9 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.exec.analytic import analyze_plan, analyze_training
+from repro.exec.analytic import (
+    analyze_plan,
+    analyze_plan_multi,
+    analyze_training,
+    analyze_training_multi,
+)
 from repro.exec.plan import ExecPlan, plan_module
-from repro.exec.profiler import Counters, PhaseCounters
+from repro.exec.profiler import Counters, MultiGPUCounters, PhaseCounters
+from repro.graph.partition import PartitionSpec
 from repro.graph.stats import GraphStats
 from repro.gpu.cost_model import CostModel
 from repro.gpu.spec import GPUSpec
@@ -71,6 +77,12 @@ class ExecutionStrategy:
         :data:`repro.registry.PASSES` registry.  ``None`` selects the
         default order; training-only passes are skipped automatically
         when compiling for inference.
+    partition:
+        How to split the graph when the configuration targets a
+        multi-GPU :class:`~repro.gpu.cluster.Cluster` (method + seed;
+        the part count comes from the cluster).  ``None`` falls back to
+        the default hash partitioner.  Partitioning never changes the
+        compiled plan — only where each kernel's rows live.
     """
 
     name: str
@@ -87,6 +99,7 @@ class ExecutionStrategy:
     #: what framework-builtin kernels regenerate, stashing the rest.
     recompute_boundary_mode: Optional[str] = None
     pass_names: Optional[Tuple[str, ...]] = None
+    partition: Optional[PartitionSpec] = None
 
     def __post_init__(self) -> None:
         from repro.opt.fusion import FUSION_MODES
@@ -136,6 +149,13 @@ class CompiledForward:
         )
         return Counters(forward=phase, backward=None, stash_bytes=0)
 
+    def multi_counters(self, pstats) -> MultiGPUCounters:
+        """Per-GPU counters + halo traffic on a partitioned workload."""
+        return analyze_plan_multi(
+            self.plan, pstats,
+            pinned=list(self.forward.inputs) + list(self.forward.params),
+        )
+
     def latency_seconds(self, stats: GraphStats, gpu: GPUSpec) -> float:
         return CostModel(gpu).latency_seconds(self.counters(stats), stats)
 
@@ -158,6 +178,14 @@ class CompiledTraining:
         pinned = list(self.forward.inputs) + list(self.forward.params)
         return analyze_training(
             self.fwd_plan, self.bwd_plan, stats,
+            stash=self.stash, pinned=pinned,
+        )
+
+    def multi_counters(self, pstats) -> MultiGPUCounters:
+        """Per-GPU training-step counters + halo/all-reduce traffic."""
+        pinned = list(self.forward.inputs) + list(self.forward.params)
+        return analyze_training_multi(
+            self.fwd_plan, self.bwd_plan, pstats,
             stash=self.stash, pinned=pinned,
         )
 

@@ -17,11 +17,17 @@ Absolute milliseconds are not the claim — ratios between strategies
 running identical counters through one device model are.
 """
 
-from repro.gpu.spec import GPUSpec, RTX3090, RTX2080, A100, get_gpu
+from repro.gpu.spec import GPUSpec, RTX3090, RTX2080, A100, V100, get_gpu
 from repro.gpu.cost_model import (
     CostModel,
     LatencyBreakdown,
     SimulatedOOM,
+)
+from repro.gpu.cluster import (
+    Cluster,
+    ClusterCostModel,
+    CommBreakdown,
+    make_cluster,
 )
 
 __all__ = [
@@ -29,8 +35,13 @@ __all__ = [
     "RTX3090",
     "RTX2080",
     "A100",
+    "V100",
     "get_gpu",
     "CostModel",
     "LatencyBreakdown",
     "SimulatedOOM",
+    "Cluster",
+    "ClusterCostModel",
+    "CommBreakdown",
+    "make_cluster",
 ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.registry import GPUS, register_gpu
 
-__all__ = ["GPUSpec", "RTX3090", "RTX2080", "A100", "get_gpu", "list_gpus"]
+__all__ = ["GPUSpec", "RTX3090", "RTX2080", "A100", "V100", "get_gpu", "list_gpus"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +103,16 @@ A100 = register_gpu(GPUSpec(
     peak_fp32_tflops=19.5,
     mem_bandwidth_gbps=1555.0,
     dram_gb=40.0,
+))
+
+# The workhorse of multi-GPU training clusters (SXM2 32 GB variant);
+# the scaling experiments build V100xN clusters from this spec.
+V100 = register_gpu(GPUSpec(
+    name="V100",
+    num_sms=80,
+    peak_fp32_tflops=15.7,
+    mem_bandwidth_gbps=900.0,
+    dram_gb=32.0,
 ))
 
 

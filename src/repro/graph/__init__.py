@@ -33,6 +33,12 @@ from repro.graph.generators import (
 from repro.graph.datasets import get_dataset, list_datasets, Dataset
 from repro.graph.reorder import relabel, degree_sorted_relabel
 from repro.graph.sampling import induced_subgraph, khop_neighborhood, random_vertex_batches
+from repro.graph.partition import (
+    GraphPartition,
+    PartitionSpec,
+    PartitionStats,
+    partition_graph,
+)
 
 __all__ = [
     "Graph",
@@ -51,4 +57,8 @@ __all__ = [
     "induced_subgraph",
     "khop_neighborhood",
     "random_vertex_batches",
+    "GraphPartition",
+    "PartitionSpec",
+    "PartitionStats",
+    "partition_graph",
 ]

@@ -63,7 +63,7 @@ class DotGAT(GNNModel):
             scores = b.scatter("u_dot_v", u=q, v=k, name=b.fresh(f"l{layer}_qk"))
             scores = b.apply(
                 "scale", scores,
-                attrs={"factor": 1.0 / np.sqrt(f_out)},
+                attrs={"factor": float(1.0 / np.sqrt(f_out))},
                 name=b.fresh(f"l{layer}_scaled"),
             )
             alpha = b.edge_softmax(scores, name=b.fresh(f"l{layer}_alpha"))

@@ -47,16 +47,22 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exec.profiler import Counters
+from repro.exec.profiler import Counters, MultiGPUCounters
 from repro.frameworks import compile_forward, compile_training, get_strategy
 from repro.frameworks.strategy import (
     CompiledForward,
     CompiledTraining,
     ExecutionStrategy,
 )
+from repro.gpu.cluster import Cluster, ClusterCostModel, CommBreakdown, make_cluster
 from repro.gpu.cost_model import CostModel
 from repro.gpu.spec import GPUSpec, get_gpu
 from repro.graph.datasets import Dataset, get_dataset
+from repro.graph.partition import (
+    PartitionSpec,
+    PartitionStats,
+    partition_graph,
+)
 from repro.graph.stats import GraphStats
 from repro.ir.serialize import dumps_module
 from repro.models.base import GNNModel
@@ -145,7 +151,12 @@ class PlanCache:
 # ======================================================================
 @dataclass
 class ExperimentReport:
-    """Everything one configuration produced."""
+    """Everything one configuration produced.
+
+    Single-GPU runs leave ``multi`` as ``None``; cluster runs attach the
+    per-GPU shards (compute counters + halo traffic per device) and the
+    modelled communication/computation time split.
+    """
 
     model: str
     dataset: str
@@ -156,6 +167,15 @@ class ExperimentReport:
     fits_device: bool
     losses: List[float] = field(default_factory=list)
     final_accuracy: Optional[float] = None
+    num_gpus: int = 1
+    multi: Optional[MultiGPUCounters] = None
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+
+    @property
+    def comm_fraction_time(self) -> float:
+        total = self.compute_seconds + self.comm_seconds
+        return self.comm_seconds / total if total > 0 else 0.0
 
     def summary(self) -> str:
         lines = [
@@ -168,6 +188,24 @@ class ExperimentReport:
             f"  kernel launches{self.counters.launches:8d}",
             f"  modelled step  {self.latency_s * 1e3:10.2f} ms",
         ]
+        if self.multi is not None:
+            lines.append(f"  gpus           {self.num_gpus:8d}")
+            for i, shard in enumerate(self.multi.per_gpu):
+                lines.append(
+                    f"    gpu{i}: flops {shard.compute.flops / 1e9:.2f} G, "
+                    f"io {shard.compute.io_bytes / 2**20:.1f} MiB, "
+                    f"peak {shard.compute.peak_memory_bytes / 2**20:.1f} MiB, "
+                    f"halo {shard.comm_bytes / 2**20:.2f} MiB"
+                )
+            lines.append(
+                f"  halo exchange  {self.multi.comm_bytes / 2**20:10.2f} MiB "
+                f"({self.multi.cut_edges} cut edges)"
+            )
+            lines.append(
+                f"  comm/compute   {self.comm_seconds * 1e3:.2f} ms / "
+                f"{self.compute_seconds * 1e3:.2f} ms "
+                f"(comm fraction {self.comm_fraction_time * 100:.1f}%)"
+            )
         if self.losses:
             lines.append(
                 f"  training       {len(self.losses)} steps, "
@@ -198,10 +236,16 @@ class Session:
         self._workload: Optional[str] = None
         self._strategy: Union[str, ExecutionStrategy] = "ours"
         self._gpu: Union[str, GPUSpec] = "RTX3090"
+        self._cluster: Optional[Cluster] = None
+        self._partitioner: Optional[str] = None
+        # (workload id, num_parts, method, seed) -> (workload, stats).
+        self._pstats_memo: Dict[tuple, tuple] = {}
         self._feature_dim: Optional[int] = None
         # Last (compiled, stats) -> counters, so counters() followed by
         # latency_seconds()/fits() analyses once, not three times.
         self._counters_memo: Optional[tuple] = None
+        # Multi-GPU twin: (compiled, partition stats) -> MultiGPUCounters.
+        self._multi_memo: Optional[tuple] = None
         # Registry-name models resolve once per configuration; the
         # model/dataset/feature_dim setters invalidate this.
         self._resolved_model: Optional[GNNModel] = None
@@ -231,7 +275,49 @@ class Session:
         return self
 
     def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
+        """Single device by name/spec (a registered cluster name works too)."""
         self._gpu = gpu
+        self._cluster = None
+        self._partitioner = None
+        return self
+
+    def cluster(
+        self,
+        gpu: Union[str, GPUSpec, Cluster],
+        num_gpus: Optional[int] = None,
+        *,
+        interconnect_gbps: Optional[float] = None,
+        interconnect_latency_us: Optional[float] = None,
+        partitioner: Optional[str] = None,
+    ) -> "Session":
+        """Target ``num_gpus`` copies of a GPU joined by an interconnect.
+
+        ``gpu`` is a registry name, a :class:`GPUSpec`, or a prebuilt
+        :class:`Cluster` (then ``num_gpus`` must be omitted).
+        ``partitioner`` overrides the strategy's partition method
+        (``"hash"`` / ``"range"`` / ``"greedy"``).
+        """
+        if isinstance(gpu, Cluster):
+            if num_gpus is not None and num_gpus != gpu.num_gpus:
+                raise ValueError(
+                    f"cluster {gpu.name!r} has {gpu.num_gpus} GPUs, "
+                    f"cannot override to {num_gpus}"
+                )
+            self._cluster = gpu
+        else:
+            if num_gpus is None:
+                raise ValueError("cluster() needs num_gpus for a GPU name/spec")
+            self._cluster = make_cluster(
+                gpu,
+                num_gpus,
+                interconnect_gbps=interconnect_gbps,
+                interconnect_latency_us=interconnect_latency_us,
+            )
+        self._gpu = self._cluster.gpu
+        # Each cluster() call is authoritative: omitting the partitioner
+        # falls back to the strategy's PartitionSpec rather than a value
+        # left over from an earlier configuration.
+        self._partitioner = partitioner
         return self
 
     def feature_dim(self, dim: Optional[int]) -> "Session":
@@ -256,7 +342,50 @@ class Session:
 
     def resolve_gpu(self) -> GPUSpec:
         g = self._gpu
-        return get_gpu(g) if isinstance(g, str) else g
+        resolved = get_gpu(g) if isinstance(g, str) else g
+        if isinstance(resolved, Cluster):
+            return resolved.gpu
+        return resolved
+
+    def resolve_cluster(self) -> Optional[Cluster]:
+        """The target cluster, if this session is multi-GPU."""
+        if self._cluster is not None:
+            return self._cluster
+        g = self._gpu
+        resolved = get_gpu(g) if isinstance(g, str) else g
+        return resolved if isinstance(resolved, Cluster) else None
+
+    def resolve_partition_stats(self) -> PartitionStats:
+        """Degree-level partition summary for the configured cluster.
+
+        Workloads with a concrete graph are partitioned exactly (the
+        strategy's partition method, default hash); stats-only
+        workloads use the expected hash-partition model.  Results are
+        memoised per (workload, part count, method, seed).
+        """
+        cluster = self.resolve_cluster()
+        num_parts = cluster.num_gpus if cluster is not None else 1
+        strategy = self.resolve_strategy()
+        spec = strategy.partition if strategy.partition is not None else PartitionSpec()
+        method = self._partitioner or spec.method
+        ds = self.resolve_dataset()
+        # Key on workload object identity (the anchor is stored in the
+        # value to keep its id() from being recycled): two datasets
+        # sharing a name must never alias each other's partitions.
+        anchor = ds if ds is not None else self._stats
+        key = (id(anchor), num_parts, method, spec.seed)
+        memo = self._pstats_memo.get(key)
+        if memo is not None and memo[0] is anchor:
+            return memo[1]
+        if ds is not None and ds.has_concrete_graph:
+            gp = partition_graph(
+                ds.graph(), num_parts, method=method, seed=spec.seed
+            )
+            pstats = PartitionStats.from_partition(gp)
+        else:
+            pstats = PartitionStats.from_stats(self.resolve_stats(), num_parts)
+        self._pstats_memo[key] = (anchor, pstats)
+        return pstats
 
     def resolve_dataset(self) -> Optional[Dataset]:
         d = self._dataset
@@ -314,12 +443,46 @@ class Session:
         self._counters_memo = (compiled, stats, counters)
         return counters
 
+    def multi_counters(self, *, training: bool = True) -> MultiGPUCounters:
+        """Per-GPU counters + halo traffic (requires a cluster)."""
+        if self.resolve_cluster() is None:
+            raise ValueError(
+                "session targets a single GPU: call .cluster(name, n) "
+                "before asking for multi-GPU counters"
+            )
+        compiled = self.compile(training=training)
+        pstats = self.resolve_partition_stats()
+        memo = self._multi_memo
+        if memo is not None and memo[0] is compiled and memo[1] is pstats:
+            return memo[2]
+        multi = compiled.multi_counters(pstats)
+        self._multi_memo = (compiled, pstats, multi)
+        return multi
+
+    def comm_breakdown(self, *, training: bool = True) -> CommBreakdown:
+        """Communication-vs-computation time split on the cluster."""
+        cluster = self.resolve_cluster()
+        if cluster is None:
+            raise ValueError("comm_breakdown() needs a cluster configuration")
+        return ClusterCostModel(cluster).breakdown(
+            self.multi_counters(training=training),
+            self.resolve_partition_stats(),
+        )
+
     def latency_seconds(self, *, training: bool = True) -> float:
+        cluster = self.resolve_cluster()
+        if cluster is not None:
+            return self.comm_breakdown(training=training).total_seconds
         return CostModel(self.resolve_gpu()).latency_seconds(
             self.counters(training=training), self.resolve_stats()
         )
 
     def fits(self, *, training: bool = True) -> bool:
+        cluster = self.resolve_cluster()
+        if cluster is not None:
+            return ClusterCostModel(cluster).fits(
+                self.multi_counters(training=training)
+            )
         return CostModel(self.resolve_gpu()).fits(self.counters(training=training))
 
     # -- naming (for reports) ------------------------------------------
@@ -338,6 +501,9 @@ class Session:
         return s if isinstance(s, str) else s.name
 
     def _gpu_label(self) -> str:
+        cluster = self.resolve_cluster()
+        if cluster is not None:
+            return cluster.name
         g = self._gpu
         return g if isinstance(g, str) else g.name
 
@@ -353,16 +519,36 @@ class Session:
         compiled = self.compile(training=True)
         stats = self.resolve_stats()
         counters = compiled.counters(stats)
-        cost = CostModel(self.resolve_gpu())
-        report = ExperimentReport(
-            model=self._model_label(),
-            dataset=self._dataset_label(),
-            strategy=self._strategy_label(),
-            gpu=self._gpu_label(),
-            counters=counters,
-            latency_s=cost.latency_seconds(counters, stats),
-            fits_device=cost.fits(counters),
-        )
+        cluster = self.resolve_cluster()
+        if cluster is not None:
+            multi = self.multi_counters()
+            breakdown = ClusterCostModel(cluster).breakdown(
+                multi, self.resolve_partition_stats()
+            )
+            report = ExperimentReport(
+                model=self._model_label(),
+                dataset=self._dataset_label(),
+                strategy=self._strategy_label(),
+                gpu=self._gpu_label(),
+                counters=counters,
+                latency_s=breakdown.total_seconds,
+                fits_device=ClusterCostModel(cluster).fits(multi),
+                num_gpus=cluster.num_gpus,
+                multi=multi,
+                compute_seconds=breakdown.compute_seconds,
+                comm_seconds=breakdown.comm_seconds,
+            )
+        else:
+            cost = CostModel(self.resolve_gpu())
+            report = ExperimentReport(
+                model=self._model_label(),
+                dataset=self._dataset_label(),
+                strategy=self._strategy_label(),
+                gpu=self._gpu_label(),
+                counters=counters,
+                latency_s=cost.latency_seconds(counters, stats),
+                fits_device=cost.fits(counters),
+            )
 
         if train_steps > 0:
             ds = self.resolve_dataset()
@@ -394,6 +580,14 @@ class Session:
             report.final_accuracy = acc
         return report
 
+    def run(self, *, train_steps: int = 0, seed: int = 0) -> ExperimentReport:
+        """Evaluate the configuration (alias of :meth:`report`).
+
+        On a cluster configuration the report carries per-GPU counters,
+        halo-exchange bytes, and the comm/compute time split.
+        """
+        return self.report(train_steps=train_steps, seed=seed)
+
 
 def session(*, cache: Optional[PlanCache] = None) -> Session:
     """Start a fluent configuration: ``repro.session().model("gat")…``."""
@@ -405,7 +599,11 @@ def session(*, cache: Optional[PlanCache] = None) -> Session:
 # ======================================================================
 @dataclass
 class SweepRow:
-    """One (model, dataset, strategy, gpu) point of a sweep."""
+    """One (model, dataset, strategy, gpu[, gpu count]) sweep point.
+
+    Multi-GPU rows carry the interconnect traffic and the time share
+    spent communicating; single-GPU rows leave them at zero.
+    """
 
     model: str
     dataset: str
@@ -418,6 +616,9 @@ class SweepRow:
     launches: int
     latency_s: float
     fits_device: bool
+    num_gpus: int = 1
+    comm_bytes: int = 0
+    comm_fraction: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -432,6 +633,9 @@ class SweepRow:
             "launches": self.launches,
             "latency_s": self.latency_s,
             "fits_device": self.fits_device,
+            "num_gpus": self.num_gpus,
+            "comm_bytes": self.comm_bytes,
+            "comm_fraction": self.comm_fraction,
         }
 
 
@@ -505,19 +709,27 @@ def run_sweep(
     strategies: Sequence[Union[str, ExecutionStrategy]] = ("ours",),
     gpus: Sequence[Union[str, GPUSpec]] = ("RTX3090",),
     *,
+    num_gpus: Sequence[int] = (1,),
+    interconnect_gbps: Optional[float] = None,
     feature_dim: Optional[int] = None,
     training: bool = True,
     cache: Optional[PlanCache] = None,
     save_as: Optional[str] = None,
     results_dir: Optional[str] = None,
 ) -> SweepReport:
-    """Analytic sweep over the cross product of the four axes.
+    """Analytic sweep over the cross product of the five axes.
 
     Plans are cached by (model signature, strategy): datasets sharing
     feature/class widths reuse one compilation, and GPUs always do (the
     device only enters at latency-model time).  Training sweeps skip
     inference-only strategies (e.g. ``huang-like``); pass
     ``training=False`` to compare forward passes instead.
+
+    ``num_gpus`` sweeps cluster sizes: each entry > 1 evaluates the
+    same compiled plans on a partitioned workload (``<gpu>xN`` rows
+    with halo-exchange traffic and the comm time fraction).  The plan
+    is independent of the partitioning, so every GPU count reuses one
+    compilation per (model, strategy).
     """
     cache = cache if cache is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
@@ -534,24 +746,65 @@ def run_sweep(
                     continue
                 compiled = s.compile(training=training)
                 counters = compiled.counters(stats)
+                # Partitioned counters are GPU-independent: one walk per
+                # partition serves every device in `gpus`.
+                multi_memo: Dict[int, MultiGPUCounters] = {}
                 for g in gpus:
-                    s.gpu(g)
-                    cost = CostModel(s.resolve_gpu())
-                    rows.append(
-                        SweepRow(
-                            model=s._model_label(),
-                            dataset=s._dataset_label(),
-                            strategy=s._strategy_label(),
-                            gpu=s._gpu_label(),
-                            flops=counters.flops,
-                            io_bytes=counters.io_bytes,
-                            peak_memory_bytes=counters.peak_memory_bytes,
-                            stash_bytes=counters.stash_bytes,
-                            launches=counters.launches,
-                            latency_s=cost.latency_seconds(counters, stats),
-                            fits_device=cost.fits(counters),
+                    for n in num_gpus:
+                        if n <= 1:
+                            # A registered cluster name in `gpus` still
+                            # resolves to the cluster path below.
+                            s.gpu(g)
+                        else:
+                            s.cluster(g, n, interconnect_gbps=interconnect_gbps)
+                        cluster = s.resolve_cluster()
+                        if cluster is None:
+                            cost = CostModel(s.resolve_gpu())
+                            rows.append(
+                                SweepRow(
+                                    model=s._model_label(),
+                                    dataset=s._dataset_label(),
+                                    strategy=s._strategy_label(),
+                                    gpu=s._gpu_label(),
+                                    flops=counters.flops,
+                                    io_bytes=counters.io_bytes,
+                                    peak_memory_bytes=counters.peak_memory_bytes,
+                                    stash_bytes=counters.stash_bytes,
+                                    launches=counters.launches,
+                                    latency_s=cost.latency_seconds(counters, stats),
+                                    fits_device=cost.fits(counters),
+                                )
+                            )
+                            continue
+                        pstats = s.resolve_partition_stats()
+                        multi = multi_memo.get(id(pstats))
+                        if multi is None:
+                            multi = compiled.multi_counters(pstats)
+                            multi_memo[id(pstats)] = multi
+                        breakdown = ClusterCostModel(cluster).breakdown(
+                            multi, pstats
                         )
-                    )
+                        rows.append(
+                            SweepRow(
+                                model=s._model_label(),
+                                dataset=s._dataset_label(),
+                                strategy=s._strategy_label(),
+                                gpu=s._gpu_label(),
+                                flops=multi.flops,
+                                io_bytes=multi.io_bytes,
+                                peak_memory_bytes=multi.peak_memory_bytes,
+                                stash_bytes=multi.stash_bytes,
+                                launches=multi.launches,
+                                latency_s=breakdown.total_seconds,
+                                fits_device=ClusterCostModel(cluster).fits(multi),
+                                num_gpus=cluster.num_gpus,
+                                comm_bytes=multi.comm_bytes,
+                                # Byte-based traffic share (monotone in
+                                # the GPU count; the time split depends
+                                # on imbalance floors too).
+                                comm_fraction=multi.comm_fraction,
+                            )
+                        )
     report = SweepReport(
         rows=rows,
         cache_hits=cache.hits - hits0,

@@ -1,16 +1,30 @@
-"""Shared test utilities: gradient checking and module runners."""
+"""Shared test utilities: gradient checking, module runners, and the
+differential-testing harness.
+
+The differential contract the suite enforces: **optimizations are
+accounting transforms — values never change**.  Any two execution
+configurations of the same model (different strategies, different
+kernel partitionings, single- vs multi-GPU) must produce equal outputs
+and parameter gradients, up to float associativity; and the analytic
+byte counters must agree with byte counts re-derived from the actual
+array shapes an Engine run touches.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exec import Engine, plan_module
+from repro.exec.analytic import kernel_record
 from repro.graph import Graph
 from repro.ir import Module, differentiate
 from repro.ir.autodiff import grad_seed_name
+from repro.ir.functions import get_scatter_fn
 from repro.ir.module import GRAPH_CONSTANTS
+from repro.ir.ops import OpKind
+from repro.ir.tensorspec import Domain
 
 
 def run_forward(
@@ -100,6 +114,179 @@ def numeric_grads(
         grad[idx] = (loss(plus) - loss(minus)) / (2 * eps)
         it.iternext()
     return grad
+
+
+def training_values(
+    engine,
+    compiled,
+    features: np.ndarray,
+    params: Dict[str, np.ndarray],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Run one compiled training configuration end to end.
+
+    ``engine`` is an :class:`~repro.exec.engine.Engine` or
+    :class:`~repro.exec.multi.MultiEngine` (they share the
+    ``bind``/``run_plan``/``graph_constant`` interface).  The backward
+    pass is seeded with all-ones output gradients so results are
+    deterministic and loss-free.  Returns ``(outputs, param_grads)``
+    with globally-assembled arrays.
+    """
+    module = compiled.forward
+    arrays = compiled.model.make_inputs(engine.graph, features)
+    arrays.update(params)
+    env = engine.bind(module, arrays)
+    fwd = engine.run_plan(compiled.fwd_plan, env, unwrap=False)
+
+    bwd_module = compiled.bwd_plan.module
+    bwd_arrays: Dict[str, np.ndarray] = {}
+    for name in list(bwd_module.inputs) + list(bwd_module.params):
+        if name.startswith("grad__"):
+            bwd_arrays[name] = np.ones_like(fwd[name[len("grad__"):]])
+        elif name in GRAPH_CONSTANTS:
+            continue  # bind() synthesises these from the topology
+        elif name in fwd:
+            bwd_arrays[name] = fwd[name]
+        elif name in arrays:
+            bwd_arrays[name] = arrays[name]
+        else:
+            raise KeyError(f"backward input {name!r} unavailable")
+    benv = engine.bind(bwd_module, bwd_arrays)
+    res = engine.run_plan(compiled.bwd_plan, benv)
+    grads = {p: res[g] for p, g in compiled.param_grads.items()}
+    outputs = {o: np.asarray(fwd[o]) for o in module.outputs}
+    return outputs, grads
+
+
+def assert_values_close(
+    got: Dict[str, np.ndarray],
+    want: Dict[str, np.ndarray],
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-11,
+    context: str = "",
+) -> None:
+    """Assert two value dicts agree up to float associativity."""
+    assert set(got) == set(want), (
+        f"{context}: value sets differ: {sorted(set(got) ^ set(want))}"
+    )
+    for name in sorted(got):
+        a, b = np.asarray(got[name]), np.asarray(want[name])
+        assert a.shape == b.shape, f"{context}:{name}: {a.shape} vs {b.shape}"
+        assert np.allclose(a, b, rtol=rtol, atol=atol), (
+            f"{context}:{name}: max abs diff "
+            f"{float(np.abs(a - b).max()):.3e}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Analytic counters vs actual array shapes
+# ----------------------------------------------------------------------
+def record_value_shapes(
+    engine: Engine, plan, env: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Execute ``plan`` keeping every intermediate array alive."""
+    keeper = Engine(
+        engine.graph, precision=str(engine.precision), free_dead_values=False
+    )
+    values = dict(env)
+    for kernel in plan.kernels:
+        for node in kernel.nodes:
+            keeper._execute(node, values, keeper._argmax_demand(
+                plan.module, set(plan.module.outputs) | set(plan.keep)
+            ))
+    return values
+
+
+def derived_kernel_bytes(
+    plan, graph: Graph, values: Dict[str, np.ndarray], index: int
+) -> Tuple[int, int]:
+    """Re-derive one kernel's boundary bytes from actual array shapes.
+
+    Independent re-implementation of the counting convention used by
+    :func:`repro.exec.analytic.kernel_record`, driven by the concrete
+    arrays an Engine run produced rather than by ``TensorSpec``
+    formulas: a vertex operand read through an edge index stages one
+    row per edge; everything else streams its actual leading extent.
+    """
+    kernel = plan.kernels[index]
+    io = plan.kernel_io(index)
+    specs = plan.module.specs
+
+    read_bytes = 0
+    for name in io.reads:
+        arr = values[name]
+        row_bytes = int(
+            np.prod(arr.shape[1:], dtype=np.int64) * arr.dtype.itemsize
+        )
+        rows_per_node: List[int] = []
+        for node in kernel.nodes:
+            if name not in node.all_inputs():
+                continue
+            rows = arr.shape[0]
+            if (
+                node.kind is OpKind.SCATTER
+                and specs[name].domain is Domain.VERTEX
+                and not get_scatter_fn(node.fn).vertex_direct_read
+            ):
+                rows = graph.num_edges
+            rows_per_node.append(rows)
+        read_bytes += max(rows_per_node) * row_bytes if rows_per_node else 0
+
+    write_bytes = sum(int(values[name].nbytes) for name in io.writes)
+    return read_bytes, write_bytes
+
+
+def _assert_plan_matches_shapes(plan, graph: Graph, values) -> None:
+    stats = graph.stats()
+    for i in range(len(plan.kernels)):
+        record = kernel_record(plan, i, stats)
+        got_read, got_write = derived_kernel_bytes(plan, graph, values, i)
+        assert record.read_bytes == got_read, (
+            f"kernel {i} ({plan.kernels[i].label}): analytic reads "
+            f"{record.read_bytes} != shape-derived {got_read}"
+        )
+        assert record.write_bytes == got_write, (
+            f"kernel {i} ({plan.kernels[i].label}): analytic writes "
+            f"{record.write_bytes} != shape-derived {got_write}"
+        )
+
+
+def assert_counters_match_shapes(
+    compiled, graph: Graph, features: np.ndarray, params: Dict[str, np.ndarray]
+) -> None:
+    """Analytic kernel byte counters == bytes derived from real arrays.
+
+    Runs the compiled forward *and* backward plans concretely in
+    float32 (the accounting dtype), then checks every kernel's analytic
+    read/write bytes against the shape-derived counts, exactly.  Any
+    silent dtype upcast or extent mismatch in a kernel implementation
+    fails here.
+    """
+    engine = Engine(graph, precision="float32", free_dead_values=False)
+    module = compiled.forward
+    arrays = compiled.model.make_inputs(graph, features)
+    arrays.update(params)
+    env = engine.bind(module, arrays)
+    fwd_values = record_value_shapes(engine, compiled.fwd_plan, env)
+    _assert_plan_matches_shapes(compiled.fwd_plan, graph, fwd_values)
+
+    bwd_module = compiled.bwd_plan.module
+    bwd_arrays: Dict[str, np.ndarray] = {}
+    for name in list(bwd_module.inputs) + list(bwd_module.params):
+        if name.startswith("grad__"):
+            out = name[len("grad__"):]
+            bwd_arrays[name] = np.ones_like(fwd_values[out])
+        elif name in GRAPH_CONSTANTS:
+            continue
+        elif name in fwd_values:
+            bwd_arrays[name] = Engine.unwrap(
+                bwd_module.specs[name], fwd_values[name]
+            )
+        else:
+            raise KeyError(f"backward input {name!r} unavailable")
+    benv = engine.bind(bwd_module, bwd_arrays)
+    bwd_values = record_value_shapes(engine, compiled.bwd_plan, benv)
+    _assert_plan_matches_shapes(compiled.bwd_plan, graph, bwd_values)
 
 
 def gradcheck(

@@ -72,3 +72,9 @@ class TestExamples:
         )
         assert "receptive field" in out
         assert "seed-set accuracy" in out
+
+    def test_multi_gpu_scaling(self):
+        out = run_example("multi_gpu_scaling.py")
+        assert "halo exchange" in out
+        assert "comm" in out
+        assert "partitioned execution matches single-GPU execution" in out

@@ -253,3 +253,146 @@ class TestRunSweep:
         assert row["model"] == "gcn" and row["dataset"] == "toy-a"
         assert row["flops"] > 0
         assert sweep.rows[0].flops == row["flops"]
+
+
+class TestClusterSessions:
+    """Multi-GPU session configuration and the GPU-count sweep axis."""
+
+    def test_cluster_run_reports_per_gpu_and_halo(self, toy_datasets):
+        report = (
+            session()
+            .model("gat").dataset(toy_datasets[0])
+            .strategy("fuse_all").cluster("V100", 4)
+            .run()
+        )
+        assert report.num_gpus == 4
+        assert report.gpu == "V100x4"
+        assert report.multi is not None
+        assert len(report.multi.per_gpu) == 4
+        assert report.multi.comm_bytes > 0
+        assert all(s.comm_bytes > 0 for s in report.multi.per_gpu)
+        assert report.comm_seconds > 0 and report.compute_seconds > 0
+        text = report.summary()
+        assert "halo exchange" in text and "gpu0" in text
+
+    def test_cluster_accepts_prebuilt_and_validates(self, toy_datasets):
+        from repro.gpu.cluster import make_cluster
+
+        cluster = make_cluster("V100", 2, interconnect_gbps=32.0)
+        s = session().model("gcn").dataset(toy_datasets[0]).cluster(cluster)
+        assert s.resolve_cluster() is cluster
+        with pytest.raises(ValueError):
+            session().cluster(cluster, 4)
+        with pytest.raises(ValueError):
+            session().cluster("V100")  # num_gpus required for a name
+
+    def test_gpu_clears_cluster(self, toy_datasets):
+        s = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .cluster("V100", 2).gpu("RTX3090")
+        )
+        assert s.resolve_cluster() is None
+        with pytest.raises(ValueError):
+            s.multi_counters()
+
+    def test_partitioner_override_and_memoisation(self, toy_datasets):
+        s = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .cluster("V100", 2, partitioner="range")
+        )
+        a = s.resolve_partition_stats()
+        b = s.resolve_partition_stats()
+        assert a is b  # memoised
+        hash_stats = (
+            session().model("gcn").dataset(toy_datasets[0]).cluster("V100", 2)
+            .resolve_partition_stats()
+        )
+        assert a.halo_in_rows != hash_stats.halo_in_rows
+
+    def test_strategy_partition_spec_drives_method(self, toy_datasets):
+        from repro.graph.partition import PartitionSpec
+
+        strat = ExecutionStrategy(
+            name="ours-range-part", partition=PartitionSpec(method="range")
+        )
+        s = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .strategy(strat).cluster("V100", 2)
+        )
+        ranged = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .cluster("V100", 2, partitioner="range")
+        )
+        assert (
+            s.resolve_partition_stats().halo_in_rows
+            == ranged.resolve_partition_stats().halo_in_rows
+        )
+
+    def test_stats_only_dataset_uses_expected_model(self):
+        from repro.graph.datasets import get_dataset
+
+        s = (
+            session().model("gat").dataset("reddit-full").cluster("V100", 4)
+        )
+        pstats = s.resolve_partition_stats()
+        stats = get_dataset("reddit-full").stats
+        assert pstats.num_parts == 4
+        assert sum(x.num_edges for x in pstats.parts) == stats.num_edges
+
+    def test_sweep_gpu_count_axis(self, toy_datasets):
+        sweep = run_sweep(
+            models=["gat"],
+            datasets=[toy_datasets[0]],
+            strategies=["ours"],
+            gpus=["V100"],
+            num_gpus=(1, 2, 4),
+        )
+        assert [r.num_gpus for r in sweep.rows] == [1, 2, 4]
+        assert sweep.rows[0].comm_bytes == 0
+        fractions = [r.comm_fraction for r in sweep.rows]
+        assert fractions[0] == 0.0
+        assert fractions[1] < fractions[2]  # comm share grows with GPUs
+        names = [r.gpu for r in sweep.rows]
+        assert names == ["V100", "V100x2", "V100x4"]
+        # One compilation serves every GPU count.
+        assert sweep.cache_misses == 1
+        row = sweep.rows[2].to_dict()
+        assert row["num_gpus"] == 4 and row["comm_bytes"] > 0
+
+    def test_registered_cluster_name_in_sweep_gpus(self, toy_datasets):
+        """A registered cluster name in `gpus` takes the cluster path
+        even at the default num_gpus=(1,) — never single-GPU numbers
+        stamped with a cluster label."""
+        from repro.gpu.cluster import make_cluster
+        from repro.registry import GPUS
+
+        make_cluster("V100", 4, register=True)
+        try:
+            sweep = run_sweep(
+                models=["gcn"], datasets=[toy_datasets[0]],
+                strategies=["ours"], gpus=["V100x4"],
+            )
+        finally:
+            GPUS.remove("V100x4")
+        (row,) = sweep.rows
+        assert row.gpu == "V100x4"
+        assert row.num_gpus == 4
+        assert row.comm_bytes > 0
+
+    def test_partitioner_override_not_sticky(self, toy_datasets):
+        s = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .cluster("V100", 2, partitioner="range")
+        )
+        ranged = s.resolve_partition_stats()
+        s.cluster("V100", 2)  # no partitioner: back to the default hash
+        assert (
+            s.resolve_partition_stats().halo_in_rows != ranged.halo_in_rows
+        )
+
+    def test_multi_counters_memoised(self, toy_datasets):
+        s = (
+            session().model("gcn").dataset(toy_datasets[0])
+            .cluster("V100", 2)
+        )
+        assert s.multi_counters() is s.multi_counters()
