@@ -48,6 +48,21 @@ plans per-partition with explicit NumPy halo exchange and reproduces
 single-GPU results exactly (see README, "differential-testing
 contract").
 
+Sampled mini-batch training (GraphSAGE / Cluster-GCN style) — per-batch
+receptive-field accounting where feature gathers dominate the IO term::
+
+    report = (
+        repro.session()
+        .model("sage").dataset("pubmed").strategy("ours")
+        .minibatch(batch_size=1024)
+        .report(train_steps=2)        # one step = one sampled epoch
+    )
+    print(report.summary())           # epoch IO incl. gathers, per-batch peak
+
+The concrete twin, :class:`repro.train.MiniBatchTrainer`, reproduces
+the full-graph :class:`repro.train.Trainer` bit for bit in the
+full-batch limit.
+
 Extend without touching library source::
 
     from repro.registry import register_strategy, register_pass
@@ -92,7 +107,7 @@ from repro.gpu import (
     make_cluster,
 )
 from repro.exec import Engine, MultiEngine
-from repro.train import Adam, SGD, Trainer
+from repro.train import Adam, MiniBatchTrainer, SGD, Trainer
 from repro.session import (
     PlanCache,
     Session,
@@ -138,6 +153,7 @@ __all__ = [
     "Adam",
     "SGD",
     "Trainer",
+    "MiniBatchTrainer",
     "run_experiment",
     "Session",
     "session",

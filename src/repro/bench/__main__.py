@@ -9,6 +9,9 @@ trajectory.
 
 ``python -m repro.bench --smoke`` runs a CI-sized subset instead: one
 small sweep, persisted to ``benchmarks/results/sweep_smoke.json``.
+``--minibatch`` runs the sampled-training smoke case: a citation-scale
+batch-size sweep (full-graph vs sampled epochs) persisted to
+``benchmarks/results/sweep_minibatch_smoke.json``.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.bench.figures import (
     fig9_fusion,
     fig10_recomputation,
     fig11_small_gpu,
+    fig_minibatch_io,
     inline_intermediate_memory_share,
     inline_redundant_computation,
 )
@@ -39,6 +43,7 @@ FIGURES = (
     ("fig9_fusion", fig9_fusion),
     ("fig10_recomputation", fig10_recomputation),
     ("fig11_small_gpu", fig11_small_gpu),
+    ("minibatch_io", fig_minibatch_io),
 )
 
 
@@ -55,6 +60,38 @@ def run_smoke() -> int:
     print(sweep.table())
     print(f"smoke sweep done in {time.time() - t0:.1f}s "
           f"({sweep.cache_misses} compiles, {sweep.cache_hits} cache hits)")
+    return 0
+
+
+def run_minibatch_smoke() -> int:
+    """CI-sized sampled-training case: full-graph vs mini-batch epochs.
+
+    Sweeps GraphSAGE over batch sizes on a citation workload (exact
+    sampled schedules through the concrete graph) and sanity-checks the
+    qualitative shape — sampling must never *increase* the per-batch
+    peak and must pay a positive feature-gather bill.
+    """
+    t0 = time.time()
+    sweep = run_sweep(
+        models=["sage"],
+        datasets=["pubmed"],
+        strategies=["ours"],
+        batch_size=[None, 1024, 256],
+        feature_dim=32,
+        save_as="sweep_minibatch_smoke",
+    )
+    print(sweep.table())
+    full = sweep.by(batch_size=None)[0]
+    sampled = [r for r in sweep.rows if r.batch_size is not None]
+    assert sampled, "mini-batch sweep produced no sampled rows"
+    assert all(r.gather_bytes > 0 for r in sampled)
+    assert all(
+        r.peak_memory_bytes <= full.peak_memory_bytes for r in sampled
+    ), "sampled per-batch peak exceeded the full-graph footprint"
+    print(
+        f"minibatch smoke done in {time.time() - t0:.1f}s "
+        f"({sweep.cache_misses} compiles, {sweep.cache_hits} cache hits)"
+    )
     return 0
 
 
@@ -95,8 +132,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run a quick CI-sized sweep instead of all paper figures",
     )
+    parser.add_argument(
+        "--minibatch",
+        action="store_true",
+        help="run the CI-sized sampled mini-batch training smoke case",
+    )
     args = parser.parse_args(argv)
-    return run_smoke() if args.smoke else run_full()
+    if args.smoke:
+        return run_smoke()
+    if args.minibatch:
+        return run_minibatch_smoke()
+    return run_full()
 
 
 if __name__ == "__main__":

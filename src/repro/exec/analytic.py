@@ -14,10 +14,12 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.exec.plan import ExecPlan, Kernel
 from repro.exec.profiler import (
+    BatchCost,
     CommRecord,
     Counters,
     GPUShard,
     KernelRecord,
+    MiniBatchCounters,
     MultiGPUCounters,
     PhaseCounters,
 )
@@ -33,6 +35,9 @@ __all__ = [
     "analyze_training",
     "analyze_plan_multi",
     "analyze_training_multi",
+    "analyze_minibatch",
+    "feature_gather_row_bytes",
+    "vertex_data_inputs",
     "plan_comm_records",
     "kernel_record",
 ]
@@ -190,6 +195,96 @@ def analyze_training(
         specs[fwd_plan.root_of(s)].nbytes(V, E) for s in set(stash)
     )
     return Counters(forward=fwd, backward=bwd, stash_bytes=stash_bytes)
+
+
+# ======================================================================
+# Mini-batch (sampled subgraph) walks
+# ======================================================================
+def vertex_data_inputs(module) -> "list[str]":
+    """Module inputs gathered per receptive-field vertex.
+
+    Vertex-domain *data* inputs only: graph constants (degrees) are
+    synthesised from the subgraph topology, and edge-domain inputs
+    (MoNet pseudo-coordinates etc.) are derived from the induced
+    subgraph — neither is fetched from host feature storage.  This
+    single predicate defines the exact-reconciliation contract between
+    the analytic walker and the engine-side measurement
+    (:meth:`repro.train.minibatch.MiniBatchTrainer`).
+    """
+    return [
+        name
+        for name in module.inputs
+        if name not in GRAPH_CONSTANTS
+        and module.specs[name].domain is Domain.VERTEX
+    ]
+
+
+def feature_gather_row_bytes(plan: ExecPlan) -> int:
+    """Bytes one receptive-field vertex costs to gather from host.
+
+    Sums the per-row bytes of every :func:`vertex_data_inputs` entry —
+    for every model in the zoo this is exactly the feature matrix row.
+    """
+    specs = plan.module.specs
+    return sum(
+        specs[name].feat_elements * specs[name].itemsize
+        for name in vertex_data_inputs(plan.module)
+    )
+
+
+def analyze_minibatch(
+    fwd_plan: ExecPlan,
+    bwd_plan: Optional[ExecPlan],
+    batches: "Iterable[Tuple[int, GraphStats]]",
+    *,
+    num_vertices: int,
+    stash: Iterable[str] = (),
+    pinned: Iterable[str] = (),
+) -> MiniBatchCounters:
+    """Per-batch cost walk of one sampled training epoch.
+
+    ``batches`` yields ``(num_seeds, field_stats)`` pairs — exact
+    receptive-field stats when sampled from a concrete graph
+    (:func:`repro.graph.sampling.plan_minibatches`), or degree-model
+    realisations (:func:`repro.graph.stats.expected_field_stats`) for
+    stats-only workloads.  Each batch is charged
+
+    - the ordinary kernel counters of both plans on its field's stats
+      (:func:`analyze_training`, so peak memory feeds the existing
+      :class:`~repro.gpu.cost_model.SimulatedOOM` machinery unchanged),
+    - plus the feature-gather IO of fetching its field's vertex rows
+      (:func:`feature_gather_row_bytes` × field size) — the term the
+      full-graph walkers never see because resident features are pinned.
+
+    ``num_vertices`` is the *full* graph's vertex count, used for the
+    epoch expansion factor.
+    """
+    stash = list(stash)
+    pinned = list(pinned)
+    row_bytes = feature_gather_row_bytes(fwd_plan)
+    costs = []
+    for num_seeds, field_stats in batches:
+        if bwd_plan is not None:
+            compute = analyze_training(
+                fwd_plan, bwd_plan, field_stats, stash=stash, pinned=pinned
+            )
+        else:
+            compute = Counters(
+                forward=analyze_plan(fwd_plan, field_stats, pinned=pinned),
+                backward=None,
+                stash_bytes=0,
+            )
+        costs.append(
+            BatchCost(
+                seeds=int(num_seeds),
+                field=field_stats.num_vertices,
+                edges=field_stats.num_edges,
+                gather_bytes=field_stats.num_vertices * row_bytes,
+                compute=compute,
+                stats=field_stats,
+            )
+        )
+    return MiniBatchCounters(batches=costs, num_vertices=num_vertices)
 
 
 # ======================================================================

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.graph.stats import GraphStats
+
 __all__ = [
     "KernelRecord",
     "PhaseCounters",
@@ -28,6 +30,8 @@ __all__ = [
     "CommRecord",
     "GPUShard",
     "MultiGPUCounters",
+    "BatchCost",
+    "MiniBatchCounters",
 ]
 
 
@@ -202,3 +206,106 @@ class MultiGPUCounters:
         """Interconnect bytes over all off-chip bytes (DRAM + halo)."""
         total = self.comm_bytes + self.io_bytes
         return self.comm_bytes / total if total > 0 else 0.0
+
+
+# ======================================================================
+# Mini-batch counters (sampled subgraph training)
+# ======================================================================
+@dataclass(frozen=True)
+class BatchCost:
+    """One sampled training step's exact cost on its receptive field.
+
+    ``gather_bytes`` is the feature-gather IO: the bytes of every
+    vertex-domain module input row fetched for the receptive field
+    before the step can run — the term that dominates sampled training
+    (seeds are few, but their k-hop fields are large).  ``compute``
+    holds the ordinary kernel-level counters of running the compiled
+    plans on the induced subgraph; ``stats`` is that subgraph's
+    degree summary (the latency model needs its skew).
+    """
+
+    seeds: int
+    field: int
+    edges: int
+    gather_bytes: int
+    compute: Counters
+    stats: GraphStats
+
+    @property
+    def io_bytes(self) -> int:
+        """Off-chip bytes of this step: feature gather + kernel traffic."""
+        return self.gather_bytes + self.compute.io_bytes
+
+
+@dataclass
+class MiniBatchCounters:
+    """Whole-epoch counters of sampled mini-batch training.
+
+    One epoch visits every vertex once as a seed, so epoch totals
+    compare directly against one full-graph training step: total IO
+    (including feature gathers) is what the epoch moves off-chip, while
+    ``peak_memory_bytes`` is the *per-batch* maximum — the quantity
+    that must fit the device and that shrinks with the batch size (the
+    memory-footprint/IO tradeoff mini-batching buys, orthogonal to the
+    §6 stash-vs-recompute axis).
+    """
+
+    batches: List[BatchCost]
+    num_vertices: int
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def gather_bytes(self) -> int:
+        """Epoch feature-gather traffic (sum of per-batch field rows)."""
+        return sum(b.gather_bytes for b in self.batches)
+
+    @property
+    def flops(self) -> float:
+        return sum(b.compute.flops for b in self.batches)
+
+    @property
+    def compute_io_bytes(self) -> int:
+        """Kernel-level DRAM traffic, excluding feature gathers."""
+        return sum(b.compute.io_bytes for b in self.batches)
+
+    @property
+    def io_bytes(self) -> int:
+        """All off-chip bytes the epoch moves (gathers + kernels)."""
+        return self.gather_bytes + self.compute_io_bytes
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Largest single-batch footprint — the device-fit quantity."""
+        return max((b.compute.peak_memory_bytes for b in self.batches), default=0)
+
+    @property
+    def stash_bytes(self) -> int:
+        """Largest single-batch stash (batches free it before the next)."""
+        return max((b.compute.stash_bytes for b in self.batches), default=0)
+
+    @property
+    def launches(self) -> int:
+        return sum(b.compute.launches for b in self.batches)
+
+    @property
+    def field_vertices(self) -> int:
+        """Total receptive-field rows gathered across the epoch."""
+        return sum(b.field for b in self.batches)
+
+    @property
+    def expansion(self) -> float:
+        """Epoch field rows over ``|V|`` — receptive-field overlap.
+
+        1.0 in the full-batch limit (each vertex gathered once); grows
+        as batches shrink because neighbouring fields re-gather shared
+        vertices — the IO amplification sampled training pays for its
+        smaller footprint.
+        """
+        return (
+            self.field_vertices / self.num_vertices
+            if self.num_vertices > 0
+            else 0.0
+        )

@@ -22,13 +22,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.exec.analytic import (
+    analyze_minibatch,
     analyze_plan,
     analyze_plan_multi,
     analyze_training,
     analyze_training_multi,
 )
 from repro.exec.plan import ExecPlan, plan_module
-from repro.exec.profiler import Counters, MultiGPUCounters, PhaseCounters
+from repro.exec.profiler import (
+    Counters,
+    MiniBatchCounters,
+    MultiGPUCounters,
+    PhaseCounters,
+)
 from repro.graph.partition import PartitionSpec
 from repro.graph.stats import GraphStats
 from repro.gpu.cost_model import CostModel
@@ -156,6 +162,16 @@ class CompiledForward:
             pinned=list(self.forward.inputs) + list(self.forward.params),
         )
 
+    def minibatch_counters(
+        self, batches, *, num_vertices: int
+    ) -> MiniBatchCounters:
+        """Per-batch inference counters on sampled receptive fields."""
+        pinned = list(self.forward.inputs) + list(self.forward.params)
+        return analyze_minibatch(
+            self.plan, None, batches,
+            num_vertices=num_vertices, pinned=pinned,
+        )
+
     def latency_seconds(self, stats: GraphStats, gpu: GPUSpec) -> float:
         return CostModel(gpu).latency_seconds(self.counters(stats), stats)
 
@@ -187,6 +203,22 @@ class CompiledTraining:
         return analyze_training_multi(
             self.fwd_plan, self.bwd_plan, pstats,
             stash=self.stash, pinned=pinned,
+        )
+
+    def minibatch_counters(
+        self, batches, *, num_vertices: int
+    ) -> MiniBatchCounters:
+        """Per-batch epoch counters on sampled receptive fields.
+
+        ``batches`` yields ``(num_seeds, field_stats)`` pairs (see
+        :func:`repro.exec.analytic.analyze_minibatch`); each batch is
+        charged its kernel counters plus the feature-gather IO of its
+        field.
+        """
+        pinned = list(self.forward.inputs) + list(self.forward.params)
+        return analyze_minibatch(
+            self.fwd_plan, self.bwd_plan, batches,
+            num_vertices=num_vertices, stash=self.stash, pinned=pinned,
         )
 
     def latency_seconds(self, stats: GraphStats, gpu: GPUSpec) -> float:

@@ -31,7 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.exec.profiler import Counters, KernelRecord, PhaseCounters
+from repro.exec.profiler import (
+    Counters,
+    KernelRecord,
+    MiniBatchCounters,
+    PhaseCounters,
+)
 from repro.graph.stats import GraphStats
 from repro.gpu.spec import GPUSpec
 
@@ -157,6 +162,27 @@ class CostModel:
         if counters.backward is not None:
             total += self.phase_latency(counters.backward, stats).total_seconds
         return total
+
+    # ------------------------------------------------------------------
+    def gather_seconds(self, nbytes: int) -> float:
+        """Time to fetch scattered feature rows (random row access).
+
+        Receptive-field gathers touch arbitrary vertex rows, so they
+        are priced at the random-access bandwidth fraction
+        (``gather_bw_efficiency``), matching how edge/vertex-mapped
+        kernel traffic is priced above.
+        """
+        return nbytes / (self.spec.bandwidth * self.spec.gather_bw_efficiency)
+
+    def minibatch_latency_seconds(self, minibatch: "MiniBatchCounters") -> float:
+        """Modelled epoch time of sampled training: per-batch kernel
+        rooflines on each batch's own field stats, plus the gather cost
+        of fetching each field's feature rows."""
+        return sum(
+            self.latency_seconds(b.compute, b.stats)
+            + self.gather_seconds(b.gather_bytes)
+            for b in minibatch.batches
+        )
 
     def check_memory(self, counters: Counters) -> None:
         """Raise :class:`SimulatedOOM` if the run cannot fit in DRAM."""

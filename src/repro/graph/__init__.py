@@ -21,7 +21,12 @@ about graph *structure*:
 """
 
 from repro.graph.csr import Graph
-from repro.graph.stats import GraphStats
+from repro.graph.stats import (
+    GraphStats,
+    expected_field_stats,
+    expected_khop_field_size,
+    expected_khop_membership,
+)
 from repro.graph.generators import (
     erdos_renyi,
     chung_lu,
@@ -32,7 +37,13 @@ from repro.graph.generators import (
 )
 from repro.graph.datasets import get_dataset, list_datasets, Dataset
 from repro.graph.reorder import relabel, degree_sorted_relabel
-from repro.graph.sampling import induced_subgraph, khop_neighborhood, random_vertex_batches
+from repro.graph.sampling import (
+    MiniBatch,
+    induced_subgraph,
+    khop_neighborhood,
+    plan_minibatches,
+    random_vertex_batches,
+)
 from repro.graph.partition import (
     GraphPartition,
     PartitionSpec,
@@ -43,6 +54,9 @@ from repro.graph.partition import (
 __all__ = [
     "Graph",
     "GraphStats",
+    "expected_khop_membership",
+    "expected_khop_field_size",
+    "expected_field_stats",
     "erdos_renyi",
     "chung_lu",
     "knn_graph",
@@ -57,6 +71,8 @@ __all__ = [
     "induced_subgraph",
     "khop_neighborhood",
     "random_vertex_batches",
+    "MiniBatch",
+    "plan_minibatches",
     "GraphPartition",
     "PartitionSpec",
     "PartitionStats",

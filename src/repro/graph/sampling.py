@@ -1,14 +1,19 @@
 """Subgraph sampling for mini-batch training.
 
 The paper trains full-graph, but Reddit-scale GNNs are commonly trained
-on sampled subgraphs (Cluster-GCN / GraphSAINT style).  This module
+on sampled subgraphs (GraphSAGE / Cluster-GCN style).  This module
 provides the vertex-induced-subgraph machinery that makes the library's
 single-graph training loop usable in mini-batch form:
 
 - :func:`induced_subgraph` — restrict a graph to a vertex subset,
 - :func:`khop_neighborhood` — the receptive field of a seed set (an
   L-layer GNN needs the L-hop in-neighbourhood for exact embeddings),
-- :func:`random_vertex_batches` — a partition sampler for epochs.
+- :func:`random_vertex_batches` — a partition sampler for epochs,
+- :func:`plan_minibatches` — one epoch's worth of :class:`MiniBatch`
+  schedules (seeds → receptive field → induced subgraph), consumed both
+  by the concrete :class:`~repro.train.minibatch.MiniBatchTrainer` and
+  by the analytic per-batch walker
+  (:func:`repro.exec.analytic.analyze_minibatch`).
 
 Everything composes with the existing engine: a sampled subgraph is
 just another :class:`~repro.graph.csr.Graph`.
@@ -16,13 +21,20 @@ just another :class:`~repro.graph.csr.Graph`.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.csr import Graph
 
-__all__ = ["induced_subgraph", "khop_neighborhood", "random_vertex_batches"]
+__all__ = [
+    "induced_subgraph",
+    "khop_neighborhood",
+    "random_vertex_batches",
+    "MiniBatch",
+    "plan_minibatches",
+]
 
 
 def induced_subgraph(
@@ -32,19 +44,30 @@ def induced_subgraph(
 
     Returns ``(subgraph, kept_vertices, kept_edge_ids)``:
 
-    - ``subgraph`` has ``len(vertices)`` vertices, relabeled
+    - ``subgraph`` has ``len(kept_vertices)`` vertices, relabeled
       ``0..len-1`` in the order given,
     - ``kept_vertices`` is the (deduplicated, order-preserving) vertex
       list — index new id → old id; slice vertex features with it,
-    - ``kept_edge_ids`` are the original COO edge ids retained — slice
-      edge features with it.
+    - ``kept_edge_ids`` are the original COO edge ids retained (in
+      ascending edge-id order, so per-destination reduction order
+      matches the full graph) — slice edge features with it.
+
+    ``vertices`` must be non-empty after deduplication:
+    :class:`~repro.graph.csr.Graph` requires ``num_vertices > 0``, and a
+    phantom vertex would desynchronise ``subgraph.num_vertices`` from
+    ``len(kept_vertices)``-based feature slicing.  Empty batches raise
+    ``ValueError``; callers sampling batches should skip them upstream
+    (``random_vertex_batches`` never yields one).
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     if vertices.ndim != 1:
         raise ValueError("vertices must be a 1-D id array")
-    if vertices.size and (
-        vertices.min() < 0 or vertices.max() >= graph.num_vertices
-    ):
+    if vertices.size == 0:
+        raise ValueError(
+            "induced_subgraph: empty vertex set — a Graph must have "
+            "num_vertices > 0; filter out empty batches before inducing"
+        )
+    if vertices.min() < 0 or vertices.max() >= graph.num_vertices:
         raise ValueError("vertex ids out of range")
     kept = np.asarray(
         list(dict.fromkeys(vertices.tolist())), dtype=np.int64
@@ -56,9 +79,20 @@ def induced_subgraph(
     sub = Graph(
         new_id[graph.src[eids]],
         new_id[graph.dst[eids]],
-        max(int(kept.size), 1),
+        int(kept.size),
     )
     return sub, kept, eids
+
+
+def _check_seeds(graph: Graph, seeds: np.ndarray, hops: int) -> np.ndarray:
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    if frontier.size and (
+        frontier.min() < 0 or frontier.max() >= graph.num_vertices
+    ):
+        raise ValueError("seed ids out of range")
+    return frontier
 
 
 def khop_neighborhood(
@@ -69,17 +103,49 @@ def khop_neighborhood(
     The receptive field of ``seeds`` under ``hops`` rounds of message
     passing: seeds plus every vertex with a directed path of length
     ≤ hops *into* a seed.  Returned sorted.
+
+    Frontier expansion is fully vectorised: each round gathers all CSC
+    segments of the frontier at once (``np.repeat`` over ``indptr``
+    diffs) instead of slicing per vertex — on heavy-tailed graphs this
+    is the difference between O(|frontier|) Python-level loop steps and
+    a handful of NumPy calls.
     """
-    if hops < 0:
-        raise ValueError("hops must be non-negative")
-    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
-    if frontier.size and (
-        frontier.min() < 0 or frontier.max() >= graph.num_vertices
-    ):
-        raise ValueError("seed ids out of range")
+    frontier = _check_seeds(graph, seeds, hops)
     visited = np.zeros(graph.num_vertices, dtype=bool)
     visited[frontier] = True
-    indptr, eids = graph.csc_indptr, graph.csc_eids
+    indptr = graph.csc_indptr
+    src_by_dst = graph.csc_src
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather every frontier segment in one shot: position p of
+        # segment j reads src_by_dst[starts[j] + (p - offsets[j])].
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        index = np.repeat(starts - offsets, counts) + np.arange(total)
+        neighbours = np.unique(src_by_dst[index])
+        fresh = neighbours[~visited[neighbours]]
+        visited[fresh] = True
+        frontier = fresh
+    return np.nonzero(visited)[0].astype(np.int64)
+
+
+def _khop_neighborhood_reference(
+    graph: Graph, seeds: np.ndarray, hops: int
+) -> np.ndarray:
+    """Pre-vectorisation implementation (per-vertex segment slicing).
+
+    Kept as the oracle for the fuzzed equivalence tests in
+    ``tests/graph/test_sampling.py``; not part of the public API.
+    """
+    frontier = _check_seeds(graph, seeds, hops)
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    visited[frontier] = True
+    indptr = graph.csc_indptr
     src_by_dst = graph.csc_src
     for _ in range(hops):
         if frontier.size == 0:
@@ -87,9 +153,11 @@ def khop_neighborhood(
         segments = [
             src_by_dst[indptr[v]:indptr[v + 1]] for v in frontier
         ]
-        if not segments:
-            break
-        neighbours = np.unique(np.concatenate(segments)) if segments else np.array([], dtype=np.int64)
+        neighbours = (
+            np.unique(np.concatenate(segments))
+            if segments
+            else np.array([], dtype=np.int64)
+        )
         fresh = neighbours[~visited[neighbours]]
         visited[fresh] = True
         frontier = fresh
@@ -104,11 +172,106 @@ def random_vertex_batches(
 ) -> Iterator[np.ndarray]:
     """Yield a random partition of the vertex set in fixed-size batches.
 
-    The last batch may be smaller.  One full pass = one epoch of
-    Cluster-GCN-style subgraph training.
+    The degenerate-epoch contract (relied on by
+    :class:`~repro.train.minibatch.MiniBatchTrainer` and the analytic
+    per-batch walker, which both assume ≥ 1 step per epoch):
+
+    - ``num_vertices`` must be positive — an empty vertex set cannot
+      produce a training step, so it raises ``ValueError`` instead of
+      silently yielding an empty epoch;
+    - ``batch_size > num_vertices`` yields exactly one batch covering
+      every vertex (the full-graph limit — one epoch is one step);
+    - otherwise batches have exactly ``batch_size`` vertices, except the
+      last which may be smaller (never empty).
+
+    One full pass = one epoch of Cluster-GCN-style subgraph training.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    if num_vertices <= 0:
+        raise ValueError(
+            "random_vertex_batches: num_vertices must be positive — an "
+            "epoch over an empty vertex set has no training steps"
+        )
     order = rng.permutation(num_vertices)
     for start in range(0, num_vertices, batch_size):
         yield order[start:start + batch_size]
+
+
+# ======================================================================
+# Mini-batch schedules
+# ======================================================================
+@dataclass(frozen=True)
+class MiniBatch:
+    """One sampled training step: seeds, receptive field, topology.
+
+    Attributes
+    ----------
+    seeds:
+        Original vertex ids whose losses this step optimises.
+    vertices:
+        The receptive field (sorted original ids): seeds plus their
+        ``hops``-hop in-neighbourhood.  Slice vertex features with it —
+        these are the rows the step gathers from host feature storage,
+        the IO term that dominates sampled training.
+    subgraph:
+        ``vertices``-induced subgraph, relabeled ``0..len-1`` in
+        ``vertices`` order.
+    edge_ids:
+        Original COO edge ids retained by the induced subgraph.
+    seed_index:
+        Positions of ``seeds`` within ``vertices`` (= subgraph-local
+        seed ids); mask losses with it.
+    """
+
+    seeds: np.ndarray
+    vertices: np.ndarray
+    subgraph: Graph
+    edge_ids: np.ndarray
+    seed_index: np.ndarray
+
+    @property
+    def num_seeds(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def field_size(self) -> int:
+        return int(self.vertices.size)
+
+    def seed_mask(self) -> np.ndarray:
+        """Boolean mask over subgraph vertices selecting the seeds."""
+        mask = np.zeros(self.subgraph.num_vertices, dtype=bool)
+        mask[self.seed_index] = True
+        return mask
+
+
+def plan_minibatches(
+    graph: Graph,
+    batch_size: int,
+    hops: int,
+    *,
+    rng: np.random.Generator,
+) -> Iterator[MiniBatch]:
+    """One epoch of mini-batch schedules over ``graph``.
+
+    Draws :func:`random_vertex_batches`, expands each batch to its
+    :func:`khop_neighborhood` receptive field, and induces the
+    subgraph.  Because the field is sorted and ``induced_subgraph``
+    preserves ascending edge-id order within destination segments, a
+    batch that covers every vertex reproduces the original graph
+    exactly — the bit-consistency anchor of the mini-batch trainer.
+    """
+    for seeds in random_vertex_batches(
+        graph.num_vertices, batch_size, rng=rng
+    ):
+        field = khop_neighborhood(graph, seeds, hops)
+        sub, kept, eids = induced_subgraph(graph, field)
+        # kept is sorted (khop output), so positions come from bisect.
+        seed_index = np.searchsorted(kept, np.sort(seeds))
+        yield MiniBatch(
+            seeds=np.sort(seeds),
+            vertices=kept,
+            subgraph=sub,
+            edge_ids=eids,
+            seed_index=seed_index,
+        )

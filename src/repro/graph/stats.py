@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GraphStats"]
+__all__ = [
+    "GraphStats",
+    "expected_khop_membership",
+    "expected_khop_field_size",
+    "expected_field_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,90 @@ class GraphStats:
         """Stats of a ``degree``-regular directed graph (e.g. k-NN)."""
         deg = np.full(num_vertices, degree, dtype=np.int64)
         return cls(num_vertices, num_vertices * degree, deg, deg.copy())
+
+
+# ======================================================================
+# Expected receptive fields (degree-model estimates for sampled training)
+# ======================================================================
+def expected_khop_membership(
+    stats: "GraphStats", batch_size: int, hops: int
+) -> np.ndarray:
+    """Per-vertex probability of lying in a random batch's k-hop field.
+
+    Degree-model estimate under configuration-model independence: with
+    ``b = min(batch_size, |V|)`` uniform seeds, every vertex starts at
+    membership ``b/|V|``; each hop, a vertex joins if any of its
+    out-edges points into the current field.  The endpoint of a random
+    edge is in-degree biased, so the per-edge hit probability is
+    ``t = Σ_v in_deg(v)·m(v) / |E|`` and the update is::
+
+        m'(u) = 1 - (1 - m(u)) · (1 - t)^{out_deg(u)}
+
+    Exact receptive-field sizes come from sampling concrete batches
+    (:func:`repro.graph.sampling.plan_minibatches`); this estimator is
+    how stats-only workloads (e.g. the 115M-edge ``reddit-full``) enter
+    the per-batch IO/memory accounting.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    V, E = stats.num_vertices, stats.num_edges
+    m = np.full(V, min(batch_size, V) / V, dtype=np.float64)
+    for _ in range(hops):
+        if E == 0:
+            break
+        t = float((stats.in_degrees * m).sum()) / E
+        m = 1.0 - (1.0 - m) * np.power(1.0 - t, stats.out_degrees)
+    return m
+
+
+def expected_khop_field_size(
+    stats: "GraphStats", batch_size: int, hops: int
+) -> float:
+    """Expected receptive-field vertex count of one random batch."""
+    return float(expected_khop_membership(stats, batch_size, hops).sum())
+
+
+def expected_field_stats(
+    stats: "GraphStats",
+    batch_size: int,
+    hops: int,
+    *,
+    rng: np.random.Generator,
+) -> "GraphStats":
+    """One Monte-Carlo realisation of a batch's receptive-field stats.
+
+    Draws a field of the expected size with vertices weighted by their
+    membership probability, then thins each member's degrees binomially
+    by the probability that the corresponding edge endpoint also landed
+    in the field (``s`` for in-edges' sources, ``t`` for out-edges'
+    destinations).  Both degree arrays are nudged to the common
+    expected induced-edge count ``|E|·s·t`` so the result is a valid
+    :class:`GraphStats` for the analytic walkers.  Deterministic given
+    ``rng`` — the stats-only twin of inducing a sampled batch.
+    """
+    m = expected_khop_membership(stats, batch_size, hops)
+    V, E = stats.num_vertices, stats.num_edges
+    n_field = max(1, int(round(m.sum())))
+    weights = m / m.sum()
+    members = np.sort(
+        rng.choice(V, size=min(n_field, V), replace=False, p=weights)
+    )
+    if E == 0:
+        zeros = np.zeros(members.size, dtype=np.int64)
+        return GraphStats(members.size, 0, zeros, zeros.copy())
+    # Edge-endpoint membership probabilities (degree-biased).
+    t = float((stats.in_degrees * m).sum()) / E    # dst of a random edge
+    s = float((stats.out_degrees * m).sum()) / E   # src of a random edge
+    ind = rng.binomial(stats.in_degrees[members], min(s, 1.0)).astype(np.int64)
+    outd = rng.binomial(stats.out_degrees[members], min(t, 1.0)).astype(np.int64)
+    target = int(round(E * s * t))
+    target = min(target, int(stats.in_degrees[members].sum()),
+                 int(stats.out_degrees[members].sum()))
+    ind = _adjust_sum(ind, target, rng)
+    outd = _adjust_sum(outd, target, rng)
+    return GraphStats(members.size, target, ind, outd)
 
 
 def _adjust_sum(

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exec.profiler import Counters, MultiGPUCounters
+from repro.exec.profiler import Counters, MiniBatchCounters, MultiGPUCounters
 from repro.frameworks import compile_forward, compile_training, get_strategy
 from repro.frameworks.strategy import (
     CompiledForward,
@@ -63,7 +63,8 @@ from repro.graph.partition import (
     PartitionStats,
     partition_graph,
 )
-from repro.graph.stats import GraphStats
+from repro.graph.sampling import plan_minibatches
+from repro.graph.stats import GraphStats, expected_field_stats
 from repro.ir.serialize import dumps_module
 from repro.models.base import GNNModel
 from repro.registry import MODELS
@@ -171,6 +172,11 @@ class ExperimentReport:
     multi: Optional[MultiGPUCounters] = None
     compute_seconds: float = 0.0
     comm_seconds: float = 0.0
+    #: Sampled mini-batch runs: seed batch size and the per-batch epoch
+    #: counters (``counters`` above stays the full-graph reference;
+    #: ``latency_s``/``fits_device`` reflect the sampled epoch).
+    batch_size: Optional[int] = None
+    minibatch: Optional[MiniBatchCounters] = None
 
     @property
     def comm_fraction_time(self) -> float:
@@ -186,8 +192,28 @@ class ExperimentReport:
             + ("" if self.fits_device else "  ** exceeds device DRAM **"),
             f"  stash          {self.counters.stash_bytes / 2**20:10.2f} MiB",
             f"  kernel launches{self.counters.launches:8d}",
-            f"  modelled step  {self.latency_s * 1e3:10.2f} ms",
+            # Mini-batch latency is one sampled *epoch* (a full vertex
+            # pass — the unit comparable to a full-graph step).
+            f"  modelled {'epoch' if self.minibatch is not None else 'step '} "
+            f"{self.latency_s * 1e3:10.2f} ms",
         ]
+        if self.minibatch is not None:
+            mb = self.minibatch
+            lines.append(
+                f"  mini-batch     {self.batch_size} seeds/batch, "
+                f"{mb.num_batches} batches/epoch"
+            )
+            lines.append(
+                f"  feature gather {mb.gather_bytes / 2**20:10.2f} MiB/epoch "
+                f"(field expansion {mb.expansion:.2f}x)"
+            )
+            lines.append(
+                f"  epoch io       {mb.io_bytes / 2**20:10.2f} MiB "
+                "(gathers + kernels; dram io above is the full-graph step)"
+            )
+            lines.append(
+                f"  per-batch peak {mb.peak_memory_bytes / 2**20:10.2f} MiB"
+            )
         if self.multi is not None:
             lines.append(f"  gpus           {self.num_gpus:8d}")
             for i, shard in enumerate(self.multi.per_gpu):
@@ -246,6 +272,11 @@ class Session:
         self._counters_memo: Optional[tuple] = None
         # Multi-GPU twin: (compiled, partition stats) -> MultiGPUCounters.
         self._multi_memo: Optional[tuple] = None
+        # Sampled mini-batch configuration: (batch_size, hops, seed).
+        self._minibatch: Optional[Tuple[int, Optional[int], int]] = None
+        # (compiled id, batch/hops/seed, workload anchor) -> counters;
+        # anchors keep id()s alive exactly like the partition memo.
+        self._minibatch_memo: Dict[tuple, tuple] = {}
         # Registry-name models resolve once per configuration; the
         # model/dataset/feature_dim setters invalidate this.
         self._resolved_model: Optional[GNNModel] = None
@@ -318,6 +349,35 @@ class Session:
         # falls back to the strategy's PartitionSpec rather than a value
         # left over from an earlier configuration.
         self._partitioner = partitioner
+        return self
+
+    def minibatch(
+        self,
+        batch_size: Optional[int],
+        hops: Optional[int] = None,
+        *,
+        seed: int = 0,
+    ) -> "Session":
+        """Evaluate sampled mini-batch training instead of full-graph.
+
+        Per epoch the workload is covered by random seed batches of
+        ``batch_size`` vertices, each expanded to its ``hops``-hop
+        receptive field (default: the compiled model's message-passing
+        depth).  Counter/latency terminals then report *epoch* totals
+        with per-batch peak memory — concrete datasets sample exact
+        batches (seeded by ``seed``), stats-only workloads use the
+        degree-model field estimate.  ``minibatch(None)`` restores
+        full-graph evaluation.  Mini-batch accounting is single-GPU;
+        combine with :meth:`gpu`, not :meth:`cluster`.
+        """
+        if batch_size is None:
+            self._minibatch = None
+            return self
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if hops is not None and hops < 0:
+            raise ValueError("hops must be non-negative")
+        self._minibatch = (int(batch_size), hops, seed)
         return self
 
     def feature_dim(self, dim: Optional[int]) -> "Session":
@@ -459,6 +519,67 @@ class Session:
         self._multi_memo = (compiled, pstats, multi)
         return multi
 
+    def _minibatch_schedule(self, compiled) -> List[Tuple[int, GraphStats]]:
+        """One epoch's (num_seeds, field_stats) pairs for the workload."""
+        batch_size, hops, seed = self._minibatch
+        if hops is None:
+            from repro.train.minibatch import receptive_hops  # lazy: cheap import path
+
+            hops = receptive_hops(compiled.forward)
+        ds = self.resolve_dataset()
+        rng = np.random.default_rng(seed)
+        if ds is not None and ds.has_concrete_graph:
+            graph = ds.graph()
+            return [
+                (mb.num_seeds, mb.subgraph.stats())
+                for mb in plan_minibatches(graph, batch_size, hops, rng=rng)
+            ]
+        stats = self.resolve_stats()
+        V = stats.num_vertices
+        b = min(batch_size, V)
+        sizes = [b] * (V // b) + ([V % b] if V % b else [])
+        return [
+            (n, expected_field_stats(stats, n, hops, rng=rng)) for n in sizes
+        ]
+
+    def minibatch_counters(self, *, training: bool = True) -> MiniBatchCounters:
+        """Per-batch epoch counters (requires :meth:`minibatch`).
+
+        Exact on concrete datasets (sampled schedules), degree-model
+        realisations on stats-only workloads.  ``counters()`` keeps
+        returning the full-graph reference for comparison.
+        """
+        if self._minibatch is None:
+            raise ValueError(
+                "session evaluates full-graph: call .minibatch(batch_size) "
+                "before asking for mini-batch counters"
+            )
+        if self.resolve_cluster() is not None:
+            raise ValueError(
+                "mini-batch accounting is single-GPU: configure .gpu(...) "
+                "instead of .cluster(...)"
+            )
+        compiled = self.compile(training=training)
+        ds = self.resolve_dataset()
+        anchor = ds if ds is not None else self.resolve_stats()
+        key = (id(compiled), self._minibatch, id(anchor))
+        memo = self._minibatch_memo.get(key)
+        if memo is not None and memo[0] is compiled and memo[1] is anchor:
+            return memo[2]
+        stats = self.resolve_stats()
+        counters = compiled.minibatch_counters(
+            self._minibatch_schedule(compiled),
+            num_vertices=stats.num_vertices,
+        )
+        self._minibatch_memo[key] = (compiled, anchor, counters)
+        return counters
+
+    def minibatch_latency_seconds(self, *, training: bool = True) -> float:
+        """Modelled epoch time: per-batch kernels + feature gathers."""
+        return CostModel(self.resolve_gpu()).minibatch_latency_seconds(
+            self.minibatch_counters(training=training)
+        )
+
     def comm_breakdown(self, *, training: bool = True) -> CommBreakdown:
         """Communication-vs-computation time split on the cluster."""
         cluster = self.resolve_cluster()
@@ -470,6 +591,8 @@ class Session:
         )
 
     def latency_seconds(self, *, training: bool = True) -> float:
+        if self._minibatch is not None:
+            return self.minibatch_latency_seconds(training=training)
         cluster = self.resolve_cluster()
         if cluster is not None:
             return self.comm_breakdown(training=training).total_seconds
@@ -478,6 +601,11 @@ class Session:
         )
 
     def fits(self, *, training: bool = True) -> bool:
+        if self._minibatch is not None:
+            # The per-batch maximum is the footprint that must fit.
+            return CostModel(self.resolve_gpu()).fits(
+                self.minibatch_counters(training=training)
+            )
         cluster = self.resolve_cluster()
         if cluster is not None:
             return ClusterCostModel(cluster).fits(
@@ -514,13 +642,26 @@ class Session:
         them; stats-only or label-less datasets fall back to synthetic
         labels planted from a hidden projection of the features.
         """
-        from repro.train import Adam, Trainer  # local: keeps import cheap
+        from repro.train import Adam, MiniBatchTrainer, Trainer  # local: keeps import cheap
 
         compiled = self.compile(training=True)
         stats = self.resolve_stats()
         counters = compiled.counters(stats)
         cluster = self.resolve_cluster()
-        if cluster is not None:
+        if self._minibatch is not None:
+            mc = self.minibatch_counters()
+            report = ExperimentReport(
+                model=self._model_label(),
+                dataset=self._dataset_label(),
+                strategy=self._strategy_label(),
+                gpu=self._gpu_label(),
+                counters=counters,
+                latency_s=self.minibatch_latency_seconds(),
+                fits_device=CostModel(self.resolve_gpu()).fits(mc),
+                batch_size=self._minibatch[0],
+                minibatch=mc,
+            )
+        elif cluster is not None:
             multi = self.multi_counters()
             breakdown = ClusterCostModel(cluster).breakdown(
                 multi, self.resolve_partition_stats()
@@ -571,8 +712,24 @@ class Session:
                 labels = (
                     feats @ rng.normal(size=(in_dim, ds.num_classes))
                 ).argmax(axis=1)
-            trainer = Trainer(compiled, graph, precision="float32", seed=seed)
             opt = Adam(lr=0.01)
+            if self._minibatch is not None:
+                # One "step" = one sampled epoch (a full vertex pass,
+                # the unit comparable to a full-graph step).
+                batch_size, hops, mb_seed = self._minibatch
+                mb_trainer = MiniBatchTrainer(
+                    compiled, graph,
+                    batch_size=batch_size, hops=hops,
+                    precision="float32", seed=seed, sampler_seed=mb_seed,
+                )
+                acc = None
+                for _ in range(train_steps):
+                    epoch = mb_trainer.train_epoch(feats, labels, opt)
+                    report.losses.append(epoch.loss)
+                    acc = epoch.accuracy
+                report.final_accuracy = acc
+                return report
+            trainer = Trainer(compiled, graph, precision="float32", seed=seed)
             acc = None
             for _ in range(train_steps):
                 loss, acc = trainer.train_step(feats, labels, opt)
@@ -619,6 +776,11 @@ class SweepRow:
     num_gpus: int = 1
     comm_bytes: int = 0
     comm_fraction: float = 0.0
+    #: Sampled mini-batch rows: seed batch size (None = full-graph) and
+    #: the epoch's feature-gather traffic; io/peak columns then report
+    #: epoch totals / per-batch maxima.
+    batch_size: Optional[int] = None
+    gather_bytes: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -636,6 +798,8 @@ class SweepRow:
             "num_gpus": self.num_gpus,
             "comm_bytes": self.comm_bytes,
             "comm_fraction": self.comm_fraction,
+            "batch_size": self.batch_size,
+            "gather_bytes": self.gather_bytes,
         }
 
 
@@ -658,9 +822,14 @@ class SweepReport:
     def table(self) -> str:
         from repro.bench.report import format_table  # lazy: avoids cycle
 
+        with_batches = any(r.batch_size is not None for r in self.rows)
         body = [
             [
                 r.model, r.dataset, r.strategy, r.gpu,
+            ]
+            + ([str(r.batch_size) if r.batch_size is not None else "full"]
+               if with_batches else [])
+            + [
                 f"{r.flops / 1e9:.2f}",
                 f"{r.io_bytes / 2**20:.1f}",
                 f"{r.peak_memory_bytes / 2**20:.1f}",
@@ -670,8 +839,9 @@ class SweepReport:
             for r in self.rows
         ]
         return format_table(
-            ["model", "dataset", "strategy", "gpu", "GFLOPs",
-             "IO MiB", "mem MiB", "fits", "ms/step"],
+            ["model", "dataset", "strategy", "gpu"]
+            + (["batch"] if with_batches else [])
+            + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"],
             body,
             title=(
                 f"sweep ({len(self.rows)} rows; plan cache "
@@ -711,13 +881,16 @@ def run_sweep(
     *,
     num_gpus: Sequence[int] = (1,),
     interconnect_gbps: Optional[float] = None,
+    batch_size: Union[None, int, Sequence[Optional[int]]] = None,
+    minibatch_hops: Optional[int] = None,
+    minibatch_seed: int = 0,
     feature_dim: Optional[int] = None,
     training: bool = True,
     cache: Optional[PlanCache] = None,
     save_as: Optional[str] = None,
     results_dir: Optional[str] = None,
 ) -> SweepReport:
-    """Analytic sweep over the cross product of the five axes.
+    """Analytic sweep over the cross product of the six axes.
 
     Plans are cached by (model signature, strategy): datasets sharing
     feature/class widths reuse one compilation, and GPUs always do (the
@@ -730,9 +903,28 @@ def run_sweep(
     with halo-exchange traffic and the comm time fraction).  The plan
     is independent of the partitioning, so every GPU count reuses one
     compilation per (model, strategy).
+
+    ``batch_size`` sweeps sampled mini-batch training: an int or a
+    sequence mixing ints with ``None`` (full-graph).  Mini-batch rows
+    report *epoch* totals — IO including receptive-field feature
+    gathers, per-batch peak memory — against the directly comparable
+    full-graph step.  The plan never depends on the sampled topology,
+    so every batch size reuses one compilation per (model, strategy);
+    single-GPU only (combine with ``num_gpus=(1,)``).
     """
     cache = cache if cache is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
+    if batch_size is None or isinstance(batch_size, int):
+        batch_options: Tuple[Optional[int], ...] = (batch_size,)
+    else:
+        batch_options = tuple(batch_size)
+    if any(b is not None for b in batch_options) and any(
+        n > 1 for n in num_gpus
+    ):
+        raise ValueError(
+            "mini-batch sweeps are single-GPU: batch_size cannot be "
+            "combined with num_gpus > 1"
+        )
     rows: List[SweepRow] = []
     for m in models:
         for d in datasets:
@@ -758,23 +950,63 @@ def run_sweep(
                         else:
                             s.cluster(g, n, interconnect_gbps=interconnect_gbps)
                         cluster = s.resolve_cluster()
+                        if cluster is not None and any(
+                            b is not None for b in batch_options
+                        ):
+                            # A registered cluster name in `gpus` reaches
+                            # here with num_gpus == 1; refuse rather than
+                            # silently dropping the batch axis.
+                            raise ValueError(
+                                "mini-batch sweeps are single-GPU: "
+                                f"gpu {s._gpu_label()!r} resolves to a "
+                                "cluster, which cannot be combined with "
+                                "batch_size"
+                            )
                         if cluster is None:
                             cost = CostModel(s.resolve_gpu())
-                            rows.append(
-                                SweepRow(
-                                    model=s._model_label(),
-                                    dataset=s._dataset_label(),
-                                    strategy=s._strategy_label(),
-                                    gpu=s._gpu_label(),
-                                    flops=counters.flops,
-                                    io_bytes=counters.io_bytes,
-                                    peak_memory_bytes=counters.peak_memory_bytes,
-                                    stash_bytes=counters.stash_bytes,
-                                    launches=counters.launches,
-                                    latency_s=cost.latency_seconds(counters, stats),
-                                    fits_device=cost.fits(counters),
+                            for bs in batch_options:
+                                s.minibatch(bs, minibatch_hops, seed=minibatch_seed)
+                                if bs is None:
+                                    rows.append(
+                                        SweepRow(
+                                            model=s._model_label(),
+                                            dataset=s._dataset_label(),
+                                            strategy=s._strategy_label(),
+                                            gpu=s._gpu_label(),
+                                            flops=counters.flops,
+                                            io_bytes=counters.io_bytes,
+                                            peak_memory_bytes=counters.peak_memory_bytes,
+                                            stash_bytes=counters.stash_bytes,
+                                            launches=counters.launches,
+                                            latency_s=cost.latency_seconds(counters, stats),
+                                            fits_device=cost.fits(counters),
+                                        )
+                                    )
+                                    continue
+                                # Mini-batch rows are epoch totals (the
+                                # unit comparable to a full-graph step)
+                                # with per-batch peak memory.
+                                mc = s.minibatch_counters(training=training)
+                                rows.append(
+                                    SweepRow(
+                                        model=s._model_label(),
+                                        dataset=s._dataset_label(),
+                                        strategy=s._strategy_label(),
+                                        gpu=s._gpu_label(),
+                                        flops=mc.flops,
+                                        io_bytes=mc.io_bytes,
+                                        peak_memory_bytes=mc.peak_memory_bytes,
+                                        stash_bytes=mc.stash_bytes,
+                                        launches=mc.launches,
+                                        latency_s=s.minibatch_latency_seconds(
+                                            training=training
+                                        ),
+                                        fits_device=cost.fits(mc),
+                                        batch_size=bs,
+                                        gather_bytes=mc.gather_bytes,
+                                    )
                                 )
-                            )
+                            s.minibatch(None)
                             continue
                         pstats = s.resolve_partition_stats()
                         multi = multi_memo.get(id(pstats))

@@ -8,6 +8,12 @@ model/graph/seed — the invariant the integration tests assert.
 """
 
 from repro.train.loop import Trainer, softmax_cross_entropy, accuracy
+from repro.train.minibatch import (
+    BatchRecord,
+    EpochResult,
+    MiniBatchTrainer,
+    receptive_hops,
+)
 from repro.train.optim import SGD, Adam, Optimizer
 from repro.train.schedule import (
     CosineLR,
@@ -19,6 +25,10 @@ from repro.train.schedule import (
 
 __all__ = [
     "Trainer",
+    "MiniBatchTrainer",
+    "EpochResult",
+    "BatchRecord",
+    "receptive_hops",
     "softmax_cross_entropy",
     "accuracy",
     "SGD",

@@ -1,0 +1,319 @@
+"""Sampled mini-batch training (GraphSAGE / Cluster-GCN style).
+
+Full-graph training — what the paper evaluates — keeps every feature
+row resident, so its IO counters never include feature *gathers*.
+Sampled training inverts that: per step it draws a seed batch, expands
+it to the k-hop receptive field, gathers the field's feature rows, and
+runs the compiled plans on the induced subgraph.  The per-step memory
+footprint shrinks with the batch size, but overlapping receptive fields
+re-gather shared vertices, so epoch-level IO grows — the coordinated
+computation/IO/memory tradeoff this module makes measurable.
+
+Semantics
+---------
+Losses and gradients are masked to the seed set.  For models whose
+edge semantics only read quantities local to the receptive field
+(GraphSAGE's in-edge mean, GAT's softmax over in-edges), the seeds'
+logits — and therefore the masked-loss parameter gradients — are
+*exact*: the k-hop in-neighbourhood contains the entire computation
+cone of a k-layer model.  Models that read out-degrees of boundary
+vertices (GCN's symmetric norm) see the Cluster-GCN approximation.
+
+In the full-batch limit (``batch_size >= num_vertices``) the sampled
+epoch *is* one full-graph :class:`~repro.train.loop.Trainer` step, bit
+for bit: the receptive field is the sorted full vertex set, the induced
+subgraph reproduces the original topology and edge order exactly, and
+an all-true seed mask takes the same arithmetic path as no mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.analytic import vertex_data_inputs
+from repro.frameworks.strategy import CompiledTraining
+from repro.graph.csr import Graph
+from repro.graph.sampling import plan_minibatches
+from repro.ir.functions import get_scatter_fn
+from repro.ir.module import Module
+from repro.ir.ops import OpKind
+from repro.ir.tensorspec import Domain
+from repro.train.loop import Trainer
+from repro.train.optim import Optimizer
+
+__all__ = [
+    "MiniBatchTrainer",
+    "EpochResult",
+    "BatchRecord",
+    "receptive_hops",
+]
+
+
+def _scatter_depth(node, specs, depth: Dict[str, int]) -> int:
+    """Hop radius of a Scatter's edge output, relative to the edge's
+    destination vertex.
+
+    Reading the *source* endpoint moves information one hop (u is an
+    in-neighbour of the destination); reading the *destination* does
+    not — this is what keeps softmax-normalisation chains
+    (gather → copy_v broadcast → divide) at radius 0 instead of
+    inflating the count per layer.  ``max_grad``'s direct vertex reads
+    are destination-local by the same convention the analytic/multi-GPU
+    walkers use.
+    """
+    fn = get_scatter_fn(node.fn)
+    inputs = list(node.inputs)
+    contributions = [0]
+    idx = 0
+    if fn.reads_u:
+        u = inputs[idx]
+        idx += 1
+        d = depth.get(u, 0)
+        if specs[u].domain is Domain.VERTEX and not fn.vertex_direct_read:
+            d += 1
+        contributions.append(d)
+    if fn.reads_v and idx < len(inputs):
+        contributions.append(depth.get(inputs[idx], 0))
+    return max(contributions)
+
+
+def receptive_hops(module: Module) -> int:
+    """Message-passing depth of a module: its receptive-field radius.
+
+    An L-layer GNN needs the L-hop in-neighbourhood of its seeds for
+    exact embeddings.  Tracked per value as the hop radius relative to
+    the row's anchor vertex (a vertex tensor's own vertex; an edge
+    tensor's destination): only a Scatter reading the edge *source*
+    crosses to a neighbour, so a 2-layer GAT — whose per-layer softmax
+    adds two extra destination-local Gather/broadcast rounds — still
+    reports 2, not 6.  Relaxes to a fixed point so node ordering does
+    not matter.
+    """
+    specs = module.specs
+    depth: Dict[str, int] = {}
+    for _ in range(len(module.nodes) + 1):
+        changed = False
+        for node in module.nodes:
+            if node.kind is OpKind.SCATTER:
+                d = _scatter_depth(node, specs, depth)
+            else:
+                d = max(
+                    (depth.get(name, 0) for name in node.all_inputs()),
+                    default=0,
+                )
+                if (
+                    node.kind is OpKind.GATHER
+                    and node.orientation == "out"
+                ):
+                    # Out-edge reductions read rows anchored one hop
+                    # forward; conservative +1 (forward modules in the
+                    # model zoo never use them).
+                    d += 1
+            for out in node.outputs:
+                if depth.get(out, 0) < d:
+                    depth[out] = d
+                    changed = True
+        if not changed:
+            break
+    return max((depth.get(o, 0) for o in module.outputs), default=0)
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One sampled step's outcome plus its measured feature-gather IO."""
+
+    num_seeds: int
+    field_size: int
+    num_edges: int
+    loss: float
+    accuracy: float
+    #: Bytes of vertex-domain module inputs actually bound into the
+    #: engine for this step's receptive field (at engine precision);
+    #: reconciles exactly with the analytic per-batch walker when the
+    #: engine precision matches the accounting dtype (float32).
+    gather_bytes: int
+
+
+@dataclass
+class EpochResult:
+    """Per-batch records plus seed-weighted epoch aggregates."""
+
+    records: List[BatchRecord] = field(default_factory=list)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_seeds(self) -> int:
+        return sum(r.num_seeds for r in self.records)
+
+    @property
+    def loss(self) -> float:
+        """Seed-weighted mean loss across batches."""
+        total = self.num_seeds
+        if total == 0:
+            return 0.0
+        return sum(r.loss * r.num_seeds for r in self.records) / total
+
+    @property
+    def accuracy(self) -> float:
+        """Seed-weighted mean accuracy across batches."""
+        total = self.num_seeds
+        if total == 0:
+            return 0.0
+        return sum(r.accuracy * r.num_seeds for r in self.records) / total
+
+    @property
+    def gather_bytes(self) -> int:
+        """Feature rows the epoch fetched, in bytes (overlap included)."""
+        return sum(r.gather_bytes for r in self.records)
+
+    @property
+    def field_vertices(self) -> int:
+        return sum(r.field_size for r in self.records)
+
+
+class MiniBatchTrainer:
+    """Drives one compiled training configuration in sampled mini-batches.
+
+    Per epoch: draw a random vertex partition
+    (:func:`~repro.graph.sampling.random_vertex_batches`), expand each
+    batch to its receptive field, induce the subgraph, and take one
+    optimizer step on the seed-masked loss.  The compiled plan is
+    topology-independent, so one compilation serves every batch.
+
+    Parameters
+    ----------
+    compiled:
+        Output of :func:`repro.frameworks.compile_training`.
+    graph:
+        Full concrete topology batches are sampled from.
+    batch_size:
+        Seed vertices per step (``>= num_vertices`` = full-graph limit).
+    hops:
+        Receptive-field radius; default is the compiled forward
+        module's :func:`receptive_hops`.
+    params / precision / seed:
+        As for :class:`~repro.train.loop.Trainer`.
+    sampler_seed:
+        Seeds the batch-sampling RNG (one stream across epochs).  The
+        first epoch's schedule equals
+        ``plan_minibatches(graph, batch_size, hops,
+        rng=np.random.default_rng(sampler_seed))`` — the analytic
+        walker draws the identical schedule from the same seed.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTraining,
+        graph: Graph,
+        *,
+        batch_size: int,
+        hops: Optional[int] = None,
+        params: Optional[Dict[str, np.ndarray]] = None,
+        precision: str = "float64",
+        seed: int = 0,
+        sampler_seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.compiled = compiled
+        self.graph = graph
+        self.batch_size = int(batch_size)
+        self.hops = (
+            int(hops) if hops is not None
+            else receptive_hops(compiled.forward)
+        )
+        if self.hops < 0:
+            raise ValueError("hops must be non-negative")
+        self.precision = precision
+        self.params = dict(
+            params if params is not None else compiled.model.init_params(seed)
+        )
+        self._rng = np.random.default_rng(sampler_seed)
+        self.epochs_trained = 0
+
+    # ------------------------------------------------------------------
+    def _measured_gather_bytes(self, trainer: Trainer) -> int:
+        """Bytes of vertex-data inputs the engine actually bound.
+
+        Same predicate as the analytic walker
+        (:func:`repro.exec.analytic.vertex_data_inputs`) — the shared
+        definition is what makes the reconciliation contract exact.
+        """
+        env = trainer._fwd_env
+        return sum(
+            int(env[name].nbytes)
+            for name in vertex_data_inputs(self.compiled.forward)
+        )
+
+    def train_epoch(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+    ) -> EpochResult:
+        """One full pass over the vertex set; returns per-batch records."""
+        result = EpochResult()
+        for mb in plan_minibatches(
+            self.graph, self.batch_size, self.hops, rng=self._rng
+        ):
+            trainer = Trainer(
+                self.compiled,
+                mb.subgraph,
+                params=self.params,
+                precision=self.precision,
+            )
+            mask = mb.seed_mask()
+            loss, acc = trainer.train_step(
+                features[mb.vertices],
+                labels[mb.vertices],
+                optimizer,
+                None if mask.all() else mask,
+            )
+            self.params = trainer.params
+            result.records.append(
+                BatchRecord(
+                    num_seeds=mb.num_seeds,
+                    field_size=mb.field_size,
+                    num_edges=mb.subgraph.num_edges,
+                    loss=loss,
+                    accuracy=acc,
+                    gather_bytes=self._measured_gather_bytes(trainer),
+                )
+            )
+        self.epochs_trained += 1
+        return result
+
+    def train(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        *,
+        epochs: int,
+    ) -> List[EpochResult]:
+        """Run ``epochs`` passes; returns one :class:`EpochResult` each."""
+        return [
+            self.train_epoch(features, labels, optimizer)
+            for _ in range(epochs)
+        ]
+
+    def evaluate(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[float, float]:
+        """Full-graph evaluation with the current parameters."""
+        trainer = Trainer(
+            self.compiled,
+            self.graph,
+            params=self.params,
+            precision=self.precision,
+        )
+        return trainer.evaluate(features, labels, mask)

@@ -229,6 +229,12 @@ class TestSamplingFuzz:
         rng = np.random.default_rng(5)
         take = rng.random(graph.num_vertices) < 0.5
         vertices = np.nonzero(take)[0]
+        if vertices.size == 0:
+            # Empty draws are a loud error (a Graph needs >= 1 vertex),
+            # not a phantom 1-vertex subgraph.
+            with pytest.raises(ValueError, match="empty vertex set"):
+                induced_subgraph(graph, vertices)
+            return
         sub, kept, eids = induced_subgraph(graph, vertices)
         assert np.array_equal(kept, vertices)
         # Every kept edge maps back to a global edge between kept

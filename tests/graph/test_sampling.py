@@ -4,10 +4,12 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.graph import chung_lu
+from repro.graph import Graph, chung_lu
 from repro.graph.sampling import (
+    _khop_neighborhood_reference,
     induced_subgraph,
     khop_neighborhood,
+    plan_minibatches,
     random_vertex_batches,
 )
 
@@ -51,6 +53,19 @@ class TestInducedSubgraph:
         sub, kept, eids = induced_subgraph(small_graph, nodes)
         assert sub.num_edges == small_graph.num_edges
         assert (sub.src == small_graph.src).all()
+
+    def test_empty_vertex_set_raises(self, small_graph):
+        # Regression: the seed implementation returned a phantom
+        # 1-vertex graph (max(kept.size, 1)) for an empty input, so
+        # sub.num_vertices != len(kept) desynchronised feature slicing.
+        with pytest.raises(ValueError, match="empty vertex set"):
+            induced_subgraph(small_graph, np.array([], dtype=np.int64))
+
+    def test_subgraph_vertex_count_always_matches_kept(self, small_graph):
+        # The invariant the phantom vertex violated.
+        for vertices in ([3], [5, 5, 5], [0, 1], list(range(20))):
+            sub, kept, _ = induced_subgraph(small_graph, np.array(vertices))
+            assert sub.num_vertices == len(kept)
 
 
 class TestKhopNeighborhood:
@@ -120,6 +135,49 @@ class TestKhopNeighborhood:
             assert np.allclose(sub_out[pos[int(s)]], full[s], rtol=1e-9), s
 
 
+class TestKhopVectorizedEquivalence:
+    """The vectorised frontier expansion must match the old per-vertex
+    slicing path on awkward topologies (isolated vertices, self-loops,
+    multi-edges) and on fuzzed graphs."""
+
+    def _assert_equivalent(self, graph, seeds, hops):
+        got = khop_neighborhood(graph, seeds, hops)
+        want = _khop_neighborhood_reference(graph, seeds, hops)
+        assert got.tolist() == want.tolist(), (seeds.tolist(), hops)
+
+    def test_isolated_self_loop_multi_edge(self, tiny_graph):
+        # tiny_graph: parallel 0→1 edges, 2→2 self-loop, isolated 3.
+        for seeds in ([3], [2], [1, 3], [0, 1, 2, 3]):
+            for hops in range(4):
+                self._assert_equivalent(tiny_graph, np.array(seeds), hops)
+
+    def test_empty_frontier_terminates(self):
+        # No edges at all: every frontier expansion is empty.
+        g = Graph(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 5)
+        self._assert_equivalent(g, np.array([0, 4]), 3)
+
+    def test_fuzzed_small_graphs(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            n = int(rng.integers(1, 40))
+            m = int(rng.integers(0, 4 * n))
+            src = rng.integers(0, n, size=m)
+            dst = rng.integers(0, n, size=m)  # self-loops/multi-edges arise
+            g = Graph(src, dst, n)
+            seeds = rng.choice(n, size=int(rng.integers(1, n + 1)), replace=False)
+            self._assert_equivalent(g, seeds, int(rng.integers(0, 4)))
+
+    @pytest.mark.slow
+    def test_fuzzed_heavy_tail(self):
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            n = int(rng.integers(50, 400))
+            g = chung_lu(n, int(rng.integers(n, 8 * n)), seed=trial)
+            seeds = rng.choice(n, size=int(rng.integers(1, n // 2 + 1)),
+                               replace=False)
+            self._assert_equivalent(g, seeds, int(rng.integers(0, 5)))
+
+
 class TestVertexBatches:
     def test_partitions_everything_once(self):
         rng = np.random.default_rng(0)
@@ -132,6 +190,53 @@ class TestVertexBatches:
     def test_bad_batch_size(self):
         with pytest.raises(ValueError):
             list(random_vertex_batches(10, 0, rng=np.random.default_rng(0)))
+
+    def test_empty_vertex_set_raises(self):
+        # Regression: the seed implementation silently yielded nothing,
+        # giving downstream trainers a zero-step "epoch"; the contract
+        # now guarantees >= 1 step per epoch or a loud error.
+        with pytest.raises(ValueError, match="num_vertices must be positive"):
+            list(random_vertex_batches(0, 4, rng=np.random.default_rng(0)))
+
+    def test_oversize_batch_is_single_full_batch(self):
+        rng = np.random.default_rng(3)
+        batches = list(random_vertex_batches(7, 100, rng=rng))
+        assert len(batches) == 1
+        assert sorted(batches[0].tolist()) == list(range(7))
+
+    def test_batches_never_empty(self):
+        rng = np.random.default_rng(4)
+        for n, b in [(1, 1), (5, 5), (10, 3), (10, 10), (11, 4)]:
+            batches = list(random_vertex_batches(n, b, rng=rng))
+            assert all(len(batch) > 0 for batch in batches)
+            assert sum(len(batch) for batch in batches) == n
+
+
+class TestPlanMinibatches:
+    def test_schedule_covers_vertices_once_as_seeds(self, small_graph):
+        rng = np.random.default_rng(0)
+        schedule = list(plan_minibatches(small_graph, 16, 2, rng=rng))
+        seeds = np.concatenate([mb.seeds for mb in schedule])
+        assert sorted(seeds.tolist()) == list(range(small_graph.num_vertices))
+
+    def test_field_contains_seeds_and_matches_khop(self, small_graph):
+        rng = np.random.default_rng(1)
+        for mb in plan_minibatches(small_graph, 10, 2, rng=rng):
+            want = khop_neighborhood(small_graph, mb.seeds, 2)
+            assert mb.vertices.tolist() == want.tolist()
+            assert np.isin(mb.seeds, mb.vertices).all()
+            # seed_index maps into the field correctly.
+            assert (mb.vertices[mb.seed_index] == mb.seeds).all()
+            assert mb.seed_mask().sum() == mb.num_seeds
+
+    def test_full_batch_reproduces_graph_exactly(self, small_graph):
+        rng = np.random.default_rng(2)
+        (mb,) = plan_minibatches(
+            small_graph, small_graph.num_vertices, 2, rng=rng
+        )
+        assert (mb.subgraph.src == small_graph.src).all()
+        assert (mb.subgraph.dst == small_graph.dst).all()
+        assert (mb.edge_ids == np.arange(small_graph.num_edges)).all()
 
     def test_minibatch_training_descends(self):
         # Cluster-GCN-style: train on induced subgraphs, loss decreases.

@@ -73,6 +73,16 @@ class TestExamples:
         assert "receptive field" in out
         assert "seed-set accuracy" in out
 
+    def test_minibatch_training(self):
+        out = run_example(
+            "minibatch_training.py",
+            "--dataset", "cora", "--feature-dim", "16",
+            "--batch", "256", "--epochs", "2",
+        )
+        assert "analytic batch-size sweep" in out
+        assert "feature gather" in out
+        assert "epoch totals reconcile exactly" in out
+
     def test_multi_gpu_scaling(self):
         out = run_example("multi_gpu_scaling.py")
         assert "halo exchange" in out

@@ -1,0 +1,373 @@
+"""Sampled mini-batch training: differential and reconciliation suite.
+
+Contracts enforced here (extending the repo-wide differential
+contract — optimizations are accounting transforms, values never
+change):
+
+1. **Full-batch bit-consistency** — a :class:`MiniBatchTrainer` with
+   ``batch_size >= num_vertices`` reproduces the full-graph
+   :class:`Trainer` losses and parameter trajectories *bit for bit*,
+   for every model × training strategy (seeds-covering batches induce
+   the identical graph, and an all-true seed mask takes the identical
+   arithmetic path).
+2. **Gather reconciliation** — the analytic per-batch feature-gather
+   bytes equal the bytes of the vertex-data arrays the engine actually
+   binds, exactly, on multiple datasets (engine precision float32 =
+   the accounting dtype).
+3. **Receptive-field exactness** — for in-orientation models the
+   masked-seed gradients of a sampled step equal the full-graph
+   gradients of the same masked loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import compile_training, get_strategy, list_strategies
+from repro.graph import chung_lu, get_dataset, plan_minibatches
+from repro.graph.stats import expected_khop_field_size
+from repro.models import GraphSAGE
+from repro.registry import MODELS
+from repro.session import Session
+from repro.train import Adam, MiniBatchTrainer, Trainer, receptive_hops
+from repro.train.loop import softmax_cross_entropy
+
+
+def _problem(num_vertices=90, num_edges=520, in_dim=6, classes=4, seed=5):
+    # Self-loops keep zero-in-degree vertices defined under every
+    # model's normalisation (GCN divides by in-degree).
+    graph = chung_lu(num_vertices, num_edges, seed=seed).add_self_loops()
+    rng = np.random.default_rng(seed)
+    feats = rng.normal(size=(num_vertices, in_dim))
+    labels = (feats @ rng.normal(size=(in_dim, classes))).argmax(1)
+    return graph, feats, labels, in_dim, classes
+
+
+TRAINING_STRATEGIES = [
+    n for n in list_strategies() if get_strategy(n).supports_training
+]
+
+# Tier-1 cross-section; the full model × strategy product runs in the
+# slow suite below.
+FAST_CASES = [
+    ("sage", "ours"),
+    ("gcn", "dgl-like"),
+    ("gat", "ours-stash"),
+]
+
+
+def _assert_bit_identical_full_batch(model_name, strategy_name, steps=3):
+    graph, feats, labels, in_dim, classes = _problem()
+    model = MODELS.get(model_name)(in_dim, classes)
+    compiled = compile_training(model, get_strategy(strategy_name))
+
+    full = Trainer(compiled, graph, precision="float64", seed=0)
+    opt_full = Adam(lr=0.01)
+    mbt = MiniBatchTrainer(
+        compiled, graph,
+        batch_size=graph.num_vertices + 10,  # seeds-covering batches
+        precision="float64", seed=0,
+    )
+    opt_mb = Adam(lr=0.01)
+    for _ in range(steps):
+        loss, _ = full.train_step(feats, labels, opt_full)
+        epoch = mbt.train_epoch(feats, labels, opt_mb)
+        assert epoch.num_batches == 1
+        assert epoch.loss == loss  # bit-for-bit, not allclose
+    for name in full.params:
+        assert np.array_equal(full.params[name], mbt.params[name]), (
+            f"{model_name}/{strategy_name}: param {name} diverged"
+        )
+
+
+class TestFullBatchBitConsistency:
+    @pytest.mark.parametrize("model_name,strategy_name", FAST_CASES)
+    def test_matches_full_graph_trainer(self, model_name, strategy_name):
+        _assert_bit_identical_full_batch(model_name, strategy_name)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("model_name", sorted(MODELS.names()))
+    @pytest.mark.parametrize("strategy_name", TRAINING_STRATEGIES)
+    def test_every_model_times_strategy(self, model_name, strategy_name):
+        _assert_bit_identical_full_batch(model_name, strategy_name, steps=2)
+
+
+class TestGatherReconciliation:
+    """Analytic per-batch feature-gather bytes == engine-measured bytes."""
+
+    # Three datasets, as the acceptance contract requires.
+    DATASETS = ["cora", "citeseer", "pubmed"]
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_exact_on_dataset(self, dataset):
+        ds = get_dataset(dataset)
+        graph = ds.graph()
+        in_dim = 8
+        batch = max(64, graph.num_vertices // 8)
+        seed = 11
+
+        sess = (
+            Session()
+            .model("sage").dataset(dataset).strategy("ours")
+            .feature_dim(in_dim).minibatch(batch, seed=seed)
+        )
+        mc = sess.minibatch_counters()
+
+        compiled = sess.compile()
+        rng = np.random.default_rng(0)
+        feats = rng.normal(size=(graph.num_vertices, in_dim))
+        labels = (feats @ rng.normal(size=(in_dim, ds.num_classes))).argmax(1)
+        mbt = MiniBatchTrainer(
+            compiled, graph, batch_size=batch,
+            precision="float32",  # accounting dtype: exact reconciliation
+            sampler_seed=seed,
+        )
+        epoch = mbt.train_epoch(feats, labels, Adam(lr=0.01))
+
+        assert mc.num_batches == epoch.num_batches
+        for analytic, measured in zip(mc.batches, epoch.records):
+            assert analytic.field == measured.field_size
+            assert analytic.edges == measured.num_edges
+            assert analytic.gather_bytes == measured.gather_bytes
+        assert mc.gather_bytes == epoch.gather_bytes
+
+    def test_epoch_schedule_is_exact_not_estimated(self):
+        # Concrete datasets sample real batches: per-batch field sizes
+        # must be reproducible from the same seed, not degree-model
+        # expectations.
+        sess = (
+            Session()
+            .model("sage").dataset("cora").strategy("ours")
+            .feature_dim(8).minibatch(256, seed=3)
+        )
+        mc = sess.minibatch_counters()
+        graph = get_dataset("cora").graph()
+        want = [
+            mb.field_size
+            for mb in plan_minibatches(
+                graph, 256, 2, rng=np.random.default_rng(3)
+            )
+        ]
+        assert [b.field for b in mc.batches] == want
+
+
+class TestReceptiveFieldExactness:
+    def test_sampled_gradients_equal_masked_full_graph_gradients(self):
+        # For an in-orientation model (SAGE), a sampled step's gradients
+        # equal the full-graph gradients of the same seed-masked loss:
+        # the k-hop field contains the seeds' whole computation cone.
+        graph, feats, labels, in_dim, classes = _problem(seed=9)
+        model = GraphSAGE(in_dim, (7, classes))
+        compiled = compile_training(model, get_strategy("ours"))
+        params = model.init_params(2)
+
+        rng = np.random.default_rng(1)
+        (mb,) = [
+            next(iter(plan_minibatches(graph, 25, 2, rng=rng)))
+        ]
+
+        # Full-graph step with the seed-masked loss.
+        full_mask = np.zeros(graph.num_vertices, dtype=bool)
+        full_mask[mb.seeds] = True
+        full = Trainer(compiled, graph, params=dict(params), precision="float64")
+        fwd = full.forward(feats)
+        logits = fwd[full.output_name]
+        _, grad = softmax_cross_entropy(logits, labels, full_mask)
+        full_grads = full.backward(fwd, grad)
+
+        # Sampled step on the induced receptive field.
+        sub_tr = Trainer(
+            compiled, mb.subgraph, params=dict(params), precision="float64"
+        )
+        sub_fwd = sub_tr.forward(feats[mb.vertices])
+        sub_logits = sub_fwd[sub_tr.output_name]
+        _, sub_grad = softmax_cross_entropy(
+            sub_logits, labels[mb.vertices], mb.seed_mask()
+        )
+        sub_grads = sub_tr.backward(sub_fwd, sub_grad)
+
+        for name in full_grads:
+            assert np.allclose(
+                full_grads[name], sub_grads[name], rtol=1e-9, atol=1e-12
+            ), name
+        # And the seed logits themselves are exact.
+        assert np.allclose(
+            sub_logits[mb.seed_index], logits[mb.seeds], rtol=1e-9
+        )
+
+
+class TestMiniBatchTrainerBehaviour:
+    def test_loss_descends_on_sampled_batches(self):
+        graph, feats, labels, in_dim, classes = _problem(seed=13)
+        model = GraphSAGE(in_dim, (8, classes))
+        compiled = compile_training(model, get_strategy("ours"))
+        mbt = MiniBatchTrainer(compiled, graph, batch_size=30, seed=0)
+        results = mbt.train(feats, labels, Adam(lr=0.05), epochs=8)
+        assert np.mean([r.loss for r in results[-2:]]) < 0.8 * results[0].loss
+        assert mbt.epochs_trained == 8
+
+    def test_hops_defaults_to_model_depth(self):
+        graph, feats, labels, in_dim, classes = _problem()
+        model = GraphSAGE(in_dim, (8, 8, classes))  # 3 layers
+        compiled = compile_training(model, get_strategy("ours"))
+        assert receptive_hops(compiled.forward) == 3
+        mbt = MiniBatchTrainer(compiled, graph, batch_size=16)
+        assert mbt.hops == 3
+
+    def test_rejects_bad_configuration(self):
+        graph, *_ = _problem()
+        model = GraphSAGE(4, (4, 2))
+        compiled = compile_training(model, get_strategy("ours"))
+        with pytest.raises(ValueError):
+            MiniBatchTrainer(compiled, graph, batch_size=0)
+        with pytest.raises(ValueError):
+            MiniBatchTrainer(compiled, graph, batch_size=4, hops=-1)
+
+    def test_evaluate_uses_full_graph(self):
+        graph, feats, labels, in_dim, classes = _problem()
+        model = GraphSAGE(in_dim, (8, classes))
+        compiled = compile_training(model, get_strategy("ours"))
+        mbt = MiniBatchTrainer(compiled, graph, batch_size=30, seed=0)
+        loss, acc = mbt.evaluate(feats, labels)
+        assert np.isfinite(loss) and 0.0 <= acc <= 1.0
+
+
+class TestExpectedFieldModel:
+    def test_estimate_tracks_empirical_mean(self):
+        graph, *_ = _problem(num_vertices=400, num_edges=2400, seed=21)
+        stats = graph.stats()
+        batch, hops = 40, 2
+        est = expected_khop_field_size(stats, batch, hops)
+        fields = []
+        for trial in range(5):
+            rng = np.random.default_rng(trial)
+            fields.extend(
+                mb.field_size
+                for mb in plan_minibatches(graph, batch, hops, rng=rng)
+            )
+        emp = float(np.mean(fields))
+        assert 0.6 * emp < est < 1.5 * emp, (est, emp)
+
+    def test_membership_monotone_in_hops_and_batch(self):
+        from repro.graph.stats import expected_khop_membership
+
+        graph, *_ = _problem(num_vertices=200, num_edges=1000, seed=3)
+        stats = graph.stats()
+        sizes = [
+            expected_khop_field_size(stats, 20, h) for h in range(4)
+        ]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+        m_small = expected_khop_membership(stats, 10, 2)
+        m_big = expected_khop_membership(stats, 50, 2)
+        assert (m_small <= m_big + 1e-12).all()
+        assert (m_small >= 0).all() and (m_big <= 1).all()
+
+
+class TestSessionMinibatch:
+    def test_full_coverage_matches_full_graph_counters(self):
+        sess = (
+            Session()
+            .model("sage").dataset("cora").strategy("ours").feature_dim(8)
+        )
+        full = sess.counters()
+        sess.minibatch(10 ** 6)
+        mc = sess.minibatch_counters()
+        assert mc.num_batches == 1
+        b = mc.batches[0]
+        assert b.compute.flops == full.flops
+        assert b.compute.io_bytes == full.io_bytes
+        assert b.compute.peak_memory_bytes == full.peak_memory_bytes
+        assert mc.expansion == 1.0
+
+    def test_stats_only_workload_uses_degree_model(self):
+        sess = (
+            Session()
+            .model("sage").dataset("reddit-full").strategy("ours")
+            .feature_dim(16).minibatch(65536, seed=0)
+        )
+        mc = sess.minibatch_counters()
+        assert mc.num_batches == 4  # ceil(232965 / 65536)
+        assert mc.gather_bytes > 0
+        assert mc.peak_memory_bytes > 0
+        # Epoch latency and device fit go through the same machinery.
+        assert sess.minibatch_latency_seconds() > 0
+        assert isinstance(sess.fits(), bool)
+
+    def test_minibatch_requires_configuration(self):
+        sess = Session().model("sage").dataset("cora").feature_dim(8)
+        with pytest.raises(ValueError, match="full-graph"):
+            sess.minibatch_counters()
+
+    def test_minibatch_rejects_cluster(self):
+        sess = (
+            Session()
+            .model("sage").dataset("cora").feature_dim(8)
+            .minibatch(256).cluster("V100", 2)
+        )
+        with pytest.raises(ValueError, match="single-GPU"):
+            sess.minibatch_counters()
+
+    def test_counters_memoised_per_configuration(self):
+        sess = (
+            Session()
+            .model("sage").dataset("cora").strategy("ours")
+            .feature_dim(8).minibatch(256, seed=5)
+        )
+        a = sess.minibatch_counters()
+        assert sess.minibatch_counters() is a
+        sess.minibatch(128, seed=5)
+        b = sess.minibatch_counters()
+        assert b is not a and b.num_batches > a.num_batches
+
+    def test_report_attaches_minibatch_and_trains(self):
+        report = (
+            Session()
+            .model("sage").dataset("cora").strategy("ours")
+            .feature_dim(8).minibatch(512, seed=0)
+            .report(train_steps=2)
+        )
+        assert report.batch_size == 512
+        assert report.minibatch is not None
+        assert report.minibatch.num_batches >= 5
+        assert len(report.losses) == 2
+        assert "mini-batch" in report.summary()
+        assert "feature gather" in report.summary()
+
+    def test_sweep_batch_size_axis(self):
+        from repro.session import run_sweep
+
+        sweep = run_sweep(
+            models=["sage"], datasets=["cora"], strategies=["ours"],
+            batch_size=[None, 512], feature_dim=8,
+        )
+        assert len(sweep.rows) == 2
+        full = sweep.by(batch_size=None)[0]
+        sampled = sweep.by(batch_size=512)[0]
+        assert sampled.gather_bytes > 0 and full.gather_bytes == 0
+        assert sampled.io_bytes > full.io_bytes
+        # One compilation serves both batch options.
+        assert sweep.cache_misses == 1
+        assert "batch" in sweep.table()
+        assert sampled.to_dict()["batch_size"] == 512
+
+    def test_sweep_rejects_minibatch_with_clusters(self):
+        from repro.session import run_sweep
+
+        with pytest.raises(ValueError, match="single-GPU"):
+            run_sweep(
+                models=["sage"], datasets=["cora"], strategies=["ours"],
+                batch_size=256, num_gpus=(2,), feature_dim=8,
+            )
+
+    def test_sweep_rejects_minibatch_with_registered_cluster_name(self):
+        # Regression: a registered cluster name in `gpus` reaches the
+        # sweep with num_gpus == 1 and used to drop the batch axis
+        # silently instead of erroring.
+        from repro.gpu.cluster import make_cluster
+        from repro.session import run_sweep
+
+        cluster = make_cluster("V100", 2)
+        with pytest.raises(ValueError, match="single-GPU"):
+            run_sweep(
+                models=["sage"], datasets=["cora"], strategies=["ours"],
+                gpus=[cluster], batch_size=256, feature_dim=8,
+            )
