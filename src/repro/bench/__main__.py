@@ -11,7 +11,9 @@ trajectory.
 small sweep, persisted to ``benchmarks/results/sweep_smoke.json``.
 ``--minibatch`` runs the sampled-training smoke case: a citation-scale
 batch-size sweep (full-graph vs sampled epochs) persisted to
-``benchmarks/results/sweep_minibatch_smoke.json``.
+``benchmarks/results/sweep_minibatch_smoke.json``.  ``--memory`` runs
+the arena-planning smoke case: the model-zoo memory-plan table plus its
+invariants (arena below the ledger peak, reuse above one).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.bench.figures import (
     fig9_fusion,
     fig10_recomputation,
     fig11_small_gpu,
+    fig_memory_plan,
     fig_minibatch_io,
     inline_intermediate_memory_share,
     inline_redundant_computation,
@@ -44,6 +47,7 @@ FIGURES = (
     ("fig10_recomputation", fig10_recomputation),
     ("fig11_small_gpu", fig11_small_gpu),
     ("minibatch_io", fig_minibatch_io),
+    ("fig_memory_plan", fig_memory_plan),
 )
 
 
@@ -95,6 +99,46 @@ def run_minibatch_smoke() -> int:
     return 0
 
 
+def run_memory_smoke() -> int:
+    """CI-sized arena-planning case: model-zoo table + invariants.
+
+    Regenerates the memory-plan figure and asserts the §6 contract the
+    golden table pins: the packed arena never exceeds the analytic
+    ledger peak — strictly below it on most models, since pinned
+    inputs/parameters live outside the arena — and reordering never
+    makes the ledger worse.
+    """
+    t0 = time.time()
+    figure = fig_memory_plan()
+    print(figure.table)
+    strict = 0
+    for row in figure.normalized:
+        assert row["arena_bytes"] <= row["ledger_peak_bytes"], (
+            f"{row['workload']}: arena exceeds the ledger peak"
+        )
+        assert row["sched_peak_bytes"] <= row["ledger_peak_bytes"], (
+            f"{row['workload']}: scheduling worsened the ledger peak"
+        )
+        assert row["reuse_factor"] >= 1.0
+        strict += row["arena_bytes"] < row["ledger_peak_bytes"]
+    assert strict >= 6, f"arena beat the ledger on only {strict} models"
+    sweep = run_sweep(
+        models=["gat", "sage"],
+        datasets=["cora"],
+        strategies=["ours"],
+        schedule=[None, "memory"],
+        feature_dim=32,
+        save_as="sweep_memory_smoke",
+    )
+    print(sweep.table())
+    print(
+        f"memory smoke done in {time.time() - t0:.1f}s "
+        f"(arena strictly below the ledger peak on "
+        f"{strict}/{len(figure.normalized)} models)"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
@@ -137,11 +181,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the CI-sized sampled mini-batch training smoke case",
     )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="run the CI-sized arena memory-planning smoke case",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
     if args.minibatch:
         return run_minibatch_smoke()
+    if args.memory:
+        return run_memory_smoke()
     return run_full()
 
 

@@ -20,6 +20,13 @@ and recompute programs, as produced by :mod:`repro.opt`.
 
 from repro.exec.plan import ExecPlan, Kernel, plan_module
 from repro.exec.engine import Engine
+from repro.exec.memory import (
+    MemoryLedger,
+    MemoryPlan,
+    StepMemoryPlan,
+    plan_memory,
+    plan_memory_multi,
+)
 from repro.exec.multi import MultiEngine
 from repro.exec.profiler import Counters, MultiGPUCounters
 from repro.exec.analytic import (
@@ -35,6 +42,11 @@ __all__ = [
     "plan_module",
     "Engine",
     "MultiEngine",
+    "MemoryPlan",
+    "StepMemoryPlan",
+    "MemoryLedger",
+    "plan_memory",
+    "plan_memory_multi",
     "Counters",
     "MultiGPUCounters",
     "analyze_plan",

@@ -25,6 +25,7 @@ from repro.exec.kernels import (
     param_grad_kernel,
     scatter_kernel,
 )
+from repro.exec.memory import ArenaPool, MemoryLedger, MemoryPlan, StepMemoryPlan
 from repro.exec.plan import ExecPlan
 from repro.graph.csr import Graph
 from repro.ir.module import GRAPH_CONSTANTS, Module
@@ -61,6 +62,22 @@ class Engine:
         Drop arrays as soon as their last consumer kernel has run
         (mirrors the analytic memory ledger and keeps host RAM bounded
         on the million-edge workloads).
+    memory_plan:
+        Optional arena plan(s) from :func:`repro.exec.memory.plan_memory`
+        — a single :class:`~repro.exec.memory.MemoryPlan`, a
+        :class:`~repro.exec.memory.StepMemoryPlan`, a mapping, or a
+        sequence.  When :meth:`run_plan` executes a plan one of them was
+        built for, every boundary value lives inside that plan's arena
+        (slab reuse included), which requires the engine precision to
+        match the accounting dtype (float32).  Returned results are
+        copied out of the arena, so they stay valid across later runs
+        that reuse the slabs.
+
+    After every :meth:`run_plan` the engine exposes the measured
+    live-byte ledger of the run — ``measured_peak_bytes`` /
+    ``measured_end_bytes`` — which reconciles byte-for-byte with
+    :func:`repro.exec.analytic.analyze_plan` at float32 (same pinned
+    set; the memory plan's when one is active, empty otherwise).
     """
 
     def __init__(
@@ -70,6 +87,7 @@ class Engine:
         precision: str = "float32",
         free_dead_values: bool = True,
         check_finite: bool = False,
+        memory_plan: Optional[object] = None,
     ):
         self.graph = graph
         self.precision = np.dtype(precision)
@@ -77,6 +95,41 @@ class Engine:
         #: Debugging mode: raise on the first non-finite kernel output,
         #: naming the producing node (NaN/Inf failure localisation).
         self.check_finite = check_finite
+        self.memory_plan = memory_plan
+        self._pools: Dict[int, ArenaPool] = {}
+        #: Live-byte high-watermark of the most recent :meth:`run_plan`.
+        self.measured_peak_bytes: int = 0
+        #: Live bytes still resident when that run finished.
+        self.measured_end_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    def _memory_plan_for(self, plan: ExecPlan) -> Optional[MemoryPlan]:
+        """Resolve the configured memory plan matching ``plan``, if any."""
+        def candidates(obj):
+            if obj is None:
+                return
+            if isinstance(obj, MemoryPlan):
+                yield obj
+            elif isinstance(obj, StepMemoryPlan):
+                yield from obj.phases()
+            elif isinstance(obj, Mapping):
+                for v in obj.values():
+                    yield from candidates(v)
+            else:  # sequence of plans
+                for v in obj:
+                    yield from candidates(v)
+
+        for mp in candidates(self.memory_plan):
+            if mp.plan is plan:
+                return mp
+        return None
+
+    def _pool_for(self, memory_plan: MemoryPlan) -> ArenaPool:
+        pool = self._pools.get(id(memory_plan))
+        if pool is None or pool.memory_plan is not memory_plan:
+            pool = ArenaPool(memory_plan)
+            self._pools[id(memory_plan)] = pool
+        return pool
 
     # ------------------------------------------------------------------
     def bind(self, module: Module, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -148,21 +201,51 @@ class Engine:
         """
         module = plan.module
         values: Dict[str, np.ndarray] = dict(env)
-        lives = plan.liveness() if self.free_dead_values else {}
+        lives = plan.liveness()
         wanted = set(module.outputs) | set(plan.keep)
         argmax_needed = self._argmax_demand(module, wanted)
+
+        memory_plan = self._memory_plan_for(plan)
+        pool = self._pool_for(memory_plan) if memory_plan is not None else None
+        ledger = MemoryLedger(
+            plan,
+            pinned=memory_plan.pinned if memory_plan is not None else (),
+            lives=lives,
+        )
+        ledger.bind(values)
+        if pool is not None:
+            # Unpinned module inputs (e.g. the stash a backward plan
+            # consumes) live in the arena too: copy them into slabs so
+            # their storage is released by reuse, not by the GC.
+            for name in list(module.inputs) + list(module.params):
+                if name in values and pool.slab_for(plan.root_of(name)):
+                    values[name] = pool.adopt(plan.root_of(name), values[name])
 
         for i, kernel in enumerate(plan.kernels):
             for node in kernel.nodes:
                 self._execute(node, values, argmax_needed)
+                if pool is not None and node.kind is not OpKind.VIEW:
+                    # Escaping writes are adopted before any view of
+                    # them is minted, so aliases are arena-backed too.
+                    for o in node.outputs:
+                        if o in values and pool.slab_for(o):
+                            values[o] = pool.adopt(o, values[o])
                 if self.check_finite:
                     self._assert_finite(node, values)
+            ledger.after_kernel(i, values)
             if self.free_dead_values:
                 self._sweep(plan, values, lives, i, wanted)
+        self.measured_peak_bytes = ledger.peak_bytes
+        self.measured_end_bytes = ledger.current_bytes
 
         result: Dict[str, np.ndarray] = {}
         for name in wanted:
             arr = values[name]
+            if pool is not None and plan.root_of(name) in memory_plan.slabs:
+                # Returned values leave the arena: a later run reuses
+                # the slabs, which must never mutate results a caller
+                # still holds.
+                arr = np.array(arr)
             result[name] = (
                 self.unwrap(module.specs[name], arr) if unwrap else arr
             )
@@ -263,16 +346,25 @@ class Engine:
 
         Mirrors the analytic ledger: boundary values die after their
         last consumer, kernel-internal values die with their kernel
-        (on a GPU they never left on-chip storage at all).
+        (on a GPU they never left on-chip storage at all).  Freeing is
+        root-wise: popping a root while a view alias of it stays in
+        ``values`` would keep the storage alive (NumPy views hold a
+        base reference), so every alias of a dead root is swept with
+        it.
         """
         internal = set(plan.kernel_io(kernel_index).internal)
+        dead: Set[str] = set()
         for name in list(values):
             root = plan.root_of(name)
             if name in wanted or root in wanted:
                 continue
-            if name in internal:
-                values.pop(name, None)
+            if root in internal:
+                dead.add(root)
                 continue
             life = lives.get(root)
             if life is not None and life[1] == kernel_index:
-                values.pop(name, None)
+                dead.add(root)
+        if dead:
+            for name in list(values):
+                if name not in wanted and plan.root_of(name) in dead:
+                    values.pop(name, None)

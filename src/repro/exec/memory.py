@@ -1,0 +1,460 @@
+"""Arena memory planning: slab assignment over liveness intervals.
+
+The §6 ledger (:func:`repro.exec.analytic.analyze_plan`) prices a plan's
+peak footprint analytically, but says nothing about how a runtime would
+*deliver* that peak: a naive allocator gives every boundary value fresh
+storage and pays the sum of all sizes, not the max of concurrent ones.
+This module closes that gap with an offset-based arena plan:
+
+- every boundary root in the plan's liveness ledger — except
+  caller-pinned values (features, labels, parameters: memory the user
+  owns regardless of scheduling) and topology-synthesised graph
+  constants — is assigned an ``(offset, size)`` slab inside one arena,
+- two values may share arena bytes exactly when their lifetime
+  intervals ``[def kernel, last consumer]`` are disjoint — the same
+  discipline the ledger frees by, so reuse can never corrupt a value a
+  later kernel still reads,
+- placement tries several classic heuristics (definition order vs
+  size-descending, first-fit vs best-fit) and keeps the smallest arena;
+  size-descending first-fit is what defeats the fragmentation that
+  birth-order packing suffers on backward plans.
+
+Invariants (enforced by the test suite):
+
+- ``arena_bytes <= naive_bytes`` — reuse never loses to fresh storage,
+- the per-step planned footprint ``pinned_bytes + arena_bytes`` tracks
+  the analytic ledger peak, beating it whenever packing is tight
+  (fragmentation below the pinned share),
+- executing through the arena (:class:`repro.exec.engine.Engine` with
+  ``memory_plan=``) is bit-identical to fresh storage.
+
+:class:`MemoryLedger` is the measured twin of the analytic walk: the
+engine drives it with the *actual* arrays it produced, so its
+high-watermark must reconcile byte-for-byte with
+``analyze_plan(...).peak_memory_bytes`` at the accounting precision
+(float32) — the same differential contract the mini-batch feature
+gathers established.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.plan import ExecPlan
+from repro.graph.stats import GraphStats
+from repro.ir.module import GRAPH_CONSTANTS
+
+__all__ = [
+    "Slab",
+    "MemoryPlan",
+    "StepMemoryPlan",
+    "MemoryLedger",
+    "ArenaPool",
+    "plan_memory",
+    "plan_memory_multi",
+    "ledger_walk",
+    "ARENA_ALIGN",
+]
+
+#: Slab alignment in bytes.  Offsets land on 8-byte boundaries so arena
+#: views of any kernel dtype (float32/float64/int64) are aligned.
+ARENA_ALIGN = 8
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + ARENA_ALIGN - 1) // ARENA_ALIGN * ARENA_ALIGN
+
+
+@dataclass(frozen=True)
+class Slab:
+    """One boundary root's reserved arena region and lifetime."""
+
+    name: str
+    offset: int
+    size: int     #: aligned extent reserved in the arena
+    nbytes: int   #: exact accounting bytes (``TensorSpec.nbytes``)
+    birth: int    #: producing kernel (-1 = module input)
+    death: int    #: last consuming kernel (``len(kernels)`` = survives)
+
+    def overlaps(self, other: "Slab") -> bool:
+        """Do the two lifetimes intersect (may not share bytes)?"""
+        return self.birth <= other.death and other.birth <= self.death
+
+
+@dataclass
+class MemoryPlan:
+    """Arena assignment for one :class:`~repro.exec.plan.ExecPlan`.
+
+    ``ledger_peak_bytes`` is the analytic ledger peak of this plan on
+    the planning stats (pinned values resident throughout);
+    ``live_peak_bytes`` is the unpinned share of that peak — the
+    information-theoretic floor of any arena for this schedule.
+    """
+
+    plan: ExecPlan
+    slabs: Dict[str, Slab]
+    arena_bytes: int
+    naive_bytes: int
+    ledger_peak_bytes: int
+    live_peak_bytes: int
+    pinned_bytes: int
+    pinned: FrozenSet[str]
+    heuristic: str
+
+    @property
+    def planned_peak_bytes(self) -> int:
+        """Device bytes an arena-backed run provisions: pinned + arena."""
+        return self.pinned_bytes + self.arena_bytes
+
+    @property
+    def reuse_factor(self) -> float:
+        """Fresh-storage bytes over arena bytes (>= 1 by construction)."""
+        if self.arena_bytes == 0:
+            return 1.0
+        return self.naive_bytes / self.arena_bytes
+
+    @property
+    def fragmentation(self) -> float:
+        """Arena share lost to packing gaps at the peak step."""
+        if self.arena_bytes == 0:
+            return 0.0
+        return 1.0 - self.live_peak_bytes / self.arena_bytes
+
+    def summary(self) -> str:
+        return (
+            f"arena {self.arena_bytes / 2**20:.2f} MiB"
+            f" + pinned {self.pinned_bytes / 2**20:.2f} MiB"
+            f" (ledger peak {self.ledger_peak_bytes / 2**20:.2f} MiB,"
+            f" naive {self.naive_bytes / 2**20:.2f} MiB,"
+            f" reuse {self.reuse_factor:.2f}x,"
+            f" frag {self.fragmentation * 100:.1f}%,"
+            f" {self.heuristic})"
+        )
+
+
+@dataclass
+class StepMemoryPlan:
+    """Forward (+ optional backward) arena plans of one training step."""
+
+    forward: MemoryPlan
+    backward: Optional[MemoryPlan] = None
+
+    def phases(self) -> List[MemoryPlan]:
+        return [self.forward] + ([self.backward] if self.backward else [])
+
+    @property
+    def arena_bytes(self) -> int:
+        return max(p.arena_bytes for p in self.phases())
+
+    @property
+    def planned_peak_bytes(self) -> int:
+        return max(p.planned_peak_bytes for p in self.phases())
+
+    @property
+    def ledger_peak_bytes(self) -> int:
+        return max(p.ledger_peak_bytes for p in self.phases())
+
+    @property
+    def reuse_factor(self) -> float:
+        naive = sum(p.naive_bytes for p in self.phases())
+        arena = sum(p.arena_bytes for p in self.phases())
+        return naive / arena if arena else 1.0
+
+    def summary(self) -> str:
+        lines = [f"forward   {self.forward.summary()}"]
+        if self.backward is not None:
+            lines.append(f"backward  {self.backward.summary()}")
+        return "\n".join(lines)
+
+
+# ======================================================================
+# Planning
+# ======================================================================
+def _plan_values(
+    plan: ExecPlan, stats: GraphStats, pinned_roots: FrozenSet[str]
+) -> Tuple[List[Tuple[str, int, int, int]], int]:
+    """Unpinned ``(root, nbytes, birth, death)`` records + pinned bytes."""
+    specs = plan.module.specs
+    V, E = stats.num_vertices, stats.num_edges
+    free_names = {plan.root_of(n) for n in GRAPH_CONSTANTS if n in specs}
+    values: List[Tuple[str, int, int, int]] = []
+    pinned_bytes = 0
+    for root, (birth, death) in sorted(plan.liveness().items()):
+        if root in free_names:
+            continue
+        nbytes = specs[root].nbytes(V, E)
+        if root in pinned_roots:
+            pinned_bytes += nbytes
+            continue
+        values.append((root, nbytes, birth, death))
+    return values, pinned_bytes
+
+
+def _place(
+    values: List[Tuple[str, int, int, int]],
+    order_key,
+    fit: str,
+) -> Tuple[Dict[str, int], int]:
+    """Offset assignment: scan gaps between lifetime-overlapping slabs.
+
+    ``fit`` is ``"first"`` (lowest feasible offset) or ``"best"``
+    (tightest feasible gap, tie → lowest offset).
+    """
+    placed: List[Tuple[int, int, int, int]] = []  # (offset, size, birth, death)
+    offsets: Dict[str, int] = {}
+    for name, nbytes, birth, death in sorted(values, key=order_key):
+        size = _align(nbytes)
+        overlapping = sorted(
+            (o, s) for o, s, b, d in placed if birth <= d and b <= death
+        )
+        cursor = 0
+        best: Optional[Tuple[float, int]] = None  # (goodness, offset)
+        for o, s in overlapping:
+            gap = o - cursor
+            if gap >= size:
+                goodness = gap - size if fit == "best" else cursor
+                if best is None or (goodness, cursor) < best:
+                    best = (goodness, cursor)
+            cursor = max(cursor, o + s)
+        tail = (float("inf"), cursor) if fit == "best" else (cursor, cursor)
+        if best is None or tail < best:
+            best = tail
+        offset = best[1]
+        offsets[name] = offset
+        placed.append((offset, size, birth, death))
+    arena = max((o + s for o, s, _, _ in placed), default=0)
+    return offsets, arena
+
+
+#: (label, sort key over (root, nbytes, birth, death), fit) candidates.
+_HEURISTICS = (
+    ("size-desc/first-fit", lambda v: (-v[1], v[2], v[0]), "first"),
+    ("size-desc/best-fit", lambda v: (-v[1], v[2], v[0]), "best"),
+    ("birth/first-fit", lambda v: (v[2], -v[1], v[0]), "first"),
+    ("birth/best-fit", lambda v: (v[2], -v[1], v[0]), "best"),
+)
+
+
+def ledger_walk(
+    plan: ExecPlan,
+    sizes: Mapping[str, int],
+    *,
+    order: Optional[Iterable[int]] = None,
+    pinned_roots: Iterable[str] = frozenset(),
+) -> Tuple[int, int]:
+    """(full ledger peak, unpinned live peak) of one kernel ``order``.
+
+    The canonical liveness-ledger simulation shared by the planner and
+    the scheduler: inputs/params resident up front, each escaping write
+    resident from its (scheduled) producing step to its last consumer,
+    keep-set/output and pinned roots never freed, graph constants free.
+    ``order`` defaults to the plan's emitted order, where the full peak
+    equals ``analyze_plan(...).peak_memory_bytes`` on the same pinned
+    set.  ``sizes`` maps every liveness root to its bytes.
+    """
+    specs = plan.module.specs
+    free_names = {plan.root_of(n) for n in GRAPH_CONSTANTS if n in specs}
+    pinned = set(pinned_roots)
+    order = (
+        list(order) if order is not None else list(range(len(plan.kernels)))
+    )
+    protected = {
+        plan.root_of(x) for x in set(plan.keep) | set(plan.module.outputs)
+    } | pinned
+    position = {k: t for t, k in enumerate(order)}
+    last_use: Dict[str, int] = {}
+    for i in range(len(plan.kernels)):
+        for r in plan.kernel_io(i).reads:
+            root = plan.root_of(r)
+            last_use[root] = max(last_use.get(root, -1), position[i])
+    resident: Dict[str, int] = {}
+    for name in list(plan.module.inputs) + list(plan.module.params):
+        root = plan.root_of(name)
+        if root not in resident and root not in free_names:
+            resident[root] = sizes[root]
+    pinned_resident = sum(
+        size for root, size in resident.items() if root in pinned
+    )
+    current = sum(resident.values())
+    peak = current
+    live_peak = current - pinned_resident
+    for t, i in enumerate(order):
+        for w in plan.kernel_io(i).writes:
+            root = plan.root_of(w)
+            if root not in resident and root not in free_names:
+                resident[root] = sizes[root]
+                current += sizes[root]
+                if root in pinned:
+                    pinned_resident += sizes[root]
+        peak = max(peak, current)
+        live_peak = max(live_peak, current - pinned_resident)
+        for root in list(resident):
+            if root in protected:
+                continue
+            if last_use.get(root, -1) <= t:
+                current -= resident.pop(root)
+    return peak, live_peak
+
+
+def plan_memory(
+    plan: ExecPlan,
+    stats: GraphStats,
+    *,
+    pinned: Iterable[str] = (),
+) -> MemoryPlan:
+    """Assign every unpinned boundary root an arena slab.
+
+    ``pinned`` names (typically the model's inputs and parameters) stay
+    outside the arena: the caller owns their storage and the ledger
+    carries them for the whole phase regardless of scheduling.
+    """
+    pinned_roots = frozenset(plan.root_of(p) for p in pinned)
+    values, pinned_bytes = _plan_values(plan, stats, pinned_roots)
+    best: Optional[Tuple[int, str, Dict[str, int]]] = None
+    for label, key, fit in _HEURISTICS:
+        offsets, arena = _place(values, key, fit)
+        if best is None or arena < best[0]:
+            best = (arena, label, offsets)
+    arena_bytes, heuristic, offsets = best
+    slabs = {
+        name: Slab(
+            name=name,
+            offset=offsets[name],
+            size=_align(nbytes),
+            nbytes=nbytes,
+            birth=birth,
+            death=death,
+        )
+        for name, nbytes, birth, death in values
+    }
+    specs = plan.module.specs
+    sizes = {
+        root: specs[root].nbytes(stats.num_vertices, stats.num_edges)
+        for root in plan.liveness()
+    }
+    ledger_peak, live_peak = ledger_walk(plan, sizes, pinned_roots=pinned_roots)
+    return MemoryPlan(
+        plan=plan,
+        slabs=slabs,
+        arena_bytes=arena_bytes,
+        naive_bytes=sum(s.size for s in slabs.values()),
+        ledger_peak_bytes=ledger_peak,
+        live_peak_bytes=live_peak,
+        pinned_bytes=pinned_bytes,
+        pinned=pinned_roots,
+        heuristic=heuristic,
+    )
+
+
+def plan_memory_multi(
+    plan: ExecPlan,
+    pstats,
+    *,
+    pinned: Iterable[str] = (),
+) -> List[MemoryPlan]:
+    """Per-partition arena plans for a partitioned workload.
+
+    Each simulated GPU executes the *same* plan on its own partition's
+    stats (vertex extents cover owned + ghost rows), so each gets its
+    own arena sized to its shard.  ``pstats`` is a
+    :class:`~repro.graph.partition.PartitionStats`.
+    """
+    pinned = list(pinned)
+    return [
+        plan_memory(plan, part, pinned=pinned) for part in pstats.parts
+    ]
+
+
+# ======================================================================
+# Measured ledger (the engine-side half of the differential contract)
+# ======================================================================
+class MemoryLedger:
+    """Live-byte bookkeeping over the arrays an engine actually holds.
+
+    Applies the exact discipline of the analytic walk — inputs resident
+    from the start, each escaping write resident from its producing
+    kernel to its last consumer, pinned roots never freed, graph
+    constants free — but sizes come from real ``ndarray.nbytes``.  At
+    the accounting precision (float32) the resulting high-watermark
+    equals ``analyze_plan(...).peak_memory_bytes`` byte for byte.
+    """
+
+    def __init__(
+        self,
+        plan: ExecPlan,
+        *,
+        pinned: Iterable[str] = (),
+        lives: Optional[Dict[str, Tuple[int, int]]] = None,
+    ):
+        self._plan = plan
+        self._pinned = {plan.root_of(p) for p in pinned}
+        specs = plan.module.specs
+        self._free = {plan.root_of(n) for n in GRAPH_CONSTANTS if n in specs}
+        self._resident: Dict[str, int] = {}
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        # Index deaths by kernel so after_kernel frees O(dying) roots
+        # instead of scanning the whole ledger every step.
+        self._deaths: Dict[int, List[str]] = {}
+        for root, (_, last) in (
+            lives if lives is not None else plan.liveness()
+        ).items():
+            if root not in self._pinned:
+                self._deaths.setdefault(last, []).append(root)
+
+    def _add(self, root: str, nbytes: int) -> None:
+        if root in self._resident or root in self._free:
+            return
+        self._resident[root] = nbytes
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def bind(self, values: Mapping[str, np.ndarray]) -> None:
+        """Charge the module inputs/params present in ``values``."""
+        module = self._plan.module
+        for name in list(module.inputs) + list(module.params):
+            if name in values:
+                self._add(self._plan.root_of(name), int(values[name].nbytes))
+
+    def after_kernel(self, index: int, values: Mapping[str, np.ndarray]) -> None:
+        """Account kernel ``index``'s escaping writes, then its frees."""
+        io = self._plan.kernel_io(index)
+        for w in io.writes:
+            if w in values:
+                self._add(self._plan.root_of(w), int(values[w].nbytes))
+        for root in self._deaths.get(index, ()):
+            size = self._resident.pop(root, None)
+            if size is not None:
+                self.current_bytes -= size
+
+
+class ArenaPool:
+    """One reusable byte arena backing a :class:`MemoryPlan`'s slabs."""
+
+    def __init__(self, memory_plan: MemoryPlan):
+        self.memory_plan = memory_plan
+        self.buffer = np.zeros(memory_plan.arena_bytes, dtype=np.uint8)
+
+    def slab_for(self, root: str) -> Optional[Slab]:
+        return self.memory_plan.slabs.get(root)
+
+    def adopt(self, root: str, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` into the root's slab; return the arena view."""
+        slab = self.memory_plan.slabs[root]
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes > slab.size:
+            raise ValueError(
+                f"array for {root!r} needs {arr.nbytes} bytes but its "
+                f"slab holds {slab.size}; the engine precision must "
+                "match the plan's accounting dtype (float32)"
+            )
+        view = (
+            self.buffer[slab.offset : slab.offset + arr.nbytes]
+            .view(arr.dtype)
+            .reshape(arr.shape)
+        )
+        view[...] = arr
+        return view

@@ -116,6 +116,12 @@ class MultiEngine:
         self.precision = np.dtype(precision)
         #: Transfers performed by the most recent :meth:`run_plan`.
         self.exchanges: List[ExchangeRecord] = []
+        #: Per-part live-byte high-watermarks of the most recent run,
+        #: under the analytic ledger discipline (owned shards only;
+        #: replicated PARAM/DENSE values charged to every part).  Each
+        #: entry is bounded by the per-partition analytic walk, whose
+        #: vertex extents additionally cover the ghost rows.
+        self.measured_peak_bytes_per_gpu: List[int] = []
         # Out-gather fetch plan per part: owner part / owner row of each
         # out-edge (owner = the part holding the edge's destination).
         self._out_owner = [
@@ -265,6 +271,7 @@ class MultiEngine:
 
         parts_values = [dict(d) for d in env.parts]
         shared = dict(env.shared)
+        ledgers = self._make_ledgers(plan, parts_values, shared)
         for ki, kernel in enumerate(plan.kernels):
             # Per-kernel exchange cache: kernels sharing an operand
             # share one halo transfer, mirroring plan_comm_records.
@@ -274,6 +281,8 @@ class MultiEngine:
                     node, module, plan, ki, parts_values, shared,
                     argmax_needed, halo_cache,
                 )
+            self._ledgers_after_kernel(ledgers, plan, ki, parts_values, shared)
+        self.measured_peak_bytes_per_gpu = [lg.peak_bytes for lg in ledgers]
 
         result: Dict[str, np.ndarray] = {}
         for name in wanted:
@@ -283,6 +292,44 @@ class MultiEngine:
                 unwrap=unwrap,
             )
         return result
+
+    # -- measured memory ledgers ---------------------------------------
+    def _make_ledgers(
+        self,
+        plan: ExecPlan,
+        parts_values: List[Dict[str, np.ndarray]],
+        shared: Dict[str, np.ndarray],
+    ) -> "List[MemoryLedger]":
+        """One measured ledger per part, charged with its bound inputs.
+
+        Replicated PARAM/DENSE values live in ``shared`` but occupy
+        every simulated GPU, so each part's ledger reads through a
+        ChainMap view (no per-kernel dict rebuilding).
+        """
+        from collections import ChainMap
+
+        from repro.exec.memory import MemoryLedger
+
+        lives = plan.liveness()
+        ledgers = [MemoryLedger(plan, lives=lives) for _ in range(self.num_parts)]
+        for p, ledger in enumerate(ledgers):
+            ledger.bind(ChainMap(parts_values[p], shared))
+        return ledgers
+
+    def _ledgers_after_kernel(
+        self,
+        ledgers: "List[MemoryLedger]",
+        plan: ExecPlan,
+        kernel_index: int,
+        parts_values: List[Dict[str, np.ndarray]],
+        shared: Dict[str, np.ndarray],
+    ) -> None:
+        from collections import ChainMap
+
+        for p, ledger in enumerate(ledgers):
+            ledger.after_kernel(
+                kernel_index, ChainMap(parts_values[p], shared)
+            )
 
     # -- halo exchanges -------------------------------------------------
     def _fetch_ghost_rows(

@@ -83,6 +83,7 @@ class ExecPlan:
         self._alias = self._build_alias()
         self._producer_kernel = self._build_producer_index()
         self._io = [self._kernel_io(i) for i in range(len(self.kernels))]
+        self._lives: Optional[Dict[str, Tuple[int, int]]] = None
 
     def _validate_schedule(self) -> None:
         """Every value must be defined before any kernel consumes it."""
@@ -134,12 +135,21 @@ class ExecPlan:
     def _kernel_io(self, index: int) -> KernelIO:
         kernel = self.kernels[index]
         inside = {o for node in kernel.nodes for o in node.outputs}
+        # Storage consumed by other kernels' *computing* nodes, resolved
+        # to roots.  VIEW nodes are excluded: creating an alias moves no
+        # data, so a value whose only cross-kernel "consumers" are views
+        # does not escape — only a non-view reader (directly or through
+        # an alias, which root resolution folds in) forces a DRAM write.
         consumed_outside: Set[str] = set()
         for j, other in enumerate(self.kernels):
             if j == index:
                 continue
             for node in other.nodes:
-                consumed_outside.update(node.all_inputs())
+                if node.kind is OpKind.VIEW:
+                    continue
+                consumed_outside.update(
+                    self.root_of(n) for n in node.all_inputs()
+                )
 
         reads: List[str] = []
         seen: Set[str] = set()
@@ -148,7 +158,10 @@ class ExecPlan:
                 continue
             for name in node.all_inputs():
                 root = self.root_of(name)
-                if name in inside or root in inside:
+                # A read is internal only when the *storage* is produced
+                # by this kernel; an alias minted in-kernel over foreign
+                # storage still stages that storage from DRAM.
+                if root in inside:
                     continue
                 if root not in seen:
                     seen.add(root)
@@ -166,8 +179,7 @@ class ExecPlan:
                     or o in self.module.outputs
                     or any(
                         self.root_of(v) == o and
-                        (v in consumed_outside or v in self.keep
-                         or v in self.module.outputs)
+                        (v in self.keep or v in self.module.outputs)
                         for v in self._alias
                     )
                 )
@@ -186,8 +198,17 @@ class ExecPlan:
         Returns root value name → ``(first kernel after which it exists,
         last kernel that reads it)``.  Module inputs get def index -1;
         values in ``keep`` or module outputs get last index
-        ``len(kernels)`` (survive the plan).
+        ``len(kernels)`` (survive the plan).  Inputs nothing ever reads
+        are dead on arrival: they get last index 0 — freed as soon as
+        the plan starts running — so a walk that does not pin them never
+        carries them through the phase (kernel-less plans keep the
+        ``(-1, -1)`` sentinel).
+
+        The plan is immutable, so the result is computed once and
+        shared — treat it as read-only.
         """
+        if self._lives is not None:
+            return self._lives
         n = len(self.kernels)
         lives: Dict[str, Tuple[int, int]] = {}
         for name in list(self.module.inputs) + list(self.module.params):
@@ -207,6 +228,11 @@ class ExecPlan:
             root = self.root_of(name)
             if root in lives:
                 lives[root] = (lives[root][0], n)
+        if n > 0:
+            for root, (d, last) in lives.items():
+                if last < 0:
+                    lives[root] = (d, 0)
+        self._lives = lives
         return lives
 
 

@@ -8,6 +8,9 @@
   (training-memory elimination),
 - :mod:`~repro.opt.autotune` — per-kernel thread-mapping selection by
   the cost model (§5's "based on performance profiling"),
+- :mod:`~repro.opt.schedule` — peak-aware kernel reordering over the §6
+  liveness ledger (greedy list scheduling; the ``schedule_memory``
+  pass),
 - :mod:`~repro.opt.pipeline` — the passes above lifted into composable
   :class:`~repro.opt.pipeline.Pass` objects run by a
   :class:`~repro.opt.pipeline.PassManager` (per-pass IR deltas and
@@ -18,6 +21,11 @@ from repro.opt.reorganize import reorganize
 from repro.opt.fusion import partition_kernels
 from repro.opt.recompute import plan_recompute, RecomputeDecision
 from repro.opt.autotune import autotune_plan, mapping_choices
+from repro.opt.schedule import (
+    ScheduleMemoryPass,
+    schedule_kernels,
+    with_memory_schedule,
+)
 from repro.opt.pipeline import (
     Pass,
     PassContext,
@@ -33,6 +41,9 @@ __all__ = [
     "RecomputeDecision",
     "autotune_plan",
     "mapping_choices",
+    "schedule_kernels",
+    "ScheduleMemoryPass",
+    "with_memory_schedule",
     "Pass",
     "PassContext",
     "PassManager",

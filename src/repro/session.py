@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.exec.memory import StepMemoryPlan, plan_memory
 from repro.exec.profiler import Counters, MiniBatchCounters, MultiGPUCounters
 from repro.frameworks import compile_forward, compile_training, get_strategy
 from repro.frameworks.strategy import (
@@ -67,6 +68,7 @@ from repro.graph.sampling import plan_minibatches
 from repro.graph.stats import GraphStats, expected_field_stats
 from repro.ir.serialize import dumps_module
 from repro.models.base import GNNModel
+from repro.opt.schedule import with_memory_schedule
 from repro.registry import MODELS
 import repro.models  # noqa: F401  (populates the model registry)
 
@@ -177,6 +179,8 @@ class ExperimentReport:
     #: ``latency_s``/``fits_device`` reflect the sampled epoch).
     batch_size: Optional[int] = None
     minibatch: Optional[MiniBatchCounters] = None
+    #: Arena memory plan (set when the session scheduled for memory).
+    memory: Optional[StepMemoryPlan] = None
 
     @property
     def comm_fraction_time(self) -> float:
@@ -197,6 +201,15 @@ class ExperimentReport:
             f"  modelled {'epoch' if self.minibatch is not None else 'step '} "
             f"{self.latency_s * 1e3:10.2f} ms",
         ]
+        if self.memory is not None:
+            mem = self.memory
+            lines.append(
+                f"  arena plan     {mem.arena_bytes / 2**20:10.2f} MiB "
+                f"(+ pinned, planned peak "
+                f"{mem.planned_peak_bytes / 2**20:.2f} MiB vs ledger "
+                f"{mem.ledger_peak_bytes / 2**20:.2f} MiB, "
+                f"reuse {mem.reuse_factor:.2f}x)"
+            )
         if self.minibatch is not None:
             mb = self.minibatch
             lines.append(
@@ -277,6 +290,11 @@ class Session:
         # (compiled id, batch/hops/seed, workload anchor) -> counters;
         # anchors keep id()s alive exactly like the partition memo.
         self._minibatch_memo: Dict[tuple, tuple] = {}
+        # Memory planning: None = ledger accounting only, "memory" =
+        # append the schedule_memory pass and price the arena plan.
+        self._schedule: Optional[str] = None
+        # (compiled id, stats id) -> (compiled, stats, StepMemoryPlan).
+        self._memory_memo: Dict[tuple, tuple] = {}
         # Registry-name models resolve once per configuration; the
         # model/dataset/feature_dim setters invalidate this.
         self._resolved_model: Optional[GNNModel] = None
@@ -303,6 +321,25 @@ class Session:
 
     def strategy(self, strategy: Union[str, ExecutionStrategy]) -> "Session":
         self._strategy = strategy
+        return self
+
+    def schedule(self, mode: Optional[str]) -> "Session":
+        """Enable peak-aware memory planning for this configuration.
+
+        ``"memory"`` appends the ``schedule_memory`` pass to the
+        resolved strategy's pipeline (kernels reordered for minimum
+        ledger peak) and makes every terminal price the arena plan:
+        counters carry ``planned_peak_bytes``, :meth:`fits` and
+        :class:`~repro.gpu.cost_model.SimulatedOOM` use the planned
+        arena footprint, and :meth:`report` attaches the
+        :class:`~repro.exec.memory.StepMemoryPlan`.  ``schedule(None)``
+        restores plain ledger accounting.
+        """
+        if mode not in (None, "memory"):
+            raise ValueError(
+                f"unknown schedule mode {mode!r}; use 'memory' or None"
+            )
+        self._schedule = mode
         return self
 
     def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
@@ -398,7 +435,10 @@ class Session:
     # -- resolution ----------------------------------------------------
     def resolve_strategy(self) -> ExecutionStrategy:
         s = self._strategy
-        return get_strategy(s) if isinstance(s, str) else s
+        resolved = get_strategy(s) if isinstance(s, str) else s
+        if self._schedule == "memory":
+            return with_memory_schedule(resolved)
+        return resolved
 
     def resolve_gpu(self) -> GPUSpec:
         g = self._gpu
@@ -493,6 +533,42 @@ class Session:
     def compile_forward(self) -> CompiledForward:
         return self.compile(training=False)
 
+    def memory_plan(self, *, training: bool = True) -> StepMemoryPlan:
+        """Arena memory plan of the configured pair on the workload.
+
+        Plans every phase of the compiled configuration on the resolved
+        stats (:func:`repro.exec.memory.plan_memory`), pinning the
+        model's inputs and parameters — user-owned memory outside the
+        arena.  With :meth:`schedule` set to ``"memory"`` the planned
+        plans are the memory-scheduled ones; without it the fusion
+        order is planned as-is.  Memoised per (compiled, stats).
+        """
+        return self._memory_plan_compiled(
+            self.compile(training=training), self.resolve_stats(), training
+        )
+
+    def _memory_plan_compiled(
+        self, compiled, stats: GraphStats, training: bool
+    ) -> StepMemoryPlan:
+        """Memoised planning for an already-compiled pair (no extra
+        plan-cache traffic — sweeps pin one compile call per combo)."""
+        key = (id(compiled), id(stats), training)
+        memo = self._memory_memo.get(key)
+        if memo is not None and memo[0] is compiled and memo[1] is stats:
+            return memo[2]
+        pinned = list(compiled.forward.inputs) + list(compiled.forward.params)
+        if training:
+            smp = StepMemoryPlan(
+                forward=plan_memory(compiled.fwd_plan, stats, pinned=pinned),
+                backward=plan_memory(compiled.bwd_plan, stats, pinned=pinned),
+            )
+        else:
+            smp = StepMemoryPlan(
+                forward=plan_memory(compiled.plan, stats, pinned=pinned)
+            )
+        self._memory_memo[key] = (compiled, stats, smp)
+        return smp
+
     def counters(self, *, training: bool = True) -> Counters:
         compiled = self.compile(training=training)
         stats = self.resolve_stats()
@@ -500,6 +576,17 @@ class Session:
         if memo is not None and memo[0] is compiled and memo[1] is stats:
             return memo[2]
         counters = compiled.counters(stats)
+        if self._schedule == "memory":
+            # Price the arena plan: the cost model's DRAM check then
+            # uses the deliverable (pinned + packed arena) footprint.
+            smp = self._memory_plan_compiled(compiled, stats, training)
+            counters.forward.planned_peak_bytes = (
+                smp.forward.planned_peak_bytes
+            )
+            if counters.backward is not None and smp.backward is not None:
+                counters.backward.planned_peak_bytes = (
+                    smp.backward.planned_peak_bytes
+                )
         self._counters_memo = (compiled, stats, counters)
         return counters
 
@@ -646,7 +733,7 @@ class Session:
 
         compiled = self.compile(training=True)
         stats = self.resolve_stats()
-        counters = compiled.counters(stats)
+        counters = self.counters(training=True)
         cluster = self.resolve_cluster()
         if self._minibatch is not None:
             mc = self.minibatch_counters()
@@ -690,6 +777,8 @@ class Session:
                 latency_s=cost.latency_seconds(counters, stats),
                 fits_device=cost.fits(counters),
             )
+        if self._schedule == "memory":
+            report.memory = self.memory_plan(training=True)
 
         if train_steps > 0:
             ds = self.resolve_dataset()
@@ -781,6 +870,14 @@ class SweepRow:
     #: epoch totals / per-batch maxima.
     batch_size: Optional[int] = None
     gather_bytes: int = 0
+    #: Memory-scheduled rows compile with the ``schedule_memory`` pass.
+    #: Single-GPU full-graph rows additionally price the arena:
+    #: ``arena_bytes`` is the planned footprint and
+    #: ``peak_memory_bytes`` the deliverable (pinned + arena) peak.
+    #: Multi-GPU and mini-batch rows keep ledger pricing (of the
+    #: memory-scheduled plans) and leave ``arena_bytes`` at 0.
+    schedule: Optional[str] = None
+    arena_bytes: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -800,6 +897,8 @@ class SweepRow:
             "comm_fraction": self.comm_fraction,
             "batch_size": self.batch_size,
             "gather_bytes": self.gather_bytes,
+            "schedule": self.schedule,
+            "arena_bytes": self.arena_bytes,
         }
 
 
@@ -823,12 +922,14 @@ class SweepReport:
         from repro.bench.report import format_table  # lazy: avoids cycle
 
         with_batches = any(r.batch_size is not None for r in self.rows)
+        with_schedules = any(r.schedule is not None for r in self.rows)
         body = [
             [
                 r.model, r.dataset, r.strategy, r.gpu,
             ]
             + ([str(r.batch_size) if r.batch_size is not None else "full"]
                if with_batches else [])
+            + ([r.schedule or "-"] if with_schedules else [])
             + [
                 f"{r.flops / 1e9:.2f}",
                 f"{r.io_bytes / 2**20:.1f}",
@@ -841,6 +942,7 @@ class SweepReport:
         return format_table(
             ["model", "dataset", "strategy", "gpu"]
             + (["batch"] if with_batches else [])
+            + (["sched"] if with_schedules else [])
             + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"],
             body,
             title=(
@@ -884,6 +986,7 @@ def run_sweep(
     batch_size: Union[None, int, Sequence[Optional[int]]] = None,
     minibatch_hops: Optional[int] = None,
     minibatch_seed: int = 0,
+    schedule: Union[None, str, Sequence[Optional[str]]] = None,
     feature_dim: Optional[int] = None,
     training: bool = True,
     cache: Optional[PlanCache] = None,
@@ -911,6 +1014,14 @@ def run_sweep(
     full-graph step.  The plan never depends on the sampled topology,
     so every batch size reuses one compilation per (model, strategy);
     single-GPU only (combine with ``num_gpus=(1,)``).
+
+    ``schedule`` sweeps memory planning: a mode or a sequence mixing
+    ``"memory"`` with ``None`` (ledger accounting).  Scheduled rows
+    compile with the ``schedule_memory`` pass appended (a separate
+    plan-cache entry); single-GPU full-graph rows report the planned
+    ``arena_bytes`` and show the deliverable (pinned + arena) peak in
+    the memory column, while multi-GPU and mini-batch rows price the
+    memory-scheduled plans with the ordinary ledger.
     """
     cache = cache if cache is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
@@ -918,6 +1029,10 @@ def run_sweep(
         batch_options: Tuple[Optional[int], ...] = (batch_size,)
     else:
         batch_options = tuple(batch_size)
+    if schedule is None or isinstance(schedule, str):
+        schedule_options: Tuple[Optional[str], ...] = (schedule,)
+    else:
+        schedule_options = tuple(schedule)
     if any(b is not None for b in batch_options) and any(
         n > 1 for n in num_gpus
     ):
@@ -933,110 +1048,133 @@ def run_sweep(
             stats = s.resolve_stats()
             for strat in strategies:
                 s.strategy(strat)
-                resolved = s.resolve_strategy()
-                if training and not resolved.supports_training:
-                    continue
-                compiled = s.compile(training=training)
-                counters = compiled.counters(stats)
-                # Partitioned counters are GPU-independent: one walk per
-                # partition serves every device in `gpus`.
-                multi_memo: Dict[int, MultiGPUCounters] = {}
-                for g in gpus:
-                    for n in num_gpus:
-                        if n <= 1:
-                            # A registered cluster name in `gpus` still
-                            # resolves to the cluster path below.
-                            s.gpu(g)
-                        else:
-                            s.cluster(g, n, interconnect_gbps=interconnect_gbps)
-                        cluster = s.resolve_cluster()
-                        if cluster is not None and any(
-                            b is not None for b in batch_options
-                        ):
-                            # A registered cluster name in `gpus` reaches
-                            # here with num_gpus == 1; refuse rather than
-                            # silently dropping the batch axis.
-                            raise ValueError(
-                                "mini-batch sweeps are single-GPU: "
-                                f"gpu {s._gpu_label()!r} resolves to a "
-                                "cluster, which cannot be combined with "
-                                "batch_size"
-                            )
-                        if cluster is None:
-                            cost = CostModel(s.resolve_gpu())
-                            for bs in batch_options:
-                                s.minibatch(bs, minibatch_hops, seed=minibatch_seed)
-                                if bs is None:
+                for sched in schedule_options:
+                    s.schedule(sched)
+                    resolved = s.resolve_strategy()
+                    if training and not resolved.supports_training:
+                        continue
+                    counters = s.counters(training=training)
+                    # Reuse the compiled pair the counters memo just
+                    # resolved rather than calling s.compile() again:
+                    # the plan cache counts every get_or_compile call,
+                    # and sweep hit/miss accounting is pinned to one
+                    # call per combination (same-module private access;
+                    # counters() guarantees the memo matches).
+                    compiled = s._counters_memo[0]
+                    arena = (
+                        s._memory_plan_compiled(
+                            compiled, stats, training
+                        ).arena_bytes
+                        if sched == "memory"
+                        else 0
+                    )
+                    # Partitioned counters are GPU-independent: one walk
+                    # per partition serves every device in `gpus`.
+                    multi_memo: Dict[int, MultiGPUCounters] = {}
+                    for g in gpus:
+                        for n in num_gpus:
+                            if n <= 1:
+                                # A registered cluster name in `gpus`
+                                # still resolves to the cluster path
+                                # below.
+                                s.gpu(g)
+                            else:
+                                s.cluster(g, n, interconnect_gbps=interconnect_gbps)
+                            cluster = s.resolve_cluster()
+                            if cluster is not None and any(
+                                b is not None for b in batch_options
+                            ):
+                                # A registered cluster name in `gpus`
+                                # reaches here with num_gpus == 1;
+                                # refuse rather than silently dropping
+                                # the batch axis.
+                                raise ValueError(
+                                    "mini-batch sweeps are single-GPU: "
+                                    f"gpu {s._gpu_label()!r} resolves to a "
+                                    "cluster, which cannot be combined with "
+                                    "batch_size"
+                                )
+                            if cluster is None:
+                                cost = CostModel(s.resolve_gpu())
+                                for bs in batch_options:
+                                    s.minibatch(bs, minibatch_hops, seed=minibatch_seed)
+                                    if bs is None:
+                                        rows.append(
+                                            SweepRow(
+                                                model=s._model_label(),
+                                                dataset=s._dataset_label(),
+                                                strategy=s._strategy_label(),
+                                                gpu=s._gpu_label(),
+                                                flops=counters.flops,
+                                                io_bytes=counters.io_bytes,
+                                                peak_memory_bytes=counters.device_peak_bytes,
+                                                stash_bytes=counters.stash_bytes,
+                                                launches=counters.launches,
+                                                latency_s=cost.latency_seconds(counters, stats),
+                                                fits_device=cost.fits(counters),
+                                                schedule=sched,
+                                                arena_bytes=arena,
+                                            )
+                                        )
+                                        continue
+                                    # Mini-batch rows are epoch totals
+                                    # (the unit comparable to a
+                                    # full-graph step) with per-batch
+                                    # peak memory.
+                                    mc = s.minibatch_counters(training=training)
                                     rows.append(
                                         SweepRow(
                                             model=s._model_label(),
                                             dataset=s._dataset_label(),
                                             strategy=s._strategy_label(),
                                             gpu=s._gpu_label(),
-                                            flops=counters.flops,
-                                            io_bytes=counters.io_bytes,
-                                            peak_memory_bytes=counters.peak_memory_bytes,
-                                            stash_bytes=counters.stash_bytes,
-                                            launches=counters.launches,
-                                            latency_s=cost.latency_seconds(counters, stats),
-                                            fits_device=cost.fits(counters),
+                                            flops=mc.flops,
+                                            io_bytes=mc.io_bytes,
+                                            peak_memory_bytes=mc.peak_memory_bytes,
+                                            stash_bytes=mc.stash_bytes,
+                                            launches=mc.launches,
+                                            latency_s=s.minibatch_latency_seconds(
+                                                training=training
+                                            ),
+                                            fits_device=cost.fits(mc),
+                                            batch_size=bs,
+                                            gather_bytes=mc.gather_bytes,
+                                            schedule=sched,
                                         )
                                     )
-                                    continue
-                                # Mini-batch rows are epoch totals (the
-                                # unit comparable to a full-graph step)
-                                # with per-batch peak memory.
-                                mc = s.minibatch_counters(training=training)
-                                rows.append(
-                                    SweepRow(
-                                        model=s._model_label(),
-                                        dataset=s._dataset_label(),
-                                        strategy=s._strategy_label(),
-                                        gpu=s._gpu_label(),
-                                        flops=mc.flops,
-                                        io_bytes=mc.io_bytes,
-                                        peak_memory_bytes=mc.peak_memory_bytes,
-                                        stash_bytes=mc.stash_bytes,
-                                        launches=mc.launches,
-                                        latency_s=s.minibatch_latency_seconds(
-                                            training=training
-                                        ),
-                                        fits_device=cost.fits(mc),
-                                        batch_size=bs,
-                                        gather_bytes=mc.gather_bytes,
-                                    )
-                                )
-                            s.minibatch(None)
-                            continue
-                        pstats = s.resolve_partition_stats()
-                        multi = multi_memo.get(id(pstats))
-                        if multi is None:
-                            multi = compiled.multi_counters(pstats)
-                            multi_memo[id(pstats)] = multi
-                        breakdown = ClusterCostModel(cluster).breakdown(
-                            multi, pstats
-                        )
-                        rows.append(
-                            SweepRow(
-                                model=s._model_label(),
-                                dataset=s._dataset_label(),
-                                strategy=s._strategy_label(),
-                                gpu=s._gpu_label(),
-                                flops=multi.flops,
-                                io_bytes=multi.io_bytes,
-                                peak_memory_bytes=multi.peak_memory_bytes,
-                                stash_bytes=multi.stash_bytes,
-                                launches=multi.launches,
-                                latency_s=breakdown.total_seconds,
-                                fits_device=ClusterCostModel(cluster).fits(multi),
-                                num_gpus=cluster.num_gpus,
-                                comm_bytes=multi.comm_bytes,
-                                # Byte-based traffic share (monotone in
-                                # the GPU count; the time split depends
-                                # on imbalance floors too).
-                                comm_fraction=multi.comm_fraction,
+                                s.minibatch(None)
+                                continue
+                            pstats = s.resolve_partition_stats()
+                            multi = multi_memo.get(id(pstats))
+                            if multi is None:
+                                multi = compiled.multi_counters(pstats)
+                                multi_memo[id(pstats)] = multi
+                            breakdown = ClusterCostModel(cluster).breakdown(
+                                multi, pstats
                             )
-                        )
+                            rows.append(
+                                SweepRow(
+                                    model=s._model_label(),
+                                    dataset=s._dataset_label(),
+                                    strategy=s._strategy_label(),
+                                    gpu=s._gpu_label(),
+                                    flops=multi.flops,
+                                    io_bytes=multi.io_bytes,
+                                    peak_memory_bytes=multi.peak_memory_bytes,
+                                    stash_bytes=multi.stash_bytes,
+                                    launches=multi.launches,
+                                    latency_s=breakdown.total_seconds,
+                                    fits_device=ClusterCostModel(cluster).fits(multi),
+                                    num_gpus=cluster.num_gpus,
+                                    comm_bytes=multi.comm_bytes,
+                                    # Byte-based traffic share (monotone
+                                    # in the GPU count; the time split
+                                    # depends on imbalance floors too).
+                                    comm_fraction=multi.comm_fraction,
+                                    schedule=sched,
+                                )
+                            )
+                s.schedule(None)
     report = SweepReport(
         rows=rows,
         cache_hits=cache.hits - hits0,

@@ -76,6 +76,11 @@ class Trainer:
         Initial parameter arrays (defaults to the model's initialiser).
     precision:
         Engine float dtype.
+    memory_plans:
+        Optional arena plan(s) (see :class:`~repro.exec.engine.Engine`'s
+        ``memory_plan``): boundary values of the matching plans execute
+        through arena-backed slabs, and :attr:`last_peak_bytes` records
+        the step's measured live-byte high-watermark.
     """
 
     def __init__(
@@ -86,10 +91,21 @@ class Trainer:
         params: Optional[Dict[str, np.ndarray]] = None,
         precision: str = "float64",
         seed: int = 0,
+        memory_plans: Optional[object] = None,
     ):
+        if memory_plans is not None and np.dtype(precision) != np.dtype(
+            "float32"
+        ):
+            raise ValueError(
+                "memory_plans executes through spec-sized arena slabs "
+                'and needs the accounting precision: pass precision="float32"'
+            )
         self.compiled = compiled
         self.graph = graph
-        self.engine = Engine(graph, precision=precision)
+        self.engine = Engine(graph, precision=precision, memory_plan=memory_plans)
+        #: Measured live-byte high-watermark of the last train/eval step
+        #: (max over the forward and backward plan walks).
+        self.last_peak_bytes: int = 0
         self.params = dict(
             params if params is not None else compiled.model.init_params(seed)
         )
@@ -142,10 +158,12 @@ class Trainer:
     ) -> Tuple[float, float]:
         """One full step; returns ``(loss, accuracy)``."""
         fwd = self.forward(features)
+        peak = self.engine.measured_peak_bytes
         logits = fwd[self.output_name]
         loss, grad = softmax_cross_entropy(logits, labels, mask)
         acc = accuracy(logits, labels, mask)
         grads = self.backward(fwd, grad)
+        self.last_peak_bytes = max(peak, self.engine.measured_peak_bytes)
         optimizer.step(self.params, grads)
         return loss, acc
 

@@ -135,6 +135,11 @@ class BatchRecord:
     #: reconciles exactly with the analytic per-batch walker when the
     #: engine precision matches the accounting dtype (float32).
     gather_bytes: int
+    #: Measured live-byte high-watermark of the step (max over the
+    #: forward and backward walks on this batch's induced subgraph).
+    #: Populated when the trainer runs with ``memory_plan=True``, where
+    #: it reconciles with ``analyze_plan`` on the field's stats.
+    peak_bytes: int = 0
 
 
 @dataclass
@@ -173,6 +178,11 @@ class EpochResult:
         return sum(r.gather_bytes for r in self.records)
 
     @property
+    def peak_bytes(self) -> int:
+        """Largest single-batch measured footprint (the device-fit max)."""
+        return max((r.peak_bytes for r in self.records), default=0)
+
+    @property
     def field_vertices(self) -> int:
         return sum(r.field_size for r in self.records)
 
@@ -205,6 +215,13 @@ class MiniBatchTrainer:
         ``plan_minibatches(graph, batch_size, hops,
         rng=np.random.default_rng(sampler_seed))`` — the analytic
         walker draws the identical schedule from the same seed.
+    memory_plan:
+        Plan a fresh arena per batch (each receptive field has its own
+        extents) and execute through it: every step's boundary values
+        live in reused slabs and its ``BatchRecord.peak_bytes``
+        measures the live-byte high-watermark.  Requires the
+        accounting precision (``precision="float32"``), like every
+        measured-vs-analytic reconciliation.
     """
 
     def __init__(
@@ -218,9 +235,16 @@ class MiniBatchTrainer:
         precision: str = "float64",
         seed: int = 0,
         sampler_seed: int = 0,
+        memory_plan: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if memory_plan and np.dtype(precision) != np.dtype("float32"):
+            raise ValueError(
+                "memory_plan=True executes through spec-sized arena "
+                "slabs and needs the accounting precision: pass "
+                'precision="float32"'
+            )
         self.compiled = compiled
         self.graph = graph
         self.batch_size = int(batch_size)
@@ -231,11 +255,25 @@ class MiniBatchTrainer:
         if self.hops < 0:
             raise ValueError("hops must be non-negative")
         self.precision = precision
+        self.memory_plan = memory_plan
         self.params = dict(
             params if params is not None else compiled.model.init_params(seed)
         )
         self._rng = np.random.default_rng(sampler_seed)
         self.epochs_trained = 0
+
+    def _field_memory_plans(self, subgraph: Graph):
+        """Per-field arena plans (forward + backward) for one batch."""
+        from repro.exec.memory import plan_memory
+
+        pinned = list(self.compiled.forward.inputs) + list(
+            self.compiled.forward.params
+        )
+        field_stats = subgraph.stats()
+        return [
+            plan_memory(self.compiled.fwd_plan, field_stats, pinned=pinned),
+            plan_memory(self.compiled.bwd_plan, field_stats, pinned=pinned),
+        ]
 
     # ------------------------------------------------------------------
     def _measured_gather_bytes(self, trainer: Trainer) -> int:
@@ -267,6 +305,11 @@ class MiniBatchTrainer:
                 mb.subgraph,
                 params=self.params,
                 precision=self.precision,
+                memory_plans=(
+                    self._field_memory_plans(mb.subgraph)
+                    if self.memory_plan
+                    else None
+                ),
             )
             mask = mb.seed_mask()
             loss, acc = trainer.train_step(
@@ -284,6 +327,7 @@ class MiniBatchTrainer:
                     loss=loss,
                     accuracy=acc,
                     gather_bytes=self._measured_gather_bytes(trainer),
+                    peak_bytes=trainer.last_peak_bytes,
                 )
             )
         self.epochs_trained += 1

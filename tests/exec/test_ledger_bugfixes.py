@@ -1,0 +1,254 @@
+"""Regression tests for the memory-ledger bugfix sweep.
+
+Three latent bugs shared one theme — the ledger and the engine treated
+view aliases and dead values inconsistently with the storage-root
+semantics everything else assumes:
+
+1. ``Engine._sweep`` popped a dead root but left view aliases of it in
+   the value map; a NumPy view holds a base reference, so the storage
+   survived the free.
+2. ``ExecPlan._kernel_io`` counted VIEW nodes of *other* kernels as
+   consumers, so a value whose only cross-kernel consumers are free
+   aliases was classified as an escaping DRAM write.
+3. ``ExecPlan.liveness`` left never-read module inputs at ``(-1, -1)``;
+   the ``last == i`` free never fires for ``-1``, so unpinned dead
+   inputs stayed resident for the whole phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import Engine, plan_module
+from repro.exec.analytic import analyze_plan, kernel_record
+from repro.exec.plan import ExecPlan, Kernel
+from repro.graph.generators import erdos_renyi
+from repro.graph.stats import GraphStats
+from repro.ir import Builder, Domain
+
+GRAPH = erdos_renyi(50, 200, seed=5)
+STATS = GraphStats.regular(100, 4)
+
+
+# ----------------------------------------------------------------------
+# 1. _sweep must free aliases together with their dead root
+# ----------------------------------------------------------------------
+class TestSweepFreesAliases:
+    def _fused_view_module(self):
+        # One fused kernel: y = exp(h); yv = view(y); z = exp(yv).
+        # y is internal to the kernel, yv is a free alias of it.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        y = b.apply("exp", h, name="y")
+        yv = b.view(y, (2, 2), name="yv")
+        z = b.apply("exp", yv, name="z")
+        b.output(z)
+        module = b.build()
+        kernels = [
+            Kernel(nodes=tuple(module.nodes), mapping="vertex", label="fused")
+        ]
+        return module, ExecPlan(module=module, kernels=kernels)
+
+    def test_alias_of_dead_internal_root_is_swept(self):
+        module, plan = self._fused_view_module()
+        assert "y" in plan.kernel_io(0).internal
+        engine = Engine(GRAPH, precision="float32")
+        arr = np.ones((GRAPH.num_vertices, 4), dtype=np.float32)
+        values = {
+            "h": arr,
+            "y": np.exp(arr),
+            "yv": np.exp(arr).reshape(GRAPH.num_vertices, 2, 2),
+            "z": np.ones((GRAPH.num_vertices, 2, 2), dtype=np.float32),
+        }
+        engine._sweep(plan, values, plan.liveness(), 0, wanted={"z"})
+        assert not any(plan.root_of(n) == "y" for n in values), (
+            f"alias entries keep the dead root's storage alive: {set(values)}"
+        )
+        assert "z" in values  # wanted values survive
+
+    def test_no_reachable_array_for_a_freed_root(self):
+        # End to end: after the sweep, the base ndarray of the dead
+        # root must be collectable (no value-map entry references it).
+        import weakref
+
+        module, plan = self._fused_view_module()
+        engine = Engine(GRAPH, precision="float32")
+        values = {"h": np.ones((GRAPH.num_vertices, 4), dtype=np.float32)}
+        for node in plan.kernels[0].nodes:
+            engine._execute(node, values, set())
+        base = values["y"]
+        ref = weakref.ref(base)
+        engine._sweep(plan, values, plan.liveness(), 0, wanted={"z"})
+        del base
+        assert ref() is None, "freed root still reachable through an alias"
+
+    def test_wanted_alias_keeps_the_storage(self):
+        # A kept alias must protect its base storage from the sweep.
+        module, plan_plain = self._fused_view_module()
+        plan = ExecPlan(
+            module=module, kernels=list(plan_plain.kernels), keep=frozenset({"yv"})
+        )
+        engine = Engine(GRAPH, precision="float32")
+        values = {"h": np.ones((GRAPH.num_vertices, 4), dtype=np.float32)}
+        for node in plan.kernels[0].nodes:
+            engine._execute(node, values, set())
+        engine._sweep(
+            plan, values, plan.liveness(), 0, wanted={"z", "yv"}
+        )
+        assert "yv" in values
+
+
+# ----------------------------------------------------------------------
+# 2. free aliases in other kernels are not consumers
+# ----------------------------------------------------------------------
+class TestViewConsumersDoNotEscape:
+    def _dead_alias_module(self):
+        # y's only cross-kernel "consumer" is a view whose output no
+        # computing node ever reads.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        y = b.apply("exp", h, name="y")
+        b.view(y, (2, 2), name="yv")
+        out = b.apply("relu", h, name="out")
+        b.output(out)
+        return b.build()
+
+    def test_dead_alias_does_not_force_a_write(self):
+        module = self._dead_alias_module()
+        plan = plan_module(module, mode="per_op")
+        y_kernel = next(
+            i for i, k in enumerate(plan.kernels)
+            if "y" in k.nodes[0].outputs
+        )
+        io = plan.kernel_io(y_kernel)
+        assert io.writes == (), "dead alias classified y as escaping"
+        assert io.internal == ("y",)
+        # And the ledger never carries it.
+        assert "y" not in plan.liveness()
+
+    def test_alias_read_by_a_computing_kernel_still_escapes(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        y = b.apply("exp", h, name="y")
+        yv = b.view(y, (2, 2), name="yv")
+        z = b.apply("relu", yv, name="z")
+        b.output(z)
+        module = b.build()
+        plan = plan_module(module, mode="per_op")
+        y_kernel = next(
+            i for i, k in enumerate(plan.kernels)
+            if "y" in k.nodes[0].outputs
+        )
+        assert "y" in plan.kernel_io(y_kernel).writes
+
+    def test_corrected_io_counts_are_pinned(self):
+        # The analytic kernel records after the fix: the y-kernel reads
+        # one vertex tensor and writes nothing (y stays on chip).
+        module = self._dead_alias_module()
+        plan = plan_module(module, mode="per_op")
+        y_kernel = next(
+            i for i, k in enumerate(plan.kernels)
+            if "y" in k.nodes[0].outputs
+        )
+        record = kernel_record(plan, y_kernel, STATS)
+        row_bytes = 4 * 4  # (4,) float32 per vertex
+        assert record.read_bytes == STATS.num_vertices * row_bytes
+        assert record.write_bytes == 0
+        phase = analyze_plan(plan, STATS)
+        # Phase totals: h read twice (y-kernel + out-kernel), out written.
+        assert phase.read_bytes == 2 * STATS.num_vertices * row_bytes
+        assert phase.write_bytes == STATS.num_vertices * row_bytes
+
+    def test_in_kernel_alias_of_foreign_storage_is_a_read(self):
+        # A view minted inside a kernel over another kernel's output
+        # still stages that storage: the consuming kernel reads it.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        y = b.apply("exp", h, name="y")
+        yv = b.view(y, (2, 2), name="yv")
+        z = b.apply("relu", yv, name="z")
+        b.output(z)
+        module = b.build()
+        y_node = next(n for n in module.nodes if "y" in n.outputs)
+        view_node = next(n for n in module.nodes if n.kind.value == "view")
+        z_node = next(n for n in module.nodes if "z" in n.outputs)
+        kernels = [
+            Kernel(nodes=(y_node,), mapping="vertex", label="y"),
+            Kernel(nodes=(view_node, z_node), mapping="vertex", label="vz"),
+        ]
+        plan = ExecPlan(module=module, kernels=kernels)
+        assert plan.kernel_io(1).reads == ("yv",)
+        assert "y" in plan.kernel_io(0).writes
+
+
+# ----------------------------------------------------------------------
+# 3. never-read inputs die at kernel 0
+# ----------------------------------------------------------------------
+class TestDeadInputLiveness:
+    def _module_with_dead_input(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        b.input("unused", Domain.VERTEX, (64,))
+        e = b.scatter("copy_u", u=h, name="e")
+        v = b.gather("sum", e, name="v")
+        b.output(v)
+        return b.build()
+
+    def test_never_read_input_is_freed_at_kernel_zero(self):
+        module = self._module_with_dead_input()
+        plan = plan_module(module, mode="per_op")
+        assert plan.liveness()["unused"] == (-1, 0)
+
+    def test_ledger_drops_the_dead_input(self):
+        module = self._module_with_dead_input()
+        plan = plan_module(module, mode="per_op")
+        unused_bytes = module.specs["unused"].nbytes(
+            STATS.num_vertices, STATS.num_edges
+        )
+        phase = analyze_plan(plan, STATS)
+        # Freed after kernel 0: gone from the end-of-phase residency.
+        assert phase.end_resident_bytes < unused_bytes
+        pinned = analyze_plan(plan, STATS, pinned=["unused", "h"])
+        assert pinned.end_resident_bytes >= unused_bytes
+
+    def test_engine_sweeps_the_dead_input(self):
+        module = self._module_with_dead_input()
+        plan = plan_module(module, mode="per_op")
+        engine = Engine(GRAPH, precision="float32")
+        values = engine.bind(
+            module,
+            {
+                "h": np.ones((GRAPH.num_vertices, 4), dtype=np.float32),
+                "unused": np.ones((GRAPH.num_vertices, 64), dtype=np.float32),
+            },
+        )
+        for node in plan.kernels[0].nodes:
+            engine._execute(node, values, set())
+        engine._sweep(plan, values, plan.liveness(), 0, wanted={"v"})
+        assert "unused" not in values
+
+    def test_write_only_outputs_survive_the_phase(self):
+        # The flip side of the fix: a value *written* and never read —
+        # a module output or stash entry — is protected to the end.
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        e = b.scatter("copy_u", u=h, name="e")
+        v = b.gather("sum", e, name="v")
+        w = b.apply("exp", v, name="w")
+        b.output(w)
+        module = b.build()
+        plan = plan_module(module, mode="per_op", keep=["v"])
+        lives = plan.liveness()
+        n = len(plan.kernels)
+        assert lives["w"][1] == n     # output: survives
+        assert lives["v"][1] == n     # kept stash: survives
+        phase = analyze_plan(plan, STATS)
+        w_bytes = module.specs["w"].nbytes(STATS.num_vertices, STATS.num_edges)
+        assert phase.end_resident_bytes >= w_bytes
+
+    def test_kernel_less_plan_keeps_the_sentinel(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        b.output(h)
+        module = b.build()
+        plan = ExecPlan(module=module, kernels=[])
+        assert plan.liveness()["h"] == (-1, len(plan.kernels))

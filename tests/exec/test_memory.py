@@ -1,0 +1,195 @@
+"""Unit tests for the arena memory planner (:mod:`repro.exec.memory`)."""
+
+import numpy as np
+import pytest
+
+import repro.models  # noqa: F401  (populates the model registry)
+from repro.exec import Engine, plan_memory, plan_memory_multi
+from repro.exec.analytic import analyze_plan
+from repro.exec.memory import (
+    ARENA_ALIGN,
+    ArenaPool,
+    MemoryLedger,
+    MemoryPlan,
+    StepMemoryPlan,
+)
+from repro.exec.plan import plan_module
+from repro.frameworks import compile_training, get_strategy
+from repro.graph.datasets import get_dataset
+from repro.graph.generators import erdos_renyi
+from repro.graph.partition import PartitionStats
+from repro.ir import Builder, Domain
+from repro.registry import MODELS
+
+STATS = get_dataset("cora").stats
+
+
+def chain_module():
+    b = Builder("m")
+    h = b.input("h", Domain.VERTEX, (4,))
+    e = b.scatter("copy_u", u=h, name="e")
+    x = b.apply("exp", e, name="x")
+    v = b.gather("sum", x, name="v")
+    b.output(v)
+    return b.build()
+
+
+def compiled_for(name, strategy="ours"):
+    model = MODELS.get(name)(8, 3)
+    return compile_training(model, get_strategy(strategy))
+
+
+class TestSlabAssignment:
+    def test_every_unpinned_boundary_root_gets_a_slab(self):
+        plan = plan_module(chain_module(), mode="per_op")
+        mp = plan_memory(plan, STATS)
+        assert set(mp.slabs) == set(plan.liveness())
+        mp_pinned = plan_memory(plan, STATS, pinned=["h"])
+        assert "h" not in mp_pinned.slabs
+        assert mp_pinned.pinned_bytes == plan.module.specs["h"].nbytes(
+            STATS.num_vertices, STATS.num_edges
+        )
+
+    def test_offsets_aligned_and_sized(self):
+        plan = plan_module(chain_module(), mode="per_op")
+        mp = plan_memory(plan, STATS)
+        for slab in mp.slabs.values():
+            assert slab.offset % ARENA_ALIGN == 0
+            assert slab.size >= slab.nbytes
+            assert slab.offset + slab.size <= mp.arena_bytes
+
+    @pytest.mark.parametrize("name", sorted(MODELS.names()))
+    def test_overlapping_lifetimes_never_share_bytes(self, name):
+        compiled = compiled_for(name)
+        pinned = list(compiled.forward.inputs) + list(compiled.forward.params)
+        for plan in (compiled.fwd_plan, compiled.bwd_plan):
+            mp = plan_memory(plan, STATS, pinned=pinned)
+            slabs = list(mp.slabs.values())
+            for i, a in enumerate(slabs):
+                for b in slabs[i + 1:]:
+                    if a.overlaps(b):
+                        disjoint = (
+                            a.offset + a.size <= b.offset
+                            or b.offset + b.size <= a.offset
+                        )
+                        assert disjoint, (
+                            f"{name}: live slabs {a.name}/{b.name} share bytes"
+                        )
+
+    @pytest.mark.parametrize("name", sorted(MODELS.names()))
+    def test_arena_never_exceeds_fresh_storage(self, name):
+        compiled = compiled_for(name)
+        for plan in (compiled.fwd_plan, compiled.bwd_plan):
+            mp = plan_memory(plan, STATS)
+            assert mp.arena_bytes <= mp.naive_bytes
+            assert mp.reuse_factor >= 1.0
+
+    def test_ledger_peak_matches_analytic_walk(self):
+        compiled = compiled_for("gat")
+        pinned = list(compiled.forward.inputs) + list(compiled.forward.params)
+        for plan in (compiled.fwd_plan, compiled.bwd_plan):
+            mp = plan_memory(plan, STATS, pinned=pinned)
+            want = analyze_plan(plan, STATS, pinned=pinned).peak_memory_bytes
+            assert mp.ledger_peak_bytes == want
+
+    def test_planned_peak_is_pinned_plus_arena(self):
+        plan = plan_module(chain_module(), mode="per_op")
+        mp = plan_memory(plan, STATS, pinned=["h"])
+        assert mp.planned_peak_bytes == mp.pinned_bytes + mp.arena_bytes
+
+
+class TestStepMemoryPlan:
+    def test_maxes_over_phases(self):
+        compiled = compiled_for("sage")
+        mp_f = plan_memory(compiled.fwd_plan, STATS)
+        mp_b = plan_memory(compiled.bwd_plan, STATS)
+        step = StepMemoryPlan(forward=mp_f, backward=mp_b)
+        assert step.arena_bytes == max(mp_f.arena_bytes, mp_b.arena_bytes)
+        assert step.ledger_peak_bytes == max(
+            mp_f.ledger_peak_bytes, mp_b.ledger_peak_bytes
+        )
+        assert len(step.phases()) == 2
+        assert "forward" in step.summary()
+
+    def test_forward_only(self):
+        compiled = compiled_for("sage")
+        step = StepMemoryPlan(forward=plan_memory(compiled.fwd_plan, STATS))
+        assert step.phases() == [step.forward]
+        assert step.arena_bytes == step.forward.arena_bytes
+
+
+class TestPlanMemoryMulti:
+    def test_one_plan_per_partition(self):
+        compiled = compiled_for("gcn")
+        pstats = PartitionStats.from_stats(STATS, 4)
+        plans = plan_memory_multi(compiled.fwd_plan, pstats)
+        assert len(plans) == 4
+        for mp, part in zip(plans, pstats.parts):
+            assert isinstance(mp, MemoryPlan)
+            assert mp.arena_bytes <= mp.naive_bytes
+            # Per-part slabs are sized to the partition's extents.
+            specs = compiled.fwd_plan.module.specs
+            for root, slab in mp.slabs.items():
+                assert slab.nbytes == specs[root].nbytes(
+                    part.num_vertices, part.num_edges
+                )
+
+
+class TestMemoryLedger:
+    def test_mirrors_the_analytic_walk(self):
+        graph = erdos_renyi(60, 240, seed=1)
+        module = chain_module()
+        plan = plan_module(module, mode="per_op")
+        engine = Engine(graph, precision="float32")
+        env = engine.bind(module, {"h": np.ones((60, 4), dtype=np.float32)})
+        ledger = MemoryLedger(plan)
+        ledger.bind(env)
+        values = dict(env)
+        for i, kernel in enumerate(plan.kernels):
+            for node in kernel.nodes:
+                engine._execute(node, values, set())
+            ledger.after_kernel(i, values)
+        want = analyze_plan(plan, graph.stats())
+        assert ledger.peak_bytes == want.peak_memory_bytes
+        assert ledger.current_bytes == want.end_resident_bytes
+
+    def test_pinned_roots_never_freed(self):
+        graph = erdos_renyi(60, 240, seed=1)
+        module = chain_module()
+        plan = plan_module(module, mode="per_op")
+        engine = Engine(graph, precision="float32")
+        env = engine.bind(module, {"h": np.ones((60, 4), dtype=np.float32)})
+        ledger = MemoryLedger(plan, pinned=["h"])
+        ledger.bind(env)
+        values = dict(env)
+        for i, kernel in enumerate(plan.kernels):
+            for node in kernel.nodes:
+                engine._execute(node, values, set())
+            ledger.after_kernel(i, values)
+        want = analyze_plan(plan, graph.stats(), pinned=["h"])
+        assert ledger.peak_bytes == want.peak_memory_bytes
+        assert ledger.current_bytes == want.end_resident_bytes
+
+
+class TestArenaPool:
+    def test_adopt_copies_into_the_slab(self):
+        plan = plan_module(chain_module(), mode="per_op")
+        mp = plan_memory(plan, STATS, pinned=["h"])
+        pool = ArenaPool(mp)
+        E = STATS.num_edges
+        arr = np.arange(E * 4, dtype=np.float32).reshape(E, 4)
+        view = pool.adopt("e", arr)
+        assert np.array_equal(view, arr)
+        assert view.base is not None  # a view into the arena buffer
+        slab = mp.slabs["e"]
+        raw = pool.buffer[slab.offset : slab.offset + arr.nbytes]
+        assert np.array_equal(raw.view(np.float32).reshape(arr.shape), arr)
+
+    def test_wrong_precision_is_a_loud_error(self):
+        plan = plan_module(chain_module(), mode="per_op")
+        mp = plan_memory(plan, STATS, pinned=["h"])
+        pool = ArenaPool(mp)
+        E = STATS.num_edges
+        arr = np.ones((E, 4), dtype=np.float64)
+        with pytest.raises(ValueError, match="float32"):
+            pool.adopt("e", arr)
