@@ -32,6 +32,7 @@ GOLDEN_TABLES = {
     "scaling_multi_gpu": lambda: figures.fig_multi_gpu_scaling().table,
     "minibatch_io": lambda: figures.fig_minibatch_io().table,
     "fig_memory_plan": lambda: figures.fig_memory_plan().table,
+    "fig_serving_latency": lambda: figures.fig_serving_latency().table,
     "inline_redundancy": lambda: figures.inline_redundant_computation()[1],
     "inline_memory_share": lambda: figures.inline_intermediate_memory_share()[1],
 }

@@ -63,6 +63,20 @@ The concrete twin, :class:`repro.train.MiniBatchTrainer`, reproduces
 the full-graph :class:`repro.train.Trainer` bit for bit in the
 full-batch limit.
 
+Online inference serving — micro-batched requests, LRU feature caching,
+and SLO-aware scheduling on a virtual clock::
+
+    report = (
+        repro.session()
+        .model("gat").dataset("pubmed").strategy("ours").gpu("RTX3090")
+        .serve(num_requests=256, qps=4000.0, cache_rows=8192, seed=0)
+    )
+    print(report.summary())           # p50/p95/p99, SLO violations, hit rate
+
+The served outputs are bit-identical to direct :class:`repro.Engine`
+runs on each batch's induced subgraph, and the same seed reproduces the
+identical :class:`repro.ServeReport`.
+
 Extend without touching library source::
 
     from repro.registry import register_strategy, register_pass
@@ -107,6 +121,14 @@ from repro.gpu import (
     make_cluster,
 )
 from repro.exec import Engine, MultiEngine
+from repro.serve import (
+    BatchPolicy,
+    InferenceRequest,
+    InferenceServer,
+    ServeReport,
+    bursty_workload,
+    poisson_workload,
+)
 from repro.train import Adam, MiniBatchTrainer, SGD, Trainer
 from repro.session import (
     PlanCache,
@@ -150,6 +172,12 @@ __all__ = [
     "get_gpu",
     "Engine",
     "MultiEngine",
+    "BatchPolicy",
+    "InferenceRequest",
+    "InferenceServer",
+    "ServeReport",
+    "poisson_workload",
+    "bursty_workload",
     "Adam",
     "SGD",
     "Trainer",

@@ -13,7 +13,10 @@ small sweep, persisted to ``benchmarks/results/sweep_smoke.json``.
 batch-size sweep (full-graph vs sampled epochs) persisted to
 ``benchmarks/results/sweep_minibatch_smoke.json``.  ``--memory`` runs
 the arena-planning smoke case: the model-zoo memory-plan table plus its
-invariants (arena below the ledger peak, reuse above one).
+invariants (arena below the ledger peak, reuse above one).  ``--serve``
+runs the online-serving smoke case: a fixed-seed qps sweep persisted to
+``benchmarks/results/sweep_serve_smoke.json`` plus the cache
+reconciliation invariant.
 """
 
 from __future__ import annotations
@@ -32,11 +35,12 @@ from repro.bench.figures import (
     fig11_small_gpu,
     fig_memory_plan,
     fig_minibatch_io,
+    fig_serving_latency,
     inline_intermediate_memory_share,
     inline_redundant_computation,
 )
 from repro.bench.report import save_table
-from repro.session import run_sweep
+from repro.session import Session, run_sweep
 
 FIGURES = (
     ("fig7_gat", fig7_gat),
@@ -48,6 +52,7 @@ FIGURES = (
     ("fig11_small_gpu", fig11_small_gpu),
     ("minibatch_io", fig_minibatch_io),
     ("fig_memory_plan", fig_memory_plan),
+    ("fig_serving_latency", fig_serving_latency),
 )
 
 
@@ -139,6 +144,59 @@ def run_memory_smoke() -> int:
     return 0
 
 
+def run_serve_smoke() -> int:
+    """CI-sized online-serving case: a qps sweep with the cache on.
+
+    Serves a fixed-seed Poisson stream (GAT on pubmed) at two offered
+    loads through ``run_sweep(serve_qps=...)`` and sanity-checks the
+    shape: positive tail latencies ordered p50 ≤ p95 ≤ p99, a cache
+    that actually hits on the Zipf-skewed stream, and gather-byte
+    accounting that reconciles exactly against the uncached bill.
+    """
+    t0 = time.time()
+    sweep = run_sweep(
+        models=["gat"],
+        datasets=["pubmed"],
+        strategies=["ours"],
+        serve_qps=[500.0, 8000.0],
+        serve_requests=96,
+        serve_seeds=4,
+        serve_cache_rows=4096,
+        serve_zipf_alpha=0.9,
+        feature_dim=32,
+        training=False,
+        save_as="sweep_serve_smoke",
+    )
+    print(sweep.table())
+    rows = sweep.rows
+    assert rows and all(r.serve_qps is not None for r in rows)
+    assert all(
+        0 < r.p50_latency_s <= r.p95_latency_s <= r.p99_latency_s
+        for r in rows
+    ), "serving percentiles must be positive and ordered"
+    assert all(0.0 < r.cache_hit_rate < 1.0 for r in rows), (
+        "the Zipf stream must hit the bounded cache without saturating it"
+    )
+    rep = (
+        Session()
+        .model("gat").dataset("pubmed").strategy("ours")
+        .feature_dim(32)
+        .serve(
+            num_requests=96, qps=8000.0, seeds_per_request=4,
+            zipf_alpha=0.9, cache_rows=4096, execute=False,
+        )
+    )
+    assert (
+        rep.gather_hit_bytes + rep.gather_miss_bytes
+        == rep.uncached_gather_bytes
+    ), "cache hit/miss bytes must reconcile with the uncached gather bill"
+    print(
+        f"serve smoke done in {time.time() - t0:.1f}s "
+        f"({sweep.cache_misses} compiles, {sweep.cache_hits} cache hits)"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
@@ -186,6 +244,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the CI-sized arena memory-planning smoke case",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the CI-sized online inference-serving smoke case",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
@@ -193,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_minibatch_smoke()
     if args.memory:
         return run_memory_smoke()
+    if args.serve:
+        return run_serve_smoke()
     return run_full()
 
 

@@ -1,0 +1,136 @@
+"""Bounded LRU feature/embedding caching with exact byte accounting.
+
+Per-request receptive-field gathers dominate serving IO, and request
+streams are skewed (hot vertices recur), so the server fronts host
+feature storage with a bounded LRU cache keyed by ``(layer, vertex)``
+— layer 0 holds input feature rows; positive layers are reserved for
+cached layer embeddings.
+
+The cache is an *accounting* device: it never changes what the engine
+computes (the engine always binds the true feature rows), only what the
+gather costs.  Cache hits shrink the gather bytes the batch pays, and
+misses pay them — with the exact reconciliation invariant the serving
+tests pin::
+
+    hit_bytes + miss_bytes == uncached gather bytes (field rows × row bytes)
+
+so analytic IO counters with caching enabled remain byte-exact against
+the uncached :func:`~repro.exec.analytic.analyze_minibatch` convention.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GatherSplit", "FeatureCache"]
+
+
+@dataclass(frozen=True)
+class GatherSplit:
+    """One batch gather resolved against the cache."""
+
+    hit_rows: int
+    miss_rows: int
+    hit_bytes: int
+    miss_bytes: int
+
+    @property
+    def rows(self) -> int:
+        return self.hit_rows + self.miss_rows
+
+    @property
+    def bytes(self) -> int:
+        """The uncached gather bill (hits + misses): the reconciliation
+        quantity against the cache-free accounting."""
+        return self.hit_bytes + self.miss_bytes
+
+
+class FeatureCache:
+    """Bounded LRU over ``(layer, vertex)`` rows.
+
+    ``capacity_rows`` bounds the number of cached rows; 0 disables
+    caching (every lookup misses, the uncached-accounting limit).
+    Lookups are resolved row by row in vertex order, so a batch's split
+    is deterministic; missed rows are inserted (and the least recently
+    used evicted) immediately, modelling a fetch-through cache.
+    """
+
+    def __init__(self, capacity_rows: int = 0):
+        if capacity_rows < 0:
+            raise ValueError("capacity_rows must be non-negative")
+        self.capacity_rows = int(capacity_rows)
+        self._rows: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._rows
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Row-level hit share over every lookup so far."""
+        total = self.lookups
+        return self.hits / total if total > 0 else 0.0
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def gather(
+        self, layer: int, vertices: np.ndarray, row_bytes: int
+    ) -> GatherSplit:
+        """Resolve one receptive-field gather against the cache.
+
+        ``vertices`` are the (deduplicated) field rows the batch needs;
+        ``row_bytes`` is the per-row gather bill
+        (:func:`~repro.exec.analytic.feature_gather_row_bytes`).
+        Returns the hit/miss split; misses are fetched through (inserted
+        as most-recently-used, evicting LRU rows beyond capacity).
+        """
+        if row_bytes < 0:
+            raise ValueError("row_bytes must be non-negative")
+        hit_rows = miss_rows = 0
+        if self.capacity_rows == 0:
+            miss_rows = int(np.asarray(vertices).size)
+        else:
+            for v in np.asarray(vertices, dtype=np.int64):
+                key = (int(layer), int(v))
+                if key in self._rows:
+                    self._rows.move_to_end(key)
+                    hit_rows += 1
+                else:
+                    miss_rows += 1
+                    self._rows[key] = None
+                    if len(self._rows) > self.capacity_rows:
+                        self._rows.popitem(last=False)
+                        self.evictions += 1
+        split = GatherSplit(
+            hit_rows=hit_rows,
+            miss_rows=miss_rows,
+            hit_bytes=hit_rows * row_bytes,
+            miss_bytes=miss_rows * row_bytes,
+        )
+        self.hits += split.hit_rows
+        self.misses += split.miss_rows
+        self.hit_bytes += split.hit_bytes
+        self.miss_bytes += split.miss_bytes
+        return split

@@ -1,0 +1,242 @@
+"""Inference requests and synthetic open-loop workload generators.
+
+Online serving is driven by *requests*: a tenant asks for the model
+outputs of a handful of seed vertices and expects them within an SLO.
+This module defines the request record and the seeded generators the
+serving experiments run on:
+
+- :func:`poisson_workload` — open-loop Poisson arrivals (exponential
+  inter-arrival gaps at a target QPS),
+- :func:`bursty_workload` — the same mean rate delivered in bursts
+  (requests arrive in groups, the worst case for a micro-batcher's
+  queueing delay),
+- :func:`zipf_seed_probabilities` / seed drawing — Zipf-skewed seed
+  popularity, the access pattern that makes feature caching pay off.
+
+Every generator takes an explicit ``rng``/``seed`` (no module-global
+``np.random``): the same seed reproduces the identical workload, which
+is what makes :class:`~repro.serve.metrics.ServeReport` deterministic
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "InferenceRequest",
+    "zipf_seed_probabilities",
+    "draw_seeds",
+    "poisson_workload",
+    "bursty_workload",
+]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One online inference request: seed vertices plus a deadline.
+
+    Attributes
+    ----------
+    request_id:
+        Unique id; the server keys delivered outputs by it.
+    tenant:
+        Which (model, tenant) queue the request belongs to.
+    seeds:
+        Vertex ids whose model outputs the client wants.
+    arrival_s:
+        Arrival time on the virtual clock (seconds).
+    slo_s:
+        Latency budget; the request's absolute deadline is
+        ``arrival_s + slo_s``.
+    """
+
+    request_id: int
+    tenant: str
+    seeds: np.ndarray
+    arrival_s: float
+    slo_s: float
+
+    def __post_init__(self) -> None:
+        seeds = np.asarray(self.seeds, dtype=np.int64)
+        if seeds.ndim != 1 or seeds.size == 0:
+            raise ValueError("seeds must be a non-empty 1-D id array")
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        object.__setattr__(self, "seeds", seeds)
+
+    @property
+    def num_seeds(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def deadline_s(self) -> float:
+        return self.arrival_s + self.slo_s
+
+
+def _resolve_rng(
+    rng: Optional[np.random.Generator], seed: int
+) -> np.random.Generator:
+    """One explicit randomness path: a Generator wins over a seed."""
+    if rng is not None:
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError("rng must be a numpy Generator (got legacy state?)")
+        return rng
+    return np.random.default_rng(seed)
+
+
+def zipf_seed_probabilities(num_vertices: int, alpha: float) -> np.ndarray:
+    """Zipf popularity over vertex ids: ``p(v) ∝ 1 / (v + 1)**alpha``.
+
+    ``alpha = 0`` is uniform.  Rank equals vertex id (documented
+    convention — reordering the graph reorders the popularity), so the
+    distribution is fully determined by ``(num_vertices, alpha)``.
+    """
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    weights = 1.0 / np.power(np.arange(1, num_vertices + 1, dtype=np.float64), alpha)
+    return weights / weights.sum()
+
+
+def draw_seeds(
+    num_vertices: int,
+    size: int,
+    *,
+    rng: np.random.Generator,
+    zipf_alpha: float = 0.0,
+    p: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Draw ``size`` seed vertices (with replacement) from the popularity
+    model.  Uniform when ``zipf_alpha == 0``; otherwise Zipf-skewed —
+    the hot-vertex pattern real request streams show.  ``p`` supplies a
+    precomputed :func:`zipf_seed_probabilities` vector so per-request
+    callers don't rebuild the O(|V|) distribution every draw."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if zipf_alpha == 0.0:
+        return rng.integers(0, num_vertices, size=size, dtype=np.int64)
+    if p is None:
+        p = zipf_seed_probabilities(num_vertices, zipf_alpha)
+    return rng.choice(num_vertices, size=size, replace=True, p=p).astype(np.int64)
+
+
+def _make_requests(
+    arrivals: np.ndarray,
+    *,
+    num_vertices: int,
+    seeds_per_request: int,
+    slo_s: float,
+    tenant: str,
+    zipf_alpha: float,
+    rng: np.random.Generator,
+    start_id: int,
+) -> List[InferenceRequest]:
+    # One distribution for the whole stream; per-request draws reuse it.
+    p = (
+        zipf_seed_probabilities(num_vertices, zipf_alpha)
+        if zipf_alpha != 0.0
+        else None
+    )
+    return [
+        InferenceRequest(
+            request_id=start_id + i,
+            tenant=tenant,
+            seeds=draw_seeds(
+                num_vertices, seeds_per_request,
+                rng=rng, zipf_alpha=zipf_alpha, p=p,
+            ),
+            arrival_s=float(t),
+            slo_s=slo_s,
+        )
+        for i, t in enumerate(arrivals)
+    ]
+
+
+def poisson_workload(
+    num_requests: int,
+    *,
+    qps: float,
+    num_vertices: int,
+    seeds_per_request: int = 1,
+    slo_s: float = 0.05,
+    tenant: str = "default",
+    zipf_alpha: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    start_id: int = 0,
+) -> List[InferenceRequest]:
+    """Open-loop Poisson arrivals at ``qps`` requests per second.
+
+    Inter-arrival gaps are exponential with mean ``1/qps``; the first
+    request arrives after one gap.  Seed vertices are drawn per request
+    from the ``zipf_alpha`` popularity model.  All randomness flows
+    through the explicit ``rng`` (or ``seed``).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    rng = _resolve_rng(rng, seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=num_requests))
+    return _make_requests(
+        arrivals,
+        num_vertices=num_vertices,
+        seeds_per_request=seeds_per_request,
+        slo_s=slo_s,
+        tenant=tenant,
+        zipf_alpha=zipf_alpha,
+        rng=rng,
+        start_id=start_id,
+    )
+
+
+def bursty_workload(
+    num_requests: int,
+    *,
+    qps: float,
+    num_vertices: int,
+    burst: int = 8,
+    seeds_per_request: int = 1,
+    slo_s: float = 0.05,
+    tenant: str = "default",
+    zipf_alpha: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    start_id: int = 0,
+) -> List[InferenceRequest]:
+    """Bursty arrivals at the same mean rate as a ``qps`` Poisson stream.
+
+    Requests arrive in bursts of ``burst`` simultaneous requests; burst
+    gaps are exponential with mean ``burst/qps``, so the long-run rate
+    is still ``qps``.  The pattern stresses the micro-batcher: bursts
+    fill batches instantly while the gaps between them leave stragglers
+    waiting out ``max_wait``.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    if burst <= 0:
+        raise ValueError("burst must be positive")
+    rng = _resolve_rng(rng, seed)
+    num_bursts = -(-num_requests // burst)  # ceil
+    gaps = rng.exponential(burst / qps, size=num_bursts)
+    burst_times = np.cumsum(gaps)
+    arrivals = np.repeat(burst_times, burst)[:num_requests]
+    return _make_requests(
+        arrivals,
+        num_vertices=num_vertices,
+        seeds_per_request=seeds_per_request,
+        slo_s=slo_s,
+        tenant=tenant,
+        zipf_alpha=zipf_alpha,
+        rng=rng,
+        start_id=start_id,
+    )

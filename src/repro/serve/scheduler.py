@@ -1,0 +1,104 @@
+"""SLO-aware placement of micro-batches onto a GPU pool.
+
+The server's virtual clock is discrete-event: every micro-batch carries
+a dispatch time (from the batcher), a modelled service time (from the
+cost model), and a deadline (the earliest member request's).  The
+scheduler replays the event sequence deterministically:
+
+- the GPU that frees earliest takes the next decision point,
+- among batches already dispatched by then, the policy picks one —
+  ``"edf"`` (earliest deadline first, the SLO-aware policy) or
+  ``"fifo"`` (dispatch order),
+- if nothing is pending, the clock advances to the next dispatch.
+
+Ties break on (dispatch, submission order), so placement is a pure
+function of the inputs — the determinism the serve report contract
+relies on.  Whole batches are placed on single GPUs (no partitioning),
+so a :class:`~repro.gpu.cluster.Cluster` acts as a homogeneous pool;
+per-GPU busy time feeds the utilization metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["PendingBatch", "Placement", "place_batches", "SCHEDULER_POLICIES"]
+
+SCHEDULER_POLICIES = ("edf", "fifo")
+
+
+@dataclass(frozen=True)
+class PendingBatch:
+    """What the scheduler needs to know about one dispatched batch."""
+
+    dispatch_s: float
+    service_s: float
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.service_s < 0:
+            raise ValueError("service_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One batch's slot on the pool timeline."""
+
+    index: int          # position in the submitted batch sequence
+    gpu: int
+    start_s: float
+    finish_s: float
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+def place_batches(
+    batches: Sequence[PendingBatch],
+    num_gpus: int,
+    *,
+    policy: str = "edf",
+) -> List[Placement]:
+    """Assign every batch a (gpu, start, finish) slot.
+
+    Returns placements in submission order (``placements[i]`` is
+    ``batches[i]``'s slot).  Work is conserved: a batch starts at
+    ``max(gpu free time, its dispatch)`` and holds the GPU for its
+    service time.
+    """
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if policy not in SCHEDULER_POLICIES:
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; use one of "
+            f"{SCHEDULER_POLICIES}"
+        )
+    free = [0.0] * num_gpus
+    pending = list(range(len(batches)))
+    placements: List[Placement] = [None] * len(batches)  # type: ignore[list-item]
+
+    def sort_key(i: int):
+        b = batches[i]
+        if policy == "edf":
+            return (b.deadline_s, b.dispatch_s, i)
+        return (b.dispatch_s, i)
+
+    while pending:
+        gpu = min(range(num_gpus), key=lambda g: (free[g], g))
+        now = free[gpu]
+        ready = [i for i in pending if batches[i].dispatch_s <= now]
+        if not ready:
+            # Idle pool: advance this GPU's clock to the next dispatch.
+            now = min(batches[i].dispatch_s for i in pending)
+            ready = [i for i in pending if batches[i].dispatch_s <= now]
+        pick = min(ready, key=sort_key)
+        start = max(now, batches[pick].dispatch_s)
+        finish = start + batches[pick].service_s
+        free[gpu] = finish
+        placements[pick] = Placement(
+            index=pick, gpu=gpu, start_s=start, finish_s=finish
+        )
+        pending.remove(pick)
+    return placements

@@ -1,0 +1,366 @@
+"""The online inference server: batching, caching, scheduling, serving.
+
+:class:`InferenceServer` drives one or more compiled forward plans (one
+per tenant) over a shared concrete graph and feature store:
+
+1. each tenant's request stream is coalesced by the micro-batcher
+   (:func:`~repro.serve.batcher.coalesce`),
+2. each micro-batch expands to its receptive field
+   (:func:`~repro.serve.batcher.receptive_field` — the same schedule
+   construction as sampled training) and resolves its feature gather
+   against the bounded LRU cache (hits shrink the gather bill, misses
+   pay it),
+3. a :class:`~repro.gpu.cost_model.CostModel`-driven virtual clock
+   prices each batch — kernel roofline on the field's stats plus the
+   gather cost of the cache misses — and the SLO-aware scheduler
+   (:func:`~repro.serve.scheduler.place_batches`) places batches from
+   all tenant queues onto the GPU pool (EDF or FIFO),
+4. batches execute bit-identically through the ordinary
+   :class:`~repro.exec.engine.Engine` on their induced subgraphs
+   (optionally through per-field arena plans), and each request's seed
+   rows are delivered.
+
+A :class:`~repro.gpu.cluster.Cluster` serves as a homogeneous pool —
+whole batches are placed on single GPUs, so the interconnect never
+enters the serving clock (no partitioning, no halo exchange).
+Compiled forwards are expected to come out of the session-level
+:class:`~repro.session.PlanCache` (LRU-bounded), which acts as the
+plan-level compiled-forward cache serving hammers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exec.analytic import feature_gather_row_bytes
+from repro.exec.engine import Engine
+from repro.exec.memory import plan_memory
+from repro.frameworks.strategy import CompiledForward
+from repro.gpu.cluster import Cluster
+from repro.gpu.cost_model import CostModel
+from repro.gpu.spec import GPUSpec, get_gpu
+from repro.graph.csr import Graph
+from repro.graph.sampling import MiniBatch
+from repro.serve.batcher import BatchPolicy, MicroBatch, coalesce, receptive_field
+from repro.serve.cache import FeatureCache
+from repro.serve.metrics import BatchTrace, RequestOutcome, ServeReport
+from repro.serve.request import InferenceRequest
+from repro.serve.scheduler import PendingBatch, place_batches
+from repro.exec.profiler import BatchCost
+
+__all__ = ["InferenceServer"]
+
+
+class _TenantRuntime:
+    """Per-tenant compiled state: plan, params, gather-row pricing."""
+
+    def __init__(
+        self,
+        name: str,
+        compiled: CompiledForward,
+        *,
+        hops: Optional[int],
+        params: Optional[Dict[str, np.ndarray]],
+        param_seed: int,
+    ):
+        from repro.train.minibatch import receptive_hops  # lazy: avoids cycle
+
+        if not isinstance(compiled, CompiledForward):
+            raise TypeError(
+                f"tenant {name!r}: serving takes a CompiledForward "
+                "(compile with training=False); got "
+                f"{type(compiled).__name__}"
+            )
+        if len(compiled.forward.outputs) != 1:
+            raise ValueError(
+                f"tenant {name!r}: serving expects a single-output model"
+            )
+        self.name = name
+        self.compiled = compiled
+        self.hops = hops if hops is not None else receptive_hops(compiled.forward)
+        if self.hops < 0:
+            raise ValueError("hops must be non-negative")
+        self.params = dict(
+            params
+            if params is not None
+            else compiled.model.init_params(param_seed)
+        )
+        self.output_name = compiled.forward.outputs[0]
+        self.row_bytes = feature_gather_row_bytes(compiled.plan)
+        self.pinned = list(compiled.forward.inputs) + list(
+            compiled.forward.params
+        )
+
+
+class InferenceServer:
+    """Serves online inference requests over one graph + feature store.
+
+    Parameters
+    ----------
+    graph / features:
+        The shared concrete topology and host feature matrix requests
+        are answered from (``features`` has one row per vertex).
+    compiled:
+        A :class:`~repro.frameworks.strategy.CompiledForward`, or a
+        mapping ``tenant name -> CompiledForward`` for multi-tenant
+        serving.  A bare plan serves the ``"default"`` tenant.
+    gpu:
+        Device name / :class:`~repro.gpu.spec.GPUSpec` (one GPU) or a
+        :class:`~repro.gpu.cluster.Cluster` (a pool of ``num_gpus``
+        identical devices).
+    batch_policy / scheduler_policy:
+        Micro-batching knobs and the queue policy (``"edf"``/``"fifo"``).
+    cache_rows:
+        LRU feature-cache capacity in rows (0 disables caching).
+    hops:
+        Receptive-field radius override for every tenant (default:
+        each compiled forward's message-passing depth).
+    memory_plan:
+        Plan a fresh arena per receptive field and execute through it
+        (requires the accounting precision, float32); the planned
+        pinned+arena footprint then drives the device-fit check.
+    execute:
+        ``False`` skips concrete engine execution (no delivered
+        outputs).  Every metric is analytic, so reports are identical
+        either way — the switch exists for costing-only experiments.
+    params / param_seed:
+        Per-tenant parameter arrays (mapping ``tenant -> params``), or
+        a seed for each model's initialiser.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        features: np.ndarray,
+        compiled: Union[CompiledForward, Mapping[str, CompiledForward]],
+        *,
+        gpu: Union[str, GPUSpec, Cluster] = "RTX3090",
+        batch_policy: Optional[BatchPolicy] = None,
+        scheduler_policy: str = "edf",
+        cache_rows: int = 0,
+        hops: Optional[int] = None,
+        memory_plan: bool = False,
+        execute: bool = True,
+        params: Optional[Mapping[str, Dict[str, np.ndarray]]] = None,
+        param_seed: int = 0,
+        precision: str = "float32",
+    ):
+        if features.shape[0] != graph.num_vertices:
+            raise ValueError(
+                f"features have {features.shape[0]} rows, graph has "
+                f"{graph.num_vertices} vertices"
+            )
+        if memory_plan and np.dtype(precision) != np.dtype("float32"):
+            raise ValueError(
+                "memory_plan=True executes through spec-sized arena "
+                'slabs and needs the accounting precision: pass '
+                'precision="float32"'
+            )
+        self.graph = graph
+        self.features = features
+        if isinstance(compiled, Mapping):
+            tenant_plans = dict(compiled)
+        else:
+            tenant_plans = {"default": compiled}
+        if not tenant_plans:
+            raise ValueError("server needs at least one tenant plan")
+        self.tenants: Dict[str, _TenantRuntime] = {
+            name: _TenantRuntime(
+                name,
+                plan,
+                hops=hops,
+                params=None if params is None else params.get(name),
+                param_seed=param_seed,
+            )
+            for name, plan in tenant_plans.items()
+        }
+        resolved = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        if isinstance(resolved, Cluster):
+            self.cluster: Optional[Cluster] = resolved
+            self.spec = resolved.gpu
+            self.num_gpus = resolved.num_gpus
+        else:
+            self.cluster = None
+            self.spec = resolved
+            self.num_gpus = 1
+        self.cost = CostModel(self.spec)
+        self.batch_policy = (
+            batch_policy if batch_policy is not None else BatchPolicy()
+        )
+        self.scheduler_policy = scheduler_policy
+        self.cache_rows = int(cache_rows)
+        self.memory_plan = memory_plan
+        self.execute = execute
+        self.precision = precision
+        #: The feature cache of the most recent :meth:`serve` call.
+        self.cache: Optional[FeatureCache] = None
+
+    # ------------------------------------------------------------------
+    def _batch_sequence(
+        self, requests: Sequence[InferenceRequest]
+    ) -> List[MicroBatch]:
+        """Coalesce every tenant queue, merged in dispatch order."""
+        by_tenant: Dict[str, List[InferenceRequest]] = {}
+        seen_ids = set()
+        for r in requests:
+            if r.tenant not in self.tenants:
+                raise KeyError(
+                    f"request {r.request_id} targets unknown tenant "
+                    f"{r.tenant!r}; server tenants: {sorted(self.tenants)}"
+                )
+            if r.request_id in seen_ids:
+                raise ValueError(f"duplicate request_id {r.request_id}")
+            seen_ids.add(r.request_id)
+            if r.seeds.min() < 0 or r.seeds.max() >= self.graph.num_vertices:
+                raise ValueError(
+                    f"request {r.request_id}: seed ids out of range"
+                )
+            by_tenant.setdefault(r.tenant, []).append(r)
+        batches: List[MicroBatch] = []
+        for tenant in sorted(by_tenant):
+            batches.extend(coalesce(by_tenant[tenant], self.batch_policy))
+        # Global dispatch order: the cache sees gathers in the order
+        # batches leave the batcher, across all tenant queues.
+        batches.sort(key=lambda b: (b.dispatch_s, b.tenant, b.requests[0].request_id))
+        return batches
+
+    def _execute_batch(
+        self, runtime: _TenantRuntime, mb: MiniBatch, mplan
+    ) -> np.ndarray:
+        """Run the tenant's forward plan on the induced subgraph.
+
+        Bit-identical to a direct :class:`Engine` run on the same
+        subgraph with the same sliced feature rows — the serving path
+        adds nothing between the field construction and the plan walk.
+        ``mplan`` is the batch's arena plan from the costing pass (None
+        without :attr:`memory_plan`), reused rather than replanned.
+        """
+        compiled = runtime.compiled
+        engine = Engine(
+            mb.subgraph,
+            precision=self.precision,
+            memory_plan=None if mplan is None else [mplan],
+        )
+        arrays = compiled.model.make_inputs(
+            mb.subgraph, self.features[mb.vertices]
+        )
+        arrays.update(runtime.params)
+        env = engine.bind(compiled.forward, arrays)
+        out = engine.run_plan(compiled.plan, env, unwrap=True)
+        return out[runtime.output_name]
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
+        """Serve a request stream on the virtual clock; returns the report."""
+        cache = FeatureCache(self.cache_rows)
+        self.cache = cache
+        batches = self._batch_sequence(requests)
+
+        fields: List[MiniBatch] = []
+        costs: List[BatchCost] = []
+        splits = []
+        mplans: List[Optional[object]] = []
+        pending: List[PendingBatch] = []
+        for batch in batches:
+            runtime = self.tenants[batch.tenant]
+            mb = receptive_field(self.graph, batch.seeds, runtime.hops)
+            field_stats = mb.subgraph.stats()
+            compute = runtime.compiled.counters(field_stats)
+            smp = None
+            if self.memory_plan:
+                smp = plan_memory(
+                    runtime.compiled.plan, field_stats, pinned=runtime.pinned
+                )
+                compute.forward.planned_peak_bytes = smp.planned_peak_bytes
+            mplans.append(smp)
+            # The batch must fit one pool device (arena-aware when a
+            # memory plan backs the run).
+            self.cost.check_memory(compute)
+            split = cache.gather(0, mb.vertices, runtime.row_bytes)
+            service = self.cost.latency_seconds(
+                compute, field_stats
+            ) + self.cost.gather_seconds(split.miss_bytes)
+            fields.append(mb)
+            splits.append(split)
+            costs.append(
+                BatchCost(
+                    seeds=mb.num_seeds,
+                    field=mb.field_size,
+                    edges=mb.subgraph.num_edges,
+                    gather_bytes=split.miss_bytes,
+                    compute=compute,
+                    stats=field_stats,
+                )
+            )
+            pending.append(
+                PendingBatch(
+                    dispatch_s=batch.dispatch_s,
+                    service_s=service,
+                    deadline_s=batch.deadline_s,
+                )
+            )
+
+        placements = place_batches(
+            pending, self.num_gpus, policy=self.scheduler_policy
+        )
+
+        gpu_busy = [0.0] * self.num_gpus
+        traces: List[BatchTrace] = []
+        outcomes: List[RequestOutcome] = []
+        outputs: Dict[int, np.ndarray] = {}
+        for batch, mb, cost, split, mplan, slot in zip(
+            batches, fields, costs, splits, mplans, placements
+        ):
+            gpu_busy[slot.gpu] += slot.service_s
+            traces.append(
+                BatchTrace(
+                    tenant=batch.tenant,
+                    request_ids=tuple(r.request_id for r in batch.requests),
+                    dispatch_s=batch.dispatch_s,
+                    start_s=slot.start_s,
+                    finish_s=slot.finish_s,
+                    gpu=slot.gpu,
+                    cost=cost,
+                    hit_bytes=split.hit_bytes,
+                    miss_bytes=split.miss_bytes,
+                )
+            )
+            logits = (
+                self._execute_batch(self.tenants[batch.tenant], mb, mplan)
+                if self.execute
+                else None
+            )
+            for r in batch.requests:
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=r.request_id,
+                        tenant=r.tenant,
+                        num_seeds=r.num_seeds,
+                        arrival_s=r.arrival_s,
+                        start_s=slot.start_s,
+                        finish_s=slot.finish_s,
+                        deadline_s=r.deadline_s,
+                        gpu=slot.gpu,
+                    )
+                )
+                if logits is not None:
+                    # mb.vertices is sorted, so the request's seed rows
+                    # come from bisection into the field.
+                    rows = np.searchsorted(mb.vertices, r.seeds)
+                    outputs[r.request_id] = logits[rows]
+        outcomes.sort(key=lambda o: o.request_id)
+
+        return ServeReport(
+            outcomes=outcomes,
+            batches=traces,
+            num_gpus=self.num_gpus,
+            gpu_busy_s=gpu_busy,
+            batch_policy_max=self.batch_policy.max_batch,
+            batch_policy_wait_s=self.batch_policy.max_wait_s,
+            scheduler_policy=self.scheduler_policy,
+            cache_rows=self.cache_rows,
+            num_vertices=self.graph.num_vertices,
+            outputs=outputs,
+        )

@@ -42,6 +42,7 @@ import json
 import os
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -56,7 +57,7 @@ from repro.frameworks.strategy import (
     ExecutionStrategy,
 )
 from repro.gpu.cluster import Cluster, ClusterCostModel, CommBreakdown, make_cluster
-from repro.gpu.cost_model import CostModel
+from repro.gpu.cost_model import CostModel, SimulatedOOM
 from repro.gpu.spec import GPUSpec, get_gpu
 from repro.graph.datasets import Dataset, get_dataset
 from repro.graph.partition import (
@@ -110,17 +111,32 @@ def model_signature(model: GNNModel) -> str:
 
 
 class PlanCache:
-    """Memoises compiled plans keyed by (model signature, strategy).
+    """Bounded LRU memo of compiled plans keyed by (model signature,
+    strategy, training).
 
     The strategy enters the key by *value* (it is a frozen dataclass),
     so two strategies sharing a name but differing in any knob never
     alias each other's plans.
+
+    ``capacity`` bounds the number of resident compilations — serving
+    hammers this cache (every tenant × strategy resolves through it),
+    so it must not grow without limit.  The default is generous enough
+    that sweeps over the whole zoo never evict; ``None`` removes the
+    bound.  Hit/miss/eviction counters are exposed for reports.
     """
 
-    def __init__(self) -> None:
-        self._plans: Dict[Tuple[str, ExecutionStrategy, bool], object] = {}
+    DEFAULT_CAPACITY = 128
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None: unbounded)")
+        self.capacity = capacity
+        self._plans: "OrderedDict[Tuple[str, ExecutionStrategy, bool], object]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_compile(
         self,
@@ -132,6 +148,7 @@ class PlanCache:
         key = (model_signature(model), strategy, training)
         if key in self._plans:
             self.hits += 1
+            self._plans.move_to_end(key)
             return self._plans[key]
         self.misses += 1
         compiled = (
@@ -140,12 +157,17 @@ class PlanCache:
             else compile_forward(model, strategy)
         )
         self._plans[key] = compiled
+        if self.capacity is not None:
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
         return compiled
 
     def clear(self) -> None:
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -834,6 +856,107 @@ class Session:
         """
         return self.report(train_steps=train_steps, seed=seed)
 
+    # -- online serving ------------------------------------------------
+    def serve(
+        self,
+        *,
+        num_requests: int = 256,
+        qps: float = 1000.0,
+        seeds_per_request: int = 1,
+        slo_s: float = 0.05,
+        arrival: str = "poisson",
+        burst: int = 8,
+        zipf_alpha: float = 0.0,
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        scheduler: str = "edf",
+        cache_rows: int = 0,
+        hops: Optional[int] = None,
+        seed: int = 0,
+        execute: bool = True,
+    ):
+        """Serve a synthetic online workload against this configuration.
+
+        Generates an open-loop request stream (``arrival`` ``"poisson"``
+        or ``"bursty"``, Zipf-skewed seed popularity under
+        ``zipf_alpha``, all randomness seeded by ``seed``), compiles
+        the forward plan through the shared :class:`PlanCache`, and
+        runs it through an :class:`~repro.serve.server.InferenceServer`
+        on the configured GPU (or :meth:`cluster` pool) — micro-batched
+        under ``max_batch``/``max_wait_s``, feature-cached with
+        ``cache_rows`` LRU rows, scheduled by ``scheduler``
+        (``"edf"``/``"fifo"``).  With :meth:`schedule` set to
+        ``"memory"`` every batch executes through a per-field arena
+        plan and the device-fit check uses the planned footprint.
+
+        Returns the :class:`~repro.serve.metrics.ServeReport` —
+        p50/p95/p99 latency, throughput, SLO violations, cache hit
+        rate, per-GPU utilization.  Requires a dataset with a concrete
+        graph (serving answers real seed vertices).
+        """
+        from repro.serve import (  # local: keeps base import cheap
+            BatchPolicy,
+            InferenceServer,
+            bursty_workload,
+            poisson_workload,
+        )
+
+        ds = self.resolve_dataset()
+        if ds is None or not ds.has_concrete_graph:
+            raise ValueError(
+                "serving needs a dataset with a concrete graph; "
+                "stats-only workloads cannot answer seed requests"
+            )
+        graph = ds.graph()
+        in_dim = (
+            self._feature_dim if self._feature_dim is not None else ds.feature_dim
+        )
+        features = ds.features(dim=in_dim, seed=seed)
+        compiled = self.compile(training=False)
+        tenant = self._model_label()
+        rng = np.random.default_rng(seed)
+        if arrival == "poisson":
+            workload = poisson_workload(
+                num_requests,
+                qps=qps,
+                num_vertices=graph.num_vertices,
+                seeds_per_request=seeds_per_request,
+                slo_s=slo_s,
+                tenant=tenant,
+                zipf_alpha=zipf_alpha,
+                rng=rng,
+            )
+        elif arrival == "bursty":
+            workload = bursty_workload(
+                num_requests,
+                qps=qps,
+                num_vertices=graph.num_vertices,
+                burst=burst,
+                seeds_per_request=seeds_per_request,
+                slo_s=slo_s,
+                tenant=tenant,
+                zipf_alpha=zipf_alpha,
+                rng=rng,
+            )
+        else:
+            raise ValueError(
+                f"unknown arrival process {arrival!r}; use 'poisson' or 'bursty'"
+            )
+        cluster = self.resolve_cluster()
+        server = InferenceServer(
+            graph,
+            features,
+            {tenant: compiled},
+            gpu=cluster if cluster is not None else self.resolve_gpu(),
+            batch_policy=BatchPolicy(max_batch=max_batch, max_wait_s=max_wait_s),
+            scheduler_policy=scheduler,
+            cache_rows=cache_rows,
+            hops=hops,
+            memory_plan=self._schedule == "memory",
+            execute=execute,
+        )
+        return server.serve(workload)
+
 
 def session(*, cache: Optional[PlanCache] = None) -> Session:
     """Start a fluent configuration: ``repro.session().model("gat")…``."""
@@ -878,6 +1001,16 @@ class SweepRow:
     #: memory-scheduled plans) and leave ``arena_bytes`` at 0.
     schedule: Optional[str] = None
     arena_bytes: int = 0
+    #: Online-serving rows (``run_sweep(serve_qps=[...])``): the offered
+    #: load and the tail-latency/SLO/cache metrics of the served
+    #: stream; ``latency_s`` then reports the *mean* request latency
+    #: and io/peak columns the served totals / per-batch maxima.
+    serve_qps: Optional[float] = None
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    cache_hit_rate: float = 0.0
+    slo_violation_rate: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -899,6 +1032,12 @@ class SweepRow:
             "gather_bytes": self.gather_bytes,
             "schedule": self.schedule,
             "arena_bytes": self.arena_bytes,
+            "serve_qps": self.serve_qps,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "slo_violation_rate": self.slo_violation_rate,
         }
 
 
@@ -923,6 +1062,7 @@ class SweepReport:
 
         with_batches = any(r.batch_size is not None for r in self.rows)
         with_schedules = any(r.schedule is not None for r in self.rows)
+        with_serving = any(r.serve_qps is not None for r in self.rows)
         body = [
             [
                 r.model, r.dataset, r.strategy, r.gpu,
@@ -937,13 +1077,26 @@ class SweepReport:
                 "yes" if r.fits_device else "OOM",
                 f"{r.latency_s * 1e3:.2f}",
             ]
+            + (
+                [
+                    f"{r.serve_qps:.0f}" if r.serve_qps is not None else "-",
+                    f"{r.p50_latency_s * 1e3:.2f}",
+                    f"{r.p99_latency_s * 1e3:.2f}",
+                    f"{r.cache_hit_rate * 100:.0f}%",
+                    f"{r.slo_violation_rate * 100:.0f}%",
+                ]
+                if with_serving
+                else []
+            )
             for r in self.rows
         ]
         return format_table(
             ["model", "dataset", "strategy", "gpu"]
             + (["batch"] if with_batches else [])
             + (["sched"] if with_schedules else [])
-            + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"],
+            + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"]
+            + (["qps", "p50 ms", "p99 ms", "hit", "viol"]
+               if with_serving else []),
             body,
             title=(
                 f"sweep ({len(self.rows)} rows; plan cache "
@@ -987,6 +1140,14 @@ def run_sweep(
     minibatch_hops: Optional[int] = None,
     minibatch_seed: int = 0,
     schedule: Union[None, str, Sequence[Optional[str]]] = None,
+    serve_qps: Optional[Sequence[float]] = None,
+    serve_requests: int = 192,
+    serve_seeds: int = 1,
+    serve_slo_s: float = 0.05,
+    serve_cache_rows: int = 0,
+    serve_zipf_alpha: float = 0.0,
+    serve_scheduler: str = "edf",
+    serve_seed: int = 0,
     feature_dim: Optional[int] = None,
     training: bool = True,
     cache: Optional[PlanCache] = None,
@@ -1022,6 +1183,18 @@ def run_sweep(
     ``arena_bytes`` and show the deliverable (pinned + arena) peak in
     the memory column, while multi-GPU and mini-batch rows price the
     memory-scheduled plans with the ordinary ledger.
+
+    ``serve_qps`` sweeps online serving instead of offline steps: each
+    configuration serves a fixed-seed Poisson request stream at every
+    offered load (``serve_requests`` requests of ``serve_seeds`` seeds,
+    SLO ``serve_slo_s``, ``serve_cache_rows`` LRU feature-cache rows)
+    through :meth:`Session.serve`.  Rows carry the qps plus
+    p50/p95/p99 latency, cache hit rate and SLO-violation share;
+    ``latency_s`` is the mean request latency and io/peak columns the
+    served totals / per-batch maxima.  A multi-GPU entry in
+    ``num_gpus`` serves on the cluster as a pool (whole batches per
+    GPU).  Serving is forward-only and cannot be combined with
+    ``batch_size``.
     """
     cache = cache if cache is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
@@ -1039,6 +1212,11 @@ def run_sweep(
         raise ValueError(
             "mini-batch sweeps are single-GPU: batch_size cannot be "
             "combined with num_gpus > 1"
+        )
+    if serve_qps is not None and any(b is not None for b in batch_options):
+        raise ValueError(
+            "serving sweeps are request-driven: serve_qps cannot be "
+            "combined with batch_size"
         )
     rows: List[SweepRow] = []
     for m in models:
@@ -1081,6 +1259,77 @@ def run_sweep(
                             else:
                                 s.cluster(g, n, interconnect_gbps=interconnect_gbps)
                             cluster = s.resolve_cluster()
+                            if serve_qps is not None:
+                                # Serving rows: a fixed-seed request
+                                # stream per offered load; counters are
+                                # the served totals (paid gathers +
+                                # kernel traffic, per-batch peak).
+                                for q in serve_qps:
+                                    try:
+                                        rep = s.serve(
+                                            num_requests=serve_requests,
+                                            qps=q,
+                                            seeds_per_request=serve_seeds,
+                                            slo_s=serve_slo_s,
+                                            zipf_alpha=serve_zipf_alpha,
+                                            cache_rows=serve_cache_rows,
+                                            scheduler=serve_scheduler,
+                                            seed=serve_seed,
+                                            execute=False,
+                                        )
+                                    except SimulatedOOM:
+                                        # Keep sweeping: an unservable
+                                        # configuration is an OOM row,
+                                        # like every other sweep path.
+                                        rows.append(
+                                            SweepRow(
+                                                model=s._model_label(),
+                                                dataset=s._dataset_label(),
+                                                strategy=s._strategy_label(),
+                                                gpu=s._gpu_label(),
+                                                flops=0.0,
+                                                io_bytes=0,
+                                                peak_memory_bytes=0,
+                                                stash_bytes=0,
+                                                launches=0,
+                                                latency_s=0.0,
+                                                fits_device=False,
+                                                num_gpus=(
+                                                    cluster.num_gpus
+                                                    if cluster is not None
+                                                    else 1
+                                                ),
+                                                schedule=sched,
+                                                serve_qps=float(q),
+                                            )
+                                        )
+                                        continue
+                                    sc = rep.counters
+                                    rows.append(
+                                        SweepRow(
+                                            model=s._model_label(),
+                                            dataset=s._dataset_label(),
+                                            strategy=s._strategy_label(),
+                                            gpu=s._gpu_label(),
+                                            flops=sc.flops,
+                                            io_bytes=sc.io_bytes,
+                                            peak_memory_bytes=sc.device_peak_bytes,
+                                            stash_bytes=0,
+                                            launches=sc.launches,
+                                            latency_s=rep.mean_latency_s,
+                                            fits_device=True,
+                                            num_gpus=rep.num_gpus,
+                                            gather_bytes=sc.gather_bytes,
+                                            schedule=sched,
+                                            serve_qps=float(q),
+                                            p50_latency_s=rep.p50_latency_s,
+                                            p95_latency_s=rep.p95_latency_s,
+                                            p99_latency_s=rep.p99_latency_s,
+                                            cache_hit_rate=rep.cache_hit_rate,
+                                            slo_violation_rate=rep.slo_violation_rate,
+                                        )
+                                    )
+                                continue
                             if cluster is not None and any(
                                 b is not None for b in batch_options
                             ):

@@ -88,3 +88,11 @@ class TestExamples:
         assert "halo exchange" in out
         assert "comm" in out
         assert "partitioned execution matches single-GPU execution" in out
+
+    def test_serving(self):
+        out = run_example(
+            "serving.py", "--dataset", "cora", "--requests", "48"
+        )
+        assert "Session.serve" in out
+        assert "violations by tenant" in out
+        assert "bit-identical to the direct engine run" in out

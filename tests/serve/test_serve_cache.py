@@ -1,0 +1,69 @@
+"""Tests for the bounded LRU feature cache and its byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import FeatureCache
+
+
+class TestFeatureCache:
+    def test_miss_then_hit(self):
+        c = FeatureCache(capacity_rows=10)
+        first = c.gather(0, np.array([1, 2, 3]), row_bytes=8)
+        assert (first.hit_rows, first.miss_rows) == (0, 3)
+        again = c.gather(0, np.array([1, 2, 3]), row_bytes=8)
+        assert (again.hit_rows, again.miss_rows) == (3, 0)
+        assert c.hits == 3 and c.misses == 3
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_reconciliation_invariant(self):
+        c = FeatureCache(capacity_rows=4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rows = rng.integers(0, 12, size=rng.integers(1, 8))
+            split = c.gather(0, rows, row_bytes=16)
+            assert split.hit_bytes + split.miss_bytes == rows.size * 16
+            assert split.bytes == rows.size * 16
+        assert c.hit_bytes + c.miss_bytes == 16 * c.lookups
+
+    def test_lru_eviction_order(self):
+        c = FeatureCache(capacity_rows=2)
+        c.gather(0, np.array([1]), 4)
+        c.gather(0, np.array([2]), 4)
+        c.gather(0, np.array([1]), 4)     # 1 becomes most-recent
+        c.gather(0, np.array([3]), 4)     # evicts 2
+        assert (0, 1) in c and (0, 3) in c and (0, 2) not in c
+        assert c.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        c = FeatureCache(0)
+        split = c.gather(0, np.array([1, 1, 2]), 4)
+        assert split.hit_rows == 0 and split.miss_rows == 3
+        assert len(c) == 0
+        # Repeats still miss: nothing is retained.
+        assert c.gather(0, np.array([1]), 4).miss_rows == 1
+
+    def test_duplicate_rows_in_one_gather_hit_after_first(self):
+        c = FeatureCache(capacity_rows=4)
+        split = c.gather(0, np.array([5, 5, 5]), 4)
+        assert (split.hit_rows, split.miss_rows) == (2, 1)
+
+    def test_layers_are_independent_keys(self):
+        c = FeatureCache(capacity_rows=4)
+        c.gather(0, np.array([1]), 4)
+        split = c.gather(1, np.array([1]), 4)
+        assert split.miss_rows == 1
+        assert len(c) == 2
+
+    def test_clear(self):
+        c = FeatureCache(capacity_rows=4)
+        c.gather(0, np.array([1, 2]), 4)
+        c.clear()
+        assert len(c) == 0 and c.hits == 0 and c.misses == 0
+        assert c.hit_bytes == 0 and c.miss_bytes == 0 and c.evictions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureCache(-1)
+        with pytest.raises(ValueError):
+            FeatureCache(4).gather(0, np.array([1]), row_bytes=-2)

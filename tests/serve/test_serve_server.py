@@ -1,0 +1,332 @@
+"""InferenceServer contracts: bit-identical outputs, exact cache
+accounting, deterministic reports, SLO/scheduling behaviour.
+
+The acceptance contract of the serving subsystem:
+
+- batch outputs are **bit-identical** to a direct Engine run on the
+  same induced subgraph (differential over the model zoo),
+- cache-enabled runs reconcile gather bytes exactly
+  (``hit + miss == uncached``),
+- a fixed-seed workload reproduces the identical report (p50/p95/p99
+  and every delivered output).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec.engine import Engine
+from repro.frameworks import compile_forward, get_strategy
+from repro.graph import get_dataset
+from repro.registry import MODELS
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    poisson_workload,
+    receptive_field,
+)
+from repro.serve.request import InferenceRequest
+
+CORE_MODELS = ("gat", "gcn", "sage", "gin")
+EXTRA_MODELS = tuple(sorted(set(MODELS.names()) - set(CORE_MODELS)))
+
+IN_DIM = 16
+
+
+@pytest.fixture(scope="module")
+def cora():
+    ds = get_dataset("cora")
+    graph = ds.graph()
+    features = ds.features(dim=IN_DIM, seed=0)
+    return ds, graph, features
+
+
+def make_server(graph, features, name, num_classes, **kwargs):
+    compiled = compile_forward(
+        MODELS.get(name)(IN_DIM, num_classes), get_strategy("ours")
+    )
+    kwargs.setdefault("gpu", "RTX3090")
+    return InferenceServer(graph, features, {name: compiled}, **kwargs)
+
+
+def workload_for(graph, tenant, n=24, *, qps=4000.0, seed=0, slo_s=0.05):
+    return poisson_workload(
+        n,
+        qps=qps,
+        num_vertices=graph.num_vertices,
+        seeds_per_request=2,
+        slo_s=slo_s,
+        tenant=tenant,
+        zipf_alpha=0.8,
+        seed=seed,
+    )
+
+
+def assert_outputs_match_direct_engine(server, report, graph, features, tenant):
+    """Every request's delivered rows == a direct run on its batch field."""
+    runtime = server.tenants[tenant]
+    by_id = {}
+    for trace in report.batches:
+        by_id.update({rid: trace for rid in trace.request_ids})
+    assert by_id, "no batches served"
+    for trace in report.batches:
+        seeds = np.unique(
+            np.concatenate(
+                [
+                    server_request_seeds[rid]
+                    for rid in trace.request_ids
+                ]
+            )
+        )
+        mb = receptive_field(graph, seeds, runtime.hops)
+        engine = Engine(mb.subgraph, precision="float32")
+        arrays = runtime.compiled.model.make_inputs(
+            mb.subgraph, features[mb.vertices]
+        )
+        arrays.update(runtime.params)
+        env = engine.bind(runtime.compiled.forward, arrays)
+        direct = engine.run_plan(runtime.compiled.plan, env, unwrap=True)
+        logits = direct[runtime.output_name]
+        for rid in trace.request_ids:
+            rows = np.searchsorted(mb.vertices, server_request_seeds[rid])
+            assert np.array_equal(report.outputs[rid], logits[rows]), (
+                f"request {rid}: served outputs differ from direct engine"
+            )
+
+
+server_request_seeds = {}
+
+
+def _run_differential(name, cora, **server_kwargs):
+    ds, graph, features = cora
+    server = make_server(graph, features, name, ds.num_classes, **server_kwargs)
+    reqs = workload_for(graph, name)
+    server_request_seeds.clear()
+    server_request_seeds.update({r.request_id: r.seeds for r in reqs})
+    report = server.serve(reqs)
+    assert len(report.outputs) == len(reqs)
+    assert_outputs_match_direct_engine(server, report, graph, features, name)
+    return report
+
+
+class TestDifferentialAgainstEngine:
+    @pytest.mark.parametrize("name", CORE_MODELS)
+    def test_served_outputs_bit_identical(self, name, cora):
+        _run_differential(name, cora)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", EXTRA_MODELS)
+    def test_served_outputs_bit_identical_full_zoo(self, name, cora):
+        _run_differential(name, cora)
+
+    def test_memory_plan_execution_identical(self, cora):
+        # Arena-backed execution is an accounting transform: outputs
+        # and the virtual clock must match the plain run exactly.
+        plain = _run_differential("gat", cora, memory_plan=False)
+        arena = _run_differential("gat", cora, memory_plan=True)
+        for rid in plain.outputs:
+            assert np.array_equal(plain.outputs[rid], arena.outputs[rid])
+        for a, b in zip(plain.batches, arena.batches):
+            assert (
+                b.cost.compute.forward.planned_peak_bytes is not None
+            ), "memory_plan runs must price the arena footprint"
+        assert np.array_equal(plain.latencies_s, arena.latencies_s)
+
+
+class TestCacheAccounting:
+    def test_reconciles_exactly(self, cora):
+        ds, graph, features = cora
+        server = make_server(
+            graph, features, "sage", ds.num_classes, cache_rows=1024
+        )
+        report = server.serve(workload_for(graph, "sage", 48))
+        row_bytes = server.tenants["sage"].row_bytes
+        assert row_bytes == IN_DIM * 4  # float32 accounting rows
+        for trace in report.batches:
+            assert (
+                trace.hit_bytes + trace.miss_bytes
+                == trace.cost.field * row_bytes
+            )
+            assert trace.cost.gather_bytes == trace.miss_bytes
+        assert (
+            report.gather_hit_bytes + report.gather_miss_bytes
+            == report.uncached_gather_bytes
+        )
+        assert report.gather_hit_bytes > 0  # the Zipf stream repeats rows
+
+    def test_uncached_run_pays_full_bill(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "sage", ds.num_classes)
+        report = server.serve(workload_for(graph, "sage", 24))
+        assert report.cache_hit_rate == 0.0
+        assert report.gather_miss_bytes == report.uncached_gather_bytes
+
+    def test_caching_never_slows_service(self, cora):
+        ds, graph, features = cora
+        reqs = workload_for(graph, "sage", 48)
+        cold = make_server(graph, features, "sage", ds.num_classes)
+        warm = make_server(
+            graph, features, "sage", ds.num_classes, cache_rows=4096
+        )
+        cold_rep = cold.serve(reqs)
+        warm_rep = warm.serve(reqs)
+        for a, b in zip(cold_rep.batches, warm_rep.batches):
+            assert b.service_s <= a.service_s + 1e-15
+
+
+class TestDeterminism:
+    def test_fixed_seed_reproduces_report(self, cora):
+        ds, graph, features = cora
+        reports = []
+        for _ in range(2):
+            server = make_server(
+                graph, features, "gat", ds.num_classes, cache_rows=512
+            )
+            reports.append(server.serve(workload_for(graph, "gat", 32, seed=9)))
+        a, b = reports
+        assert a.p50_latency_s == b.p50_latency_s
+        assert a.p95_latency_s == b.p95_latency_s
+        assert a.p99_latency_s == b.p99_latency_s
+        assert np.array_equal(a.latencies_s, b.latencies_s)
+        assert [t.gpu for t in a.batches] == [t.gpu for t in b.batches]
+        for rid in a.outputs:
+            assert np.array_equal(a.outputs[rid], b.outputs[rid])
+
+    def test_execute_false_keeps_metrics_identical(self, cora):
+        ds, graph, features = cora
+        reqs = workload_for(graph, "gat", 32, seed=3)
+        with_exec = make_server(
+            graph, features, "gat", ds.num_classes, cache_rows=512
+        ).serve(reqs)
+        without = make_server(
+            graph, features, "gat", ds.num_classes, cache_rows=512,
+            execute=False,
+        ).serve(reqs)
+        assert without.outputs == {}
+        assert np.array_equal(with_exec.latencies_s, without.latencies_s)
+        assert with_exec.gather_miss_bytes == without.gather_miss_bytes
+
+
+class TestSLOAndScheduling:
+    def test_impossible_slo_is_violated(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        reqs = workload_for(graph, "gat", 16, slo_s=1e-7)
+        report = server.serve(reqs)
+        assert report.slo_violations == 16
+        assert report.slo_violation_rate == 1.0
+        assert report.violations_by_tenant == {"gat": 16}
+
+    def test_edf_rescues_tight_deadline(self, cora):
+        # Two single-request "batches" queue behind a busy GPU; EDF
+        # runs the tight-deadline latecomer first, FIFO does not.
+        ds, graph, features = cora
+        def run(policy):
+            server = make_server(
+                graph, features, "gat", ds.num_classes,
+                batch_policy=BatchPolicy(max_batch=1, max_wait_s=0.0),
+                scheduler_policy=policy,
+            )
+            reqs = [
+                InferenceRequest(0, "gat", np.array([1]), 0.0, 10.0),
+                InferenceRequest(1, "gat", np.array([2]), 1e-5, 10.0),
+                InferenceRequest(2, "gat", np.array([3]), 2e-5, 1e-4),
+            ]
+            return server.serve(reqs)
+        edf = run("edf")
+        fifo = run("fifo")
+        tight = lambda rep: next(
+            o for o in rep.outcomes if o.request_id == 2
+        )
+        assert tight(edf).finish_s < tight(fifo).finish_s
+
+    def test_cluster_pool_spreads_batches(self, cora):
+        ds, graph, features = cora
+        from repro.gpu.cluster import make_cluster
+
+        server = make_server(
+            graph, features, "gat", ds.num_classes,
+            gpu=make_cluster("V100", 3),
+        )
+        report = server.serve(workload_for(graph, "gat", 48, qps=50000.0))
+        assert report.num_gpus == 3
+        assert len(report.gpu_busy_s) == 3
+        assert len({t.gpu for t in report.batches}) > 1
+        assert all(0 <= g < 3 for g in (t.gpu for t in report.batches))
+
+    def test_counters_roll_up(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        report = server.serve(workload_for(graph, "gat", 24))
+        counters = report.counters
+        assert counters.num_batches == report.num_batches
+        assert counters.flops > 0
+        assert counters.io_bytes > counters.gather_bytes
+        assert report.makespan_s > 0 and report.throughput_rps > 0
+        util = report.gpu_utilization
+        assert len(util) == 1 and 0 < util[0] <= 1.0
+
+
+class TestValidation:
+    def test_unknown_tenant(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        with pytest.raises(KeyError):
+            server.serve(
+                [InferenceRequest(0, "nope", np.array([1]), 0.0, 1.0)]
+            )
+
+    def test_duplicate_request_id(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        reqs = [
+            InferenceRequest(7, "gat", np.array([1]), 0.0, 1.0),
+            InferenceRequest(7, "gat", np.array([2]), 0.1, 1.0),
+        ]
+        with pytest.raises(ValueError):
+            server.serve(reqs)
+
+    def test_out_of_range_seeds(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        bad = [
+            InferenceRequest(
+                0, "gat", np.array([graph.num_vertices]), 0.0, 1.0
+            )
+        ]
+        with pytest.raises(ValueError):
+            server.serve(bad)
+
+    def test_feature_row_mismatch(self, cora):
+        ds, graph, features = cora
+        with pytest.raises(ValueError):
+            make_server(graph, features[:-1], "gat", ds.num_classes)
+
+    def test_rejects_training_compilation(self, cora):
+        ds, graph, features = cora
+        from repro.frameworks import compile_training
+
+        compiled = compile_training(
+            MODELS.get("gat")(IN_DIM, ds.num_classes), get_strategy("ours")
+        )
+        with pytest.raises(TypeError):
+            InferenceServer(graph, features, {"gat": compiled})
+
+    def test_memory_plan_requires_float32(self, cora):
+        ds, graph, features = cora
+        compiled = compile_forward(
+            MODELS.get("gat")(IN_DIM, ds.num_classes), get_strategy("ours")
+        )
+        with pytest.raises(ValueError):
+            InferenceServer(
+                graph, features, compiled,
+                memory_plan=True, precision="float64",
+            )
+
+    def test_empty_stream_produces_empty_report(self, cora):
+        ds, graph, features = cora
+        server = make_server(graph, features, "gat", ds.num_classes)
+        report = server.serve([])
+        assert report.num_requests == 0 and report.num_batches == 0
+        assert report.p99_latency_s == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.summary()  # renders without dividing by zero

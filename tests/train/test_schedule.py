@@ -57,6 +57,67 @@ class TestWarmup:
         assert s.lr_at(3, 1.0) == pytest.approx(0.5)   # inner step 1
 
 
+class TestBoundaries:
+    """Edge cases at the schedule boundaries (previously untested)."""
+
+    def test_warmup_zero_is_identity(self):
+        # warmup=0 must not divide by zero and must never scale.
+        s = WarmupLR(warmup=0)
+        assert s.lr_at(0, 1.0) == 1.0
+        assert s.lr_at(100, 2.0) == 2.0
+
+    def test_warmup_zero_delegates_unshifted(self):
+        s = WarmupLR(warmup=0, after=StepLR(period=1, gamma=0.5))
+        # Inner schedule sees the raw step counter (no offset).
+        assert s.lr_at(0, 1.0) == pytest.approx(1.0)
+        assert s.lr_at(1, 1.0) == pytest.approx(0.5)
+        assert s.lr_at(3, 1.0) == pytest.approx(0.125)
+
+    def test_warmup_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WarmupLR(warmup=-1)
+
+    def test_step_lr_period_one_decays_every_step(self):
+        s = StepLR(period=1, gamma=0.5)
+        assert [s.lr_at(i, 1.0) for i in range(4)] == pytest.approx(
+            [1.0, 0.5, 0.25, 0.125]
+        )
+
+    def test_step_lr_gamma_one_is_constant(self):
+        s = StepLR(period=1, gamma=1.0)
+        assert all(s.lr_at(i, 0.3) == 0.3 for i in range(10))
+
+    def test_cosine_exactly_at_total(self):
+        s = CosineLR(total=10, min_lr=0.25)
+        assert s.lr_at(10, 1.0) == pytest.approx(0.25)
+
+    def test_cosine_clamps_beyond_total(self):
+        s = CosineLR(total=10, min_lr=0.25)
+        for step in (11, 20, 10_000):
+            assert s.lr_at(step, 1.0) == pytest.approx(0.25)
+
+    def test_cosine_default_floor_is_zero_at_total(self):
+        s = CosineLR(total=5)
+        assert s.lr_at(5, 1.0) == pytest.approx(0.0, abs=1e-15)
+        assert s.lr_at(50, 1.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_cosine_total_one(self):
+        s = CosineLR(total=1)
+        assert s.lr_at(0, 1.0) == pytest.approx(1.0)
+        assert s.lr_at(1, 1.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_cosine_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            CosineLR(total=0)
+
+    def test_warmup_boundary_step_hands_off_to_inner(self):
+        # At step == warmup the ramp ends and the inner sees step 0.
+        s = WarmupLR(warmup=3, after=CosineLR(total=4, min_lr=0.0))
+        assert s.lr_at(2, 1.0) == pytest.approx(1.0)   # last ramp step
+        assert s.lr_at(3, 1.0) == pytest.approx(1.0)   # inner step 0
+        assert s.lr_at(7, 1.0) == pytest.approx(0.0, abs=1e-15)
+
+
 class TestScheduledOptimizer:
     def test_applies_schedule(self):
         opt = ScheduledOptimizer(SGD(lr=1.0), StepLR(period=1, gamma=0.5))
