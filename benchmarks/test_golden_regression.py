@@ -33,6 +33,7 @@ GOLDEN_TABLES = {
     "minibatch_io": lambda: figures.fig_minibatch_io().table,
     "fig_memory_plan": lambda: figures.fig_memory_plan().table,
     "fig_serving_latency": lambda: figures.fig_serving_latency().table,
+    "fig_dynamic_serving": lambda: figures.fig_dynamic_serving().table,
     "inline_redundancy": lambda: figures.inline_redundant_computation()[1],
     "inline_memory_share": lambda: figures.inline_intermediate_memory_share()[1],
 }

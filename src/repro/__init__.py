@@ -121,6 +121,14 @@ from repro.gpu import (
     make_cluster,
 )
 from repro.exec import Engine, MultiEngine
+from repro.dyn import (
+    DynamicGraph,
+    FeatureStore,
+    GraphDelta,
+    UpdateEvent,
+    mixed_workload,
+    update_workload,
+)
 from repro.serve import (
     BatchPolicy,
     InferenceRequest,
@@ -178,6 +186,12 @@ __all__ = [
     "ServeReport",
     "poisson_workload",
     "bursty_workload",
+    "DynamicGraph",
+    "GraphDelta",
+    "FeatureStore",
+    "UpdateEvent",
+    "mixed_workload",
+    "update_workload",
     "Adam",
     "SGD",
     "Trainer",

@@ -16,7 +16,11 @@ the arena-planning smoke case: the model-zoo memory-plan table plus its
 invariants (arena below the ledger peak, reuse above one).  ``--serve``
 runs the online-serving smoke case: a fixed-seed qps sweep persisted to
 ``benchmarks/results/sweep_serve_smoke.json`` plus the cache
-reconciliation invariant.
+reconciliation invariant.  ``--dynamic`` runs the dynamic-serving smoke
+case: an update-fraction sweep persisted to
+``benchmarks/results/sweep_dynamic_smoke.json`` plus the
+hit + miss + invalidated reconciliation and the exact delta-apply
+ledger recomputed from a same-seed regenerated update stream.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.bench.figures import (
     fig9_fusion,
     fig10_recomputation,
     fig11_small_gpu,
+    fig_dynamic_serving,
     fig_memory_plan,
     fig_minibatch_io,
     fig_serving_latency,
@@ -53,6 +58,7 @@ FIGURES = (
     ("minibatch_io", fig_minibatch_io),
     ("fig_memory_plan", fig_memory_plan),
     ("fig_serving_latency", fig_serving_latency),
+    ("fig_dynamic_serving", fig_dynamic_serving),
 )
 
 
@@ -197,6 +203,83 @@ def run_serve_smoke() -> int:
     return 0
 
 
+def run_dynamic_smoke() -> int:
+    """CI-sized dynamic-serving case: an update-fraction sweep.
+
+    Serves mixed read/write streams (GAT on pubmed) through
+    ``run_sweep(update_frac=...)`` and pins the exactness contracts:
+    gather bytes reconcile as ``hit + miss + invalidated == uncached``,
+    the delta-apply ledger equals 16 bytes per inserted edge recomputed
+    from a same-seed regenerated update stream, and the dynamic rows
+    actually observed updates (positive staleness).
+    """
+    t0 = time.time()
+    sweep = run_sweep(
+        models=["gat"],
+        datasets=["pubmed"],
+        strategies=["ours"],
+        serve_qps=[4000.0],
+        update_frac=[0.0, 0.3],
+        serve_requests=96,
+        serve_seeds=4,
+        serve_cache_rows=4096,
+        serve_zipf_alpha=0.9,
+        feature_dim=32,
+        training=False,
+        save_as="sweep_dynamic_smoke",
+    )
+    print(sweep.table())
+    static = sweep.by(update_frac=0.0)
+    dynamic = sweep.by(update_frac=0.3)
+    assert static and dynamic, "sweep must emit both static and dynamic rows"
+    assert all(r.staleness_s > 0 for r in dynamic), (
+        "dynamic rows must observe a positive snapshot staleness"
+    )
+    assert all(r.staleness_s == 0.0 for r in static)
+    rep = (
+        Session()
+        .model("gat").dataset("pubmed").strategy("ours")
+        .feature_dim(32)
+        .serve(
+            num_requests=96, qps=4000.0, seeds_per_request=4,
+            zipf_alpha=0.9, cache_rows=4096, execute=False,
+            update_frac=0.3, compact_every=4,
+        )
+    )
+    assert (
+        rep.gather_hit_bytes + rep.gather_miss_bytes
+        + rep.gather_invalidated_bytes
+        == rep.uncached_gather_bytes
+    ), "hit + miss + invalidated must reconcile with the uncached bill"
+    # The delta ledger is exact: regenerate the same-seed update stream
+    # and recompute the closed-form append bill.
+    from repro.dyn import mixed_workload
+    from repro.graph.datasets import get_dataset
+
+    _, updates = mixed_workload(
+        96,
+        qps=4000.0,
+        num_vertices=get_dataset("pubmed").graph().num_vertices,
+        feature_dim=32,
+        update_frac=0.3,
+        seeds_per_request=4,
+        slo_s=0.05,
+        tenant="gat",
+        zipf_alpha=0.9,
+        seed=0,
+    )
+    expected = 16 * sum(u.num_edges for u in updates)
+    assert rep.delta_apply_bytes == expected, (
+        f"delta ledger {rep.delta_apply_bytes} != 16 B/edge bill {expected}"
+    )
+    print(
+        f"dynamic smoke done in {time.time() - t0:.1f}s "
+        f"({rep.num_updates} updates, graph v{rep.graph_version}, "
+        f"{rep.compactions} compactions)"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
@@ -249,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the CI-sized online inference-serving smoke case",
     )
+    parser.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="run the CI-sized dynamic-serving (graph/feature update) "
+        "smoke case",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
@@ -258,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_memory_smoke()
     if args.serve:
         return run_serve_smoke()
+    if args.dynamic:
+        return run_dynamic_smoke()
     return run_full()
 
 

@@ -1,0 +1,33 @@
+"""Dynamic graphs: incremental CSR deltas, versioned features, workloads.
+
+Extends the analytic IO perspective to a read/write serving mix:
+
+- :mod:`repro.dyn.delta` — :class:`GraphDelta` insertion batches and the
+  :class:`DynamicGraph` overlay (delta-aware queries, periodic
+  compaction, exact mutation IO ledger),
+- :mod:`repro.dyn.featurestore` — the versioned :class:`FeatureStore`
+  whose version bumps drive serve-cache invalidation with exact
+  invalidation-byte accounting,
+- :mod:`repro.dyn.workload` — seeded update/read mixed-workload
+  generators (:func:`mixed_workload`, :func:`update_workload`).
+"""
+
+from repro.dyn.delta import (
+    DynamicGraph,
+    GraphDelta,
+    compact_io_bytes,
+    delta_apply_bytes,
+)
+from repro.dyn.featurestore import FeatureStore
+from repro.dyn.workload import UpdateEvent, mixed_workload, update_workload
+
+__all__ = [
+    "DynamicGraph",
+    "GraphDelta",
+    "FeatureStore",
+    "UpdateEvent",
+    "mixed_workload",
+    "update_workload",
+    "compact_io_bytes",
+    "delta_apply_bytes",
+]

@@ -39,6 +39,7 @@ from repro.graph.datasets import get_dataset, list_datasets, Dataset
 from repro.graph.reorder import relabel, degree_sorted_relabel
 from repro.graph.sampling import (
     MiniBatch,
+    in_neighbours,
     induced_subgraph,
     khop_neighborhood,
     plan_minibatches,
@@ -68,6 +69,7 @@ __all__ = [
     "Dataset",
     "relabel",
     "degree_sorted_relabel",
+    "in_neighbours",
     "induced_subgraph",
     "khop_neighborhood",
     "random_vertex_batches",

@@ -182,6 +182,82 @@ class Graph:
         """Graph with every edge direction flipped (edge ids preserved)."""
         return Graph(self.dst.copy(), self.src.copy(), self.num_vertices)
 
+    def with_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        num_new_vertices: int = 0,
+        allow_self_loops: bool = True,
+        allow_duplicates: bool = True,
+    ) -> "Graph":
+        """Return a new graph with ``(src, dst)`` edges appended.
+
+        The appended edges receive the highest edge ids in order, so
+        existing edge-feature tensors remain aligned as a prefix —
+        the invariant every append path (self-loops, symmetrisation,
+        disjoint unions, dynamic-graph deltas) relies on.
+        ``num_new_vertices`` grows the vertex set first; appended
+        endpoints may reference the new ids.
+
+        Validation knobs (both permissive by default, matching the
+        class convention that self-loops and parallel edges are legal):
+
+        - ``allow_self_loops=False`` rejects appended edges with
+          ``src == dst``;
+        - ``allow_duplicates=False`` rejects appended edges that
+          duplicate an existing edge or repeat within the batch.
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if src.ndim != 1 or dst.ndim != 1 or src.shape != dst.shape:
+            raise ValueError(
+                "appended src and dst must be 1-D arrays of equal length"
+            )
+        if num_new_vertices < 0:
+            raise ValueError("num_new_vertices must be non-negative")
+        num_vertices = self.num_vertices + int(num_new_vertices)
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= num_vertices:
+                raise ValueError(
+                    f"appended edge endpoints must lie in [0, {num_vertices}), "
+                    f"got range [{lo}, {hi}]"
+                )
+            if not allow_self_loops:
+                loops = np.nonzero(src == dst)[0]
+                if loops.size:
+                    raise ValueError(
+                        f"appended edges contain {loops.size} self-loop(s) "
+                        f"(first at batch index {int(loops[0])}: vertex "
+                        f"{int(src[loops[0]])}) but allow_self_loops=False"
+                    )
+            if not allow_duplicates:
+                # One scalar key per (src, dst) pair makes both checks a
+                # vectorised set operation.
+                key = src * np.int64(num_vertices) + dst
+                uniq, counts = np.unique(key, return_counts=True)
+                if (counts > 1).any():
+                    raise ValueError(
+                        f"appended edges contain {int((counts > 1).sum())} "
+                        "pair(s) duplicated within the batch but "
+                        "allow_duplicates=False"
+                    )
+                if self.num_edges:
+                    existing = self.src * np.int64(num_vertices) + self.dst
+                    dup = np.isin(uniq, existing)
+                    if dup.any():
+                        raise ValueError(
+                            f"appended edges duplicate {int(dup.sum())} "
+                            "existing edge(s) but allow_duplicates=False"
+                        )
+        return Graph(
+            np.concatenate([self.src, src]),
+            np.concatenate([self.dst, dst]),
+            num_vertices,
+        )
+
     def add_self_loops(self) -> "Graph":
         """Return a new graph with one self-loop appended per vertex.
 
@@ -189,19 +265,11 @@ class Graph:
         edge-feature tensors remain aligned as a prefix.
         """
         loops = np.arange(self.num_vertices, dtype=np.int64)
-        return Graph(
-            np.concatenate([self.src, loops]),
-            np.concatenate([self.dst, loops]),
-            self.num_vertices,
-        )
+        return self.with_edges(loops, loops)
 
     def symmetrize(self) -> "Graph":
         """Return the graph with each edge also present in reverse."""
-        return Graph(
-            np.concatenate([self.src, self.dst]),
-            np.concatenate([self.dst, self.src]),
-            self.num_vertices,
-        )
+        return self.with_edges(self.dst, self.src)
 
     # ------------------------------------------------------------------
     # Summaries

@@ -168,16 +168,23 @@ def knn_graph(points: np.ndarray, k: int) -> Graph:
 
 
 def disjoint_union(graphs: Sequence[Graph]) -> Graph:
-    """Block-diagonal union of graphs, relabelling vertices contiguously."""
+    """Block-diagonal union of graphs, relabelling vertices contiguously.
+
+    Built by folding :meth:`~repro.graph.csr.Graph.with_edges` (the
+    shared append path), so block ``i``'s edges occupy a contiguous
+    edge-id range after block ``i-1``'s — edge-feature tensors for each
+    member graph stay aligned as consecutive slices.
+    """
     if not graphs:
         raise ValueError("need at least one graph")
-    srcs, dsts = [], []
-    offset = 0
-    for g in graphs:
-        srcs.append(g.src + offset)
-        dsts.append(g.dst + offset)
-        offset += g.num_vertices
-    return Graph(np.concatenate(srcs), np.concatenate(dsts), offset)
+    out = graphs[0]
+    for g in graphs[1:]:
+        out = out.with_edges(
+            g.src + out.num_vertices,
+            g.dst + out.num_vertices,
+            num_new_vertices=g.num_vertices,
+        )
+    return out
 
 
 def batch_point_clouds(

@@ -30,6 +30,7 @@ from repro.graph.csr import Graph
 
 __all__ = [
     "induced_subgraph",
+    "in_neighbours",
     "khop_neighborhood",
     "random_vertex_batches",
     "MiniBatch",
@@ -95,6 +96,31 @@ def _check_seeds(graph: Graph, seeds: np.ndarray, hops: int) -> np.ndarray:
     return frontier
 
 
+def in_neighbours(graph: Graph, frontier: np.ndarray) -> np.ndarray:
+    """Sorted unique in-neighbours of a frontier (one expansion hop).
+
+    Gathers every CSC segment of the frontier at once (``np.repeat``
+    over ``indptr`` diffs) instead of slicing per vertex — on
+    heavy-tailed graphs this is the difference between O(|frontier|)
+    Python-level loop steps and a handful of NumPy calls.  Frontier
+    ids must lie inside the graph; overlay callers
+    (:class:`repro.dyn.delta.DynamicGraph`) filter first.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return frontier
+    indptr = graph.csc_indptr
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.array([], dtype=np.int64)
+    # Position p of segment j reads src_by_dst[starts[j] + (p - offsets[j])].
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    index = np.repeat(starts - offsets, counts) + np.arange(total)
+    return np.unique(graph.csc_src[index])
+
+
 def khop_neighborhood(
     graph: Graph, seeds: np.ndarray, hops: int
 ) -> np.ndarray:
@@ -102,32 +128,18 @@ def khop_neighborhood(
 
     The receptive field of ``seeds`` under ``hops`` rounds of message
     passing: seeds plus every vertex with a directed path of length
-    ≤ hops *into* a seed.  Returned sorted.
-
-    Frontier expansion is fully vectorised: each round gathers all CSC
-    segments of the frontier at once (``np.repeat`` over ``indptr``
-    diffs) instead of slicing per vertex — on heavy-tailed graphs this
-    is the difference between O(|frontier|) Python-level loop steps and
-    a handful of NumPy calls.
+    ≤ hops *into* a seed.  Returned sorted.  Each round is one
+    vectorised :func:`in_neighbours` expansion.
     """
     frontier = _check_seeds(graph, seeds, hops)
     visited = np.zeros(graph.num_vertices, dtype=bool)
     visited[frontier] = True
-    indptr = graph.csc_indptr
-    src_by_dst = graph.csc_src
     for _ in range(hops):
         if frontier.size == 0:
             break
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        neighbours = in_neighbours(graph, frontier)
+        if neighbours.size == 0:
             break
-        # Gather every frontier segment in one shot: position p of
-        # segment j reads src_by_dst[starts[j] + (p - offsets[j])].
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        index = np.repeat(starts - offsets, counts) + np.arange(total)
-        neighbours = np.unique(src_by_dst[index])
         fresh = neighbours[~visited[neighbours]]
         visited[fresh] = True
         frontier = fresh

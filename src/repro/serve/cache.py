@@ -12,17 +12,32 @@ gather costs.  Cache hits shrink the gather bytes the batch pays, and
 misses pay them — with the exact reconciliation invariant the serving
 tests pin::
 
-    hit_bytes + miss_bytes == uncached gather bytes (field rows × row bytes)
+    hit_bytes + miss_bytes + invalidated_bytes
+        == uncached gather bytes (field rows × row bytes)
 
 so analytic IO counters with caching enabled remain byte-exact against
 the uncached :func:`~repro.exec.analytic.analyze_minibatch` convention.
+
+Two behaviours exist for the dynamic-serving path:
+
+- **Invalidation** (:meth:`FeatureCache.invalidate`): a versioned
+  feature write evicts the touched resident rows; the *next* gather of
+  such a row is attributed to the ``invalidated`` column instead of a
+  cold miss, so the staleness-induced re-gather bill is separable.
+- **Pin-during-batch** (:meth:`FeatureCache.gather`): rows already
+  gathered for the current batch (hits and fetched-through misses) are
+  pinned for the remainder of that gather — a miss burst larger than
+  the remaining capacity evicts other batches' rows, never rows the
+  in-flight batch is about to bind.  When every resident row belongs to
+  the current batch, the insert is bypassed instead
+  (``pinned_bypasses``); the row still pays its miss bytes.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Set, Tuple
 
 import numpy as np
 
@@ -31,22 +46,35 @@ __all__ = ["GatherSplit", "FeatureCache"]
 
 @dataclass(frozen=True)
 class GatherSplit:
-    """One batch gather resolved against the cache."""
+    """One batch gather resolved against the cache.
+
+    ``invalidated_rows`` are misses on rows a versioned write evicted —
+    the re-gather cost of feature drift, reported separately from cold
+    misses.  ``miss_rows`` counts cold misses only.
+    """
 
     hit_rows: int
     miss_rows: int
     hit_bytes: int
     miss_bytes: int
+    invalidated_rows: int = 0
+    invalidated_bytes: int = 0
 
     @property
     def rows(self) -> int:
-        return self.hit_rows + self.miss_rows
+        return self.hit_rows + self.miss_rows + self.invalidated_rows
 
     @property
     def bytes(self) -> int:
-        """The uncached gather bill (hits + misses): the reconciliation
-        quantity against the cache-free accounting."""
-        return self.hit_bytes + self.miss_bytes
+        """The uncached gather bill (hits + misses + invalidated): the
+        reconciliation quantity against the cache-free accounting."""
+        return self.hit_bytes + self.miss_bytes + self.invalidated_bytes
+
+    @property
+    def paid_bytes(self) -> int:
+        """Bytes actually fetched from host storage (cold misses plus
+        invalidated re-gathers) — what the batch's gather stall costs."""
+        return self.miss_bytes + self.invalidated_bytes
 
 
 class FeatureCache:
@@ -56,7 +84,8 @@ class FeatureCache:
     caching (every lookup misses, the uncached-accounting limit).
     Lookups are resolved row by row in vertex order, so a batch's split
     is deterministic; missed rows are inserted (and the least recently
-    used evicted) immediately, modelling a fetch-through cache.
+    used *unpinned* row evicted) immediately, modelling a fetch-through
+    cache.
     """
 
     def __init__(self, capacity_rows: int = 0):
@@ -64,11 +93,18 @@ class FeatureCache:
             raise ValueError("capacity_rows must be non-negative")
         self.capacity_rows = int(capacity_rows)
         self._rows: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # Keys a versioned write removed while resident; the next miss
+        # on one is an invalidation re-gather, not a cold miss.
+        self._stale: Set[Tuple[int, int]] = set()
         self.hits = 0
         self.misses = 0
         self.hit_bytes = 0
         self.miss_bytes = 0
+        self.invalidated = 0
+        self.invalidated_bytes = 0
         self.evictions = 0
+        self.invalidations = 0
+        self.pinned_bypasses = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -78,7 +114,7 @@ class FeatureCache:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.invalidated
 
     @property
     def hit_rate(self) -> float:
@@ -88,11 +124,35 @@ class FeatureCache:
 
     def clear(self) -> None:
         self._rows.clear()
+        self._stale.clear()
         self.hits = 0
         self.misses = 0
         self.hit_bytes = 0
         self.miss_bytes = 0
+        self.invalidated = 0
+        self.invalidated_bytes = 0
         self.evictions = 0
+        self.invalidations = 0
+        self.pinned_bypasses = 0
+
+    # ------------------------------------------------------------------
+    def invalidate(self, layer: int, vertices: np.ndarray) -> int:
+        """Drop the resident rows a versioned write touched.
+
+        Returns how many rows were actually resident (and are now
+        marked stale).  Rows not in the cache need nothing: their next
+        gather was going to miss anyway, so attributing it to
+        invalidation would double-count drift against cold traffic.
+        """
+        dropped = 0
+        for v in np.asarray(vertices, dtype=np.int64):
+            key = (int(layer), int(v))
+            if key in self._rows:
+                del self._rows[key]
+                self._stale.add(key)
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     def gather(
@@ -103,34 +163,59 @@ class FeatureCache:
         ``vertices`` are the (deduplicated) field rows the batch needs;
         ``row_bytes`` is the per-row gather bill
         (:func:`~repro.exec.analytic.feature_gather_row_bytes`).
-        Returns the hit/miss split; misses are fetched through (inserted
-        as most-recently-used, evicting LRU rows beyond capacity).
+        Returns the hit/miss/invalidated split; misses are fetched
+        through (inserted as most-recently-used, evicting LRU rows
+        beyond capacity — skipping rows this same call already
+        gathered, which the in-flight batch is about to bind).
         """
         if row_bytes < 0:
             raise ValueError("row_bytes must be non-negative")
-        hit_rows = miss_rows = 0
+        hit_rows = miss_rows = invalidated_rows = 0
         if self.capacity_rows == 0:
+            # Nothing is ever resident, so writes can never invalidate:
+            # every lookup is a plain cold miss.
             miss_rows = int(np.asarray(vertices).size)
         else:
+            batch_keys: Set[Tuple[int, int]] = set()
             for v in np.asarray(vertices, dtype=np.int64):
                 key = (int(layer), int(v))
                 if key in self._rows:
                     self._rows.move_to_end(key)
                     hit_rows += 1
                 else:
-                    miss_rows += 1
+                    if key in self._stale:
+                        self._stale.discard(key)
+                        invalidated_rows += 1
+                    else:
+                        miss_rows += 1
                     self._rows[key] = None
                     if len(self._rows) > self.capacity_rows:
-                        self._rows.popitem(last=False)
-                        self.evictions += 1
+                        evicted = False
+                        for candidate in self._rows:
+                            if candidate not in batch_keys and candidate != key:
+                                del self._rows[candidate]
+                                self.evictions += 1
+                                evicted = True
+                                break
+                        if not evicted:
+                            # Every resident row is pinned to this
+                            # batch: don't cache the newcomer at all.
+                            del self._rows[key]
+                            self.pinned_bypasses += 1
+                            continue
+                batch_keys.add(key)
         split = GatherSplit(
             hit_rows=hit_rows,
             miss_rows=miss_rows,
             hit_bytes=hit_rows * row_bytes,
             miss_bytes=miss_rows * row_bytes,
+            invalidated_rows=invalidated_rows,
+            invalidated_bytes=invalidated_rows * row_bytes,
         )
         self.hits += split.hit_rows
         self.misses += split.miss_rows
         self.hit_bytes += split.hit_bytes
         self.miss_bytes += split.miss_bytes
+        self.invalidated += split.invalidated_rows
+        self.invalidated_bytes += split.invalidated_bytes
         return split

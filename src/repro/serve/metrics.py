@@ -14,7 +14,7 @@ field stats plus the gather bill), with the one serving twist that
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,12 @@ __all__ = ["RequestOutcome", "BatchTrace", "ServeReport"]
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """One request's journey through the server on the virtual clock."""
+    """One request's journey through the server on the virtual clock.
+
+    ``snapshot_s`` is the virtual-clock time of the graph/feature
+    snapshot the request was answered against (dynamic serving only;
+    ``None`` on a static run).
+    """
 
     request_id: int
     tenant: str
@@ -35,6 +40,7 @@ class RequestOutcome:
     finish_s: float
     deadline_s: float
     gpu: int
+    snapshot_s: Optional[float] = None
 
     @property
     def latency_s(self) -> float:
@@ -45,14 +51,27 @@ class RequestOutcome:
     def violated(self) -> bool:
         return self.finish_s > self.deadline_s
 
+    @property
+    def staleness_s(self) -> float:
+        """How old the answered-against snapshot is at delivery time —
+        the freshness cost of answering from the dispatch-time state.
+        0 on static runs."""
+        if self.snapshot_s is None:
+            return 0.0
+        return self.finish_s - self.snapshot_s
+
 
 @dataclass(frozen=True)
 class BatchTrace:
     """One micro-batch's costing and placement.
 
-    ``cost.gather_bytes`` is the *paid* (cache-miss) gather bill; the
-    hit/miss split reconciles exactly with the uncached convention:
-    ``hit_bytes + miss_bytes == cost.field × row bytes``.
+    ``cost.gather_bytes`` is the *paid* (cache-miss plus invalidated
+    re-gather) gather bill; the split reconciles exactly with the
+    uncached convention:
+    ``hit_bytes + miss_bytes + invalidated_bytes == cost.field × row
+    bytes``.  ``graph_version``/``feature_version`` record the dynamic
+    state the batch was costed and executed against (0 on static runs);
+    the snapshot is the one current at ``dispatch_s``.
     """
 
     tenant: str
@@ -64,6 +83,9 @@ class BatchTrace:
     cost: BatchCost
     hit_bytes: int
     miss_bytes: int
+    invalidated_bytes: int = 0
+    graph_version: int = 0
+    feature_version: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -81,8 +103,8 @@ class BatchTrace:
     @property
     def uncached_gather_bytes(self) -> int:
         """What the gather would cost with no cache (the reconciliation
-        anchor: always equals ``hit_bytes + miss_bytes``)."""
-        return self.hit_bytes + self.miss_bytes
+        anchor: always equals ``hit + miss + invalidated`` bytes)."""
+        return self.hit_bytes + self.miss_bytes + self.invalidated_bytes
 
 
 @dataclass
@@ -105,6 +127,15 @@ class ServeReport:
     cache_rows: int
     num_vertices: int
     outputs: Dict[int, np.ndarray] = field(default_factory=dict)
+    # -- dynamic serving (all zero/defaulted on a static run) ----------
+    graph_version: int = 0
+    feature_version: int = 0
+    num_graph_updates: int = 0
+    num_feature_updates: int = 0
+    compactions: int = 0
+    delta_apply_bytes: int = 0
+    compact_bytes: int = 0
+    feature_put_bytes: int = 0
 
     # -- request-level aggregates --------------------------------------
     @property
@@ -186,6 +217,11 @@ class ServeReport:
         return sum(b.miss_bytes for b in self.batches)
 
     @property
+    def gather_invalidated_bytes(self) -> int:
+        """Re-gather bytes attributable to feature-write invalidations."""
+        return sum(b.invalidated_bytes for b in self.batches)
+
+    @property
     def uncached_gather_bytes(self) -> int:
         return sum(b.uncached_gather_bytes for b in self.batches)
 
@@ -194,6 +230,36 @@ class ServeReport:
         """Byte-level hit share of all field-row gathers."""
         total = self.uncached_gather_bytes
         return self.gather_hit_bytes / total if total > 0 else 0.0
+
+    @property
+    def invalidation_rate(self) -> float:
+        """Byte share of the gather bill re-fetched because a feature
+        write invalidated the cached row."""
+        total = self.uncached_gather_bytes
+        return self.gather_invalidated_bytes / total if total > 0 else 0.0
+
+    # -- freshness accounting ------------------------------------------
+    @property
+    def num_updates(self) -> int:
+        return self.num_graph_updates + self.num_feature_updates
+
+    @property
+    def mutation_io_bytes(self) -> int:
+        """Total write-side IO: delta appends + compactions + feature
+        puts."""
+        return (
+            self.delta_apply_bytes + self.compact_bytes
+            + self.feature_put_bytes
+        )
+
+    @property
+    def mean_staleness_s(self) -> float:
+        """Mean snapshot age at delivery, over requests that carried a
+        dynamic snapshot (0.0 for a static run)."""
+        ages = [
+            o.staleness_s for o in self.outcomes if o.snapshot_s is not None
+        ]
+        return float(np.mean(ages)) if ages else 0.0
 
     # -- device accounting ---------------------------------------------
     @property
@@ -232,6 +298,24 @@ class ServeReport:
             f"{self.gather_hit_bytes / 2**20:.2f} MiB cached "
             f"(hit rate {self.cache_hit_rate * 100:.1f}%, "
             f"{self.cache_rows} cache rows)",
+        ]
+        if self.num_updates:
+            lines += [
+                f"  updates        {self.num_graph_updates} graph + "
+                f"{self.num_feature_updates} feature "
+                f"(graph v{self.graph_version}, features "
+                f"v{self.feature_version}, {self.compactions} compactions)",
+                f"  mutation io    "
+                f"{self.delta_apply_bytes / 2**20:.3f} MiB delta, "
+                f"{self.compact_bytes / 2**20:.3f} MiB compact, "
+                f"{self.feature_put_bytes / 2**20:.3f} MiB puts",
+                f"  freshness      "
+                f"{self.gather_invalidated_bytes / 2**20:.3f} MiB "
+                f"invalidated re-gathers "
+                f"({self.invalidation_rate * 100:.1f}%), mean staleness "
+                f"{self.mean_staleness_s * 1e3:.2f} ms",
+            ]
+        lines += [
             f"  kernel io      {counters.compute_io_bytes / 2**20:.2f} MiB, "
             f"per-batch peak {counters.peak_memory_bytes / 2**20:.2f} MiB",
             "  utilization    "

@@ -30,10 +30,24 @@ plan-level compiled-forward cache serving hammers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from repro.dyn.delta import DynamicGraph
+from repro.dyn.featurestore import FeatureStore
+
+if TYPE_CHECKING:  # runtime import would cycle: dyn.workload uses serve.request
+    from repro.dyn.workload import UpdateEvent
 from repro.exec.analytic import feature_gather_row_bytes
 from repro.exec.engine import Engine
 from repro.exec.memory import plan_memory
@@ -196,12 +210,27 @@ class InferenceServer:
         self.precision = precision
         #: The feature cache of the most recent :meth:`serve` call.
         self.cache: Optional[FeatureCache] = None
+        #: Dynamic state of the most recent :meth:`serve` call (``None``
+        #: on static runs).
+        self.dynamic_graph: Optional[DynamicGraph] = None
+        self.feature_store: Optional[FeatureStore] = None
 
     # ------------------------------------------------------------------
     def _batch_sequence(
-        self, requests: Sequence[InferenceRequest]
+        self,
+        requests: Sequence[InferenceRequest],
+        *,
+        num_vertices: Optional[int] = None,
     ) -> List[MicroBatch]:
-        """Coalesce every tenant queue, merged in dispatch order."""
+        """Coalesce every tenant queue, merged in dispatch order.
+
+        ``num_vertices`` widens seed validation to the post-update
+        vertex space on dynamic runs (a seed referencing a vertex whose
+        insertion arrives *after* the request's batch dispatch still
+        fails, at snapshot-expansion time).
+        """
+        if num_vertices is None:
+            num_vertices = self.graph.num_vertices
         by_tenant: Dict[str, List[InferenceRequest]] = {}
         seen_ids = set()
         for r in requests:
@@ -213,7 +242,7 @@ class InferenceServer:
             if r.request_id in seen_ids:
                 raise ValueError(f"duplicate request_id {r.request_id}")
             seen_ids.add(r.request_id)
-            if r.seeds.min() < 0 or r.seeds.max() >= self.graph.num_vertices:
+            if r.seeds.min() < 0 or r.seeds.max() >= num_vertices:
                 raise ValueError(
                     f"request {r.request_id}: seed ids out of range"
                 )
@@ -227,7 +256,11 @@ class InferenceServer:
         return batches
 
     def _execute_batch(
-        self, runtime: _TenantRuntime, mb: MiniBatch, mplan
+        self,
+        runtime: _TenantRuntime,
+        mb: MiniBatch,
+        mplan,
+        feature_rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Run the tenant's forward plan on the induced subgraph.
 
@@ -236,6 +269,9 @@ class InferenceServer:
         adds nothing between the field construction and the plan walk.
         ``mplan`` is the batch's arena plan from the costing pass (None
         without :attr:`memory_plan`), reused rather than replanned.
+        ``feature_rows`` overrides the static matrix slice on dynamic
+        runs: the rows come from the batch's dispatch-time
+        :class:`FeatureStore` snapshot.
         """
         compiled = runtime.compiled
         engine = Engine(
@@ -243,29 +279,122 @@ class InferenceServer:
             precision=self.precision,
             memory_plan=None if mplan is None else [mplan],
         )
-        arrays = compiled.model.make_inputs(
-            mb.subgraph, self.features[mb.vertices]
-        )
+        if feature_rows is None:
+            feature_rows = self.features[mb.vertices]
+        arrays = compiled.model.make_inputs(mb.subgraph, feature_rows)
         arrays.update(runtime.params)
         env = engine.bind(compiled.forward, arrays)
         out = engine.run_plan(compiled.plan, env, unwrap=True)
         return out[runtime.output_name]
 
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
-        """Serve a request stream on the virtual clock; returns the report."""
+    def serve(
+        self,
+        requests: Sequence[InferenceRequest],
+        updates: Optional[Sequence["UpdateEvent"]] = None,
+        *,
+        compact_every: Optional[int] = None,
+    ) -> ServeReport:
+        """Serve a request stream on the virtual clock; returns the report.
+
+        ``updates`` turns the run dynamic: the update stream is replayed
+        against a :class:`DynamicGraph` overlay of the server's graph
+        and a versioned :class:`FeatureStore` copy of its features (the
+        originals are never mutated).  Each batch observes the
+        graph/feature state current at its *dispatch* time — every
+        update with ``arrival_s <= dispatch_s`` applied, later ones
+        invisible, regardless of how long the batch then queues for a
+        GPU (the arrival-time-snapshot contract: the batcher is
+        open-loop, so dispatch times depend only on arrivals, never on
+        the scheduler policy).  Feature puts invalidate the serve
+        cache's touched rows; the re-gather bill lands in the report's
+        invalidated-bytes column.  ``compact_every`` folds the overlay
+        into a fresh CSR after every that-many applied deltas —
+        compaction changes only the mutation-IO ledger, never an
+        answer.  Updates arriving after the last dispatch are still
+        applied, so the report's final versions and mutation ledger
+        cover the whole stream.
+        """
         cache = FeatureCache(self.cache_rows)
         self.cache = cache
-        batches = self._batch_sequence(requests)
+        if compact_every is not None and compact_every <= 0:
+            raise ValueError("compact_every must be positive")
+        dynamic = bool(updates)
+        pending_updates: List["UpdateEvent"] = []
+        dyn: Optional[DynamicGraph] = None
+        store: Optional[FeatureStore] = None
+        total_new_vertices = 0
+        if dynamic:
+            pending_updates = sorted(
+                updates, key=lambda u: (u.arrival_s, u.update_id)
+            )
+            ids = {u.update_id for u in pending_updates}
+            if len(ids) != len(pending_updates):
+                raise ValueError("duplicate update_id in update stream")
+            dyn = DynamicGraph(self.graph)
+            store = FeatureStore(self.features, cache=cache, layer=0)
+            total_new_vertices = sum(
+                u.num_new_vertices for u in pending_updates
+            )
+        self.dynamic_graph = dyn
+        self.feature_store = store
+        batches = self._batch_sequence(
+            requests,
+            num_vertices=self.graph.num_vertices + total_new_vertices,
+        )
+
+        num_graph_updates = num_feature_updates = 0
+        deltas_since_compact = 0
+        next_update = 0
+
+        def apply_updates(horizon_s: Optional[float]) -> None:
+            """Apply every update with ``arrival_s <= horizon_s``
+            (all remaining when ``None``)."""
+            nonlocal next_update, num_graph_updates
+            nonlocal num_feature_updates, deltas_since_compact
+            while next_update < len(pending_updates):
+                event = pending_updates[next_update]
+                if horizon_s is not None and event.arrival_s > horizon_s:
+                    break
+                if event.num_feature_rows:
+                    store.put(event.feature_vertices, event.feature_rows)
+                    num_feature_updates += 1
+                if event.delta is not None:
+                    dyn.apply(event.delta)
+                    if event.num_new_vertices:
+                        store.add_vertices(event.new_vertex_rows)
+                    num_graph_updates += 1
+                    deltas_since_compact += 1
+                    if (
+                        compact_every is not None
+                        and deltas_since_compact >= compact_every
+                    ):
+                        dyn.compact()
+                        deltas_since_compact = 0
+                next_update += 1
 
         fields: List[MiniBatch] = []
         costs: List[BatchCost] = []
         splits = []
         mplans: List[Optional[object]] = []
         pending: List[PendingBatch] = []
+        versions: List[Tuple[int, int]] = []
+        batch_feats: List[Optional[np.ndarray]] = []
         for batch in batches:
             runtime = self.tenants[batch.tenant]
-            mb = receptive_field(self.graph, batch.seeds, runtime.hops)
+            if dynamic:
+                apply_updates(batch.dispatch_s)
+                mb = dyn.receptive_field(batch.seeds, runtime.hops)
+                versions.append((dyn.version, store.version))
+                # Snapshot the field's feature rows now: later batches'
+                # puts must not leak into this batch's execution.
+                batch_feats.append(
+                    store.rows(mb.vertices) if self.execute else None
+                )
+            else:
+                mb = receptive_field(self.graph, batch.seeds, runtime.hops)
+                versions.append((0, 0))
+                batch_feats.append(None)
             field_stats = mb.subgraph.stats()
             compute = runtime.compiled.counters(field_stats)
             smp = None
@@ -281,7 +410,7 @@ class InferenceServer:
             split = cache.gather(0, mb.vertices, runtime.row_bytes)
             service = self.cost.latency_seconds(
                 compute, field_stats
-            ) + self.cost.gather_seconds(split.miss_bytes)
+            ) + self.cost.gather_seconds(split.paid_bytes)
             fields.append(mb)
             splits.append(split)
             costs.append(
@@ -289,7 +418,7 @@ class InferenceServer:
                     seeds=mb.num_seeds,
                     field=mb.field_size,
                     edges=mb.subgraph.num_edges,
-                    gather_bytes=split.miss_bytes,
+                    gather_bytes=split.paid_bytes,
                     compute=compute,
                     stats=field_stats,
                 )
@@ -301,6 +430,8 @@ class InferenceServer:
                     deadline_s=batch.deadline_s,
                 )
             )
+        if dynamic:
+            apply_updates(None)
 
         placements = place_batches(
             pending, self.num_gpus, policy=self.scheduler_policy
@@ -310,8 +441,9 @@ class InferenceServer:
         traces: List[BatchTrace] = []
         outcomes: List[RequestOutcome] = []
         outputs: Dict[int, np.ndarray] = {}
-        for batch, mb, cost, split, mplan, slot in zip(
-            batches, fields, costs, splits, mplans, placements
+        for batch, mb, cost, split, mplan, slot, (gv, fv), feats in zip(
+            batches, fields, costs, splits, mplans, placements, versions,
+            batch_feats,
         ):
             gpu_busy[slot.gpu] += slot.service_s
             traces.append(
@@ -325,10 +457,15 @@ class InferenceServer:
                     cost=cost,
                     hit_bytes=split.hit_bytes,
                     miss_bytes=split.miss_bytes,
+                    invalidated_bytes=split.invalidated_bytes,
+                    graph_version=gv,
+                    feature_version=fv,
                 )
             )
             logits = (
-                self._execute_batch(self.tenants[batch.tenant], mb, mplan)
+                self._execute_batch(
+                    self.tenants[batch.tenant], mb, mplan, feats
+                )
                 if self.execute
                 else None
             )
@@ -343,6 +480,7 @@ class InferenceServer:
                         finish_s=slot.finish_s,
                         deadline_s=r.deadline_s,
                         gpu=slot.gpu,
+                        snapshot_s=batch.dispatch_s if dynamic else None,
                     )
                 )
                 if logits is not None:
@@ -361,6 +499,18 @@ class InferenceServer:
             batch_policy_wait_s=self.batch_policy.max_wait_s,
             scheduler_policy=self.scheduler_policy,
             cache_rows=self.cache_rows,
-            num_vertices=self.graph.num_vertices,
+            num_vertices=(
+                dyn.num_vertices if dynamic else self.graph.num_vertices
+            ),
             outputs=outputs,
+            graph_version=dyn.version if dynamic else 0,
+            feature_version=store.version if dynamic else 0,
+            num_graph_updates=num_graph_updates,
+            num_feature_updates=num_feature_updates,
+            compactions=dyn.compactions if dynamic else 0,
+            delta_apply_bytes=dyn.apply_bytes if dynamic else 0,
+            compact_bytes=dyn.compact_bytes if dynamic else 0,
+            feature_put_bytes=(
+                store.put_bytes + store.grow_bytes if dynamic else 0
+            ),
         )

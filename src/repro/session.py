@@ -874,6 +874,10 @@ class Session:
         hops: Optional[int] = None,
         seed: int = 0,
         execute: bool = True,
+        update_frac: float = 0.0,
+        compact_every: Optional[int] = None,
+        update_edge_frac: float = 0.5,
+        new_vertex_prob: float = 0.0,
     ):
         """Serve a synthetic online workload against this configuration.
 
@@ -889,10 +893,23 @@ class Session:
         ``"memory"`` every batch executes through a per-field arena
         plan and the device-fit check uses the planned footprint.
 
+        ``update_frac > 0`` makes the run *dynamic*: the stream comes
+        from :func:`repro.dyn.mixed_workload` (each event is a write
+        with that probability — ``update_edge_frac`` of them edge
+        insertions, the rest feature puts; ``new_vertex_prob`` lets
+        edge batches bring new vertices), and the server answers each
+        batch against the graph/feature snapshot current at its
+        dispatch time, compacting the delta overlay every
+        ``compact_every`` applied deltas.  Dynamic runs require the
+        ``"poisson"`` arrival process (the mixed stream is one Poisson
+        event process; a bursty variant would need its own generator).
+
         Returns the :class:`~repro.serve.metrics.ServeReport` —
         p50/p95/p99 latency, throughput, SLO violations, cache hit
-        rate, per-GPU utilization.  Requires a dataset with a concrete
-        graph (serving answers real seed vertices).
+        rate, per-GPU utilization, plus (on dynamic runs) version,
+        staleness, invalidation and mutation-IO accounting.  Requires a
+        dataset with a concrete graph (serving answers real seed
+        vertices).
         """
         from repro.serve import (  # local: keeps base import cheap
             BatchPolicy,
@@ -901,6 +918,8 @@ class Session:
             poisson_workload,
         )
 
+        if not 0.0 <= update_frac < 1.0:
+            raise ValueError("update_frac must lie in [0, 1)")
         ds = self.resolve_dataset()
         if ds is None or not ds.has_concrete_graph:
             raise ValueError(
@@ -915,7 +934,30 @@ class Session:
         compiled = self.compile(training=False)
         tenant = self._model_label()
         rng = np.random.default_rng(seed)
-        if arrival == "poisson":
+        updates = None
+        if update_frac > 0.0:
+            from repro.dyn import mixed_workload  # local: keeps import cheap
+
+            if arrival != "poisson":
+                raise ValueError(
+                    "dynamic serving (update_frac > 0) uses one Poisson "
+                    "event stream; arrival must be 'poisson'"
+                )
+            workload, updates = mixed_workload(
+                num_requests,
+                qps=qps,
+                num_vertices=graph.num_vertices,
+                feature_dim=in_dim,
+                update_frac=update_frac,
+                seeds_per_request=seeds_per_request,
+                slo_s=slo_s,
+                tenant=tenant,
+                zipf_alpha=zipf_alpha,
+                edge_frac=update_edge_frac,
+                new_vertex_prob=new_vertex_prob,
+                rng=rng,
+            )
+        elif arrival == "poisson":
             workload = poisson_workload(
                 num_requests,
                 qps=qps,
@@ -955,7 +997,7 @@ class Session:
             memory_plan=self._schedule == "memory",
             execute=execute,
         )
-        return server.serve(workload)
+        return server.serve(workload, updates=updates, compact_every=compact_every)
 
 
 def session(*, cache: Optional[PlanCache] = None) -> Session:
@@ -1011,6 +1053,12 @@ class SweepRow:
     p99_latency_s: float = 0.0
     cache_hit_rate: float = 0.0
     slo_violation_rate: float = 0.0
+    #: Dynamic-serving rows (``run_sweep(update_frac=[...])``): the
+    #: write share of the event stream, the mean snapshot staleness at
+    #: delivery, and the invalidation re-gather bill.
+    update_frac: Optional[float] = None
+    staleness_s: float = 0.0
+    invalidated_bytes: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -1038,6 +1086,9 @@ class SweepRow:
             "p99_latency_s": self.p99_latency_s,
             "cache_hit_rate": self.cache_hit_rate,
             "slo_violation_rate": self.slo_violation_rate,
+            "update_frac": self.update_frac,
+            "staleness_s": self.staleness_s,
+            "invalidated_bytes": self.invalidated_bytes,
         }
 
 
@@ -1063,6 +1114,7 @@ class SweepReport:
         with_batches = any(r.batch_size is not None for r in self.rows)
         with_schedules = any(r.schedule is not None for r in self.rows)
         with_serving = any(r.serve_qps is not None for r in self.rows)
+        with_updates = any(r.update_frac is not None for r in self.rows)
         body = [
             [
                 r.model, r.dataset, r.strategy, r.gpu,
@@ -1088,6 +1140,19 @@ class SweepReport:
                 if with_serving
                 else []
             )
+            + (
+                [
+                    (
+                        f"{r.update_frac:.2f}"
+                        if r.update_frac is not None
+                        else "-"
+                    ),
+                    f"{r.staleness_s * 1e3:.2f}",
+                    f"{r.invalidated_bytes / 2**20:.3f}",
+                ]
+                if with_updates
+                else []
+            )
             for r in self.rows
         ]
         return format_table(
@@ -1096,7 +1161,8 @@ class SweepReport:
             + (["sched"] if with_schedules else [])
             + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"]
             + (["qps", "p50 ms", "p99 ms", "hit", "viol"]
-               if with_serving else []),
+               if with_serving else [])
+            + (["upd", "stale ms", "inval MiB"] if with_updates else []),
             body,
             title=(
                 f"sweep ({len(self.rows)} rows; plan cache "
@@ -1148,6 +1214,8 @@ def run_sweep(
     serve_zipf_alpha: float = 0.0,
     serve_scheduler: str = "edf",
     serve_seed: int = 0,
+    update_frac: Optional[Sequence[float]] = None,
+    serve_compact_every: Optional[int] = 4,
     feature_dim: Optional[int] = None,
     training: bool = True,
     cache: Optional[PlanCache] = None,
@@ -1195,6 +1263,14 @@ def run_sweep(
     ``num_gpus`` serves on the cluster as a pool (whole batches per
     GPU).  Serving is forward-only and cannot be combined with
     ``batch_size``.
+
+    ``update_frac`` (requires ``serve_qps``) adds the dynamic-serving
+    axis: each entry serves a mixed read/write stream with that write
+    share (:func:`repro.dyn.mixed_workload`), compacting the delta
+    overlay every ``serve_compact_every`` applied deltas.  Rows then
+    carry the update fraction, mean snapshot staleness, and the
+    invalidation re-gather bytes; ``0.0`` entries are ordinary static
+    rows for direct comparison.
     """
     cache = cache if cache is not None else PlanCache()
     hits0, misses0 = cache.hits, cache.misses
@@ -1218,6 +1294,13 @@ def run_sweep(
             "serving sweeps are request-driven: serve_qps cannot be "
             "combined with batch_size"
         )
+    if update_frac is not None and serve_qps is None:
+        raise ValueError(
+            "update_frac sweeps dynamic serving: it requires serve_qps"
+        )
+    update_options: Tuple[Optional[float], ...] = (
+        (None,) if update_frac is None else tuple(update_frac)
+    )
     rows: List[SweepRow] = []
     for m in models:
         for d in datasets:
@@ -1264,7 +1347,11 @@ def run_sweep(
                                 # stream per offered load; counters are
                                 # the served totals (paid gathers +
                                 # kernel traffic, per-batch peak).
-                                for q in serve_qps:
+                                for q, uf in (
+                                    (q, uf)
+                                    for q in serve_qps
+                                    for uf in update_options
+                                ):
                                     try:
                                         rep = s.serve(
                                             num_requests=serve_requests,
@@ -1276,6 +1363,12 @@ def run_sweep(
                                             scheduler=serve_scheduler,
                                             seed=serve_seed,
                                             execute=False,
+                                            update_frac=uf or 0.0,
+                                            compact_every=(
+                                                serve_compact_every
+                                                if uf
+                                                else None
+                                            ),
                                         )
                                     except SimulatedOOM:
                                         # Keep sweeping: an unservable
@@ -1301,6 +1394,7 @@ def run_sweep(
                                                 ),
                                                 schedule=sched,
                                                 serve_qps=float(q),
+                                                update_frac=uf,
                                             )
                                         )
                                         continue
@@ -1327,6 +1421,9 @@ def run_sweep(
                                             p99_latency_s=rep.p99_latency_s,
                                             cache_hit_rate=rep.cache_hit_rate,
                                             slo_violation_rate=rep.slo_violation_rate,
+                                            update_frac=uf,
+                                            staleness_s=rep.mean_staleness_s,
+                                            invalidated_bytes=rep.gather_invalidated_bytes,
                                         )
                                     )
                                 continue

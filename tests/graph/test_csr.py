@@ -117,3 +117,76 @@ class TestDerivedGraphs:
         assert s.num_vertices == small_graph.num_vertices
         assert s.num_edges == small_graph.num_edges
         assert (s.in_degrees == small_graph.in_degrees).all()
+
+
+class TestWithEdges:
+    def test_appends_with_highest_edge_ids(self, tiny_graph):
+        g = tiny_graph.with_edges(np.array([3, 1]), np.array([0, 3]))
+        assert g.num_edges == tiny_graph.num_edges + 2
+        # Existing edges keep their ids as a prefix.
+        assert (g.src[: tiny_graph.num_edges] == tiny_graph.src).all()
+        assert (g.dst[: tiny_graph.num_edges] == tiny_graph.dst).all()
+        assert g.src[-2:].tolist() == [3, 1]
+        assert g.dst[-2:].tolist() == [0, 3]
+
+    def test_grows_vertex_space_first(self, tiny_graph):
+        g = tiny_graph.with_edges(
+            np.array([4, 5]), np.array([0, 4]), num_new_vertices=2
+        )
+        assert g.num_vertices == tiny_graph.num_vertices + 2
+        assert g.in_degrees[4] == 1 and g.out_degrees[5] == 1
+
+    def test_empty_append_can_grow_only(self, tiny_graph):
+        empty = np.array([], dtype=np.int64)
+        g = tiny_graph.with_edges(empty, empty, num_new_vertices=3)
+        assert g.num_vertices == tiny_graph.num_vertices + 3
+        assert g.num_edges == tiny_graph.num_edges
+
+    def test_source_graph_untouched(self, tiny_graph):
+        src0, dst0 = tiny_graph.src.copy(), tiny_graph.dst.copy()
+        tiny_graph.with_edges(np.array([0]), np.array([3]))
+        assert (tiny_graph.src == src0).all()
+        assert (tiny_graph.dst == dst0).all()
+
+    def test_range_validation(self, tiny_graph):
+        with pytest.raises(ValueError, match="must lie in"):
+            tiny_graph.with_edges(np.array([4]), np.array([0]))
+        with pytest.raises(ValueError, match="must lie in"):
+            tiny_graph.with_edges(np.array([-1]), np.array([0]))
+        with pytest.raises(ValueError, match="equal length"):
+            tiny_graph.with_edges(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValueError, match="non-negative"):
+            tiny_graph.with_edges(
+                np.array([0]), np.array([1]), num_new_vertices=-1
+            )
+
+    def test_self_loop_policy(self, tiny_graph):
+        with pytest.raises(ValueError, match="self-loop"):
+            tiny_graph.with_edges(
+                np.array([2]), np.array([2]), allow_self_loops=False
+            )
+        # Permissive default accepts the same batch.
+        tiny_graph.with_edges(np.array([2]), np.array([2]))
+
+    def test_duplicate_policy(self, tiny_graph):
+        # 0→1 already exists in tiny_graph.
+        with pytest.raises(ValueError, match="duplicate"):
+            tiny_graph.with_edges(
+                np.array([0]), np.array([1]), allow_duplicates=False
+            )
+        with pytest.raises(ValueError, match="within the batch"):
+            tiny_graph.with_edges(
+                np.array([3, 3]), np.array([0, 0]), allow_duplicates=False
+            )
+        tiny_graph.with_edges(
+            np.array([3]), np.array([0]), allow_duplicates=False
+        )
+
+    def test_csc_and_csr_views_rebuilt(self, tiny_graph):
+        g = tiny_graph.with_edges(np.array([3]), np.array([1]))
+        # New edge visible through both lazily built index structures.
+        lo, hi = g.csc_indptr[1], g.csc_indptr[2]
+        assert 3 in g.csc_src[lo:hi].tolist()
+        assert int(g.csc_eids[lo:hi].max()) == g.num_edges - 1
+        lo, hi = g.csr_indptr[3], g.csr_indptr[4]
+        assert g.csr_dst[lo:hi].tolist() == [1]

@@ -96,3 +96,13 @@ class TestExamples:
         assert "Session.serve" in out
         assert "violations by tenant" in out
         assert "bit-identical to the direct engine run" in out
+
+    def test_dynamic_serving(self):
+        out = run_example(
+            "dynamic_serving.py", "--dataset", "cora", "--requests", "48"
+        )
+        assert "Session.serve with updates" in out
+        assert "update_frac sweep" in out
+        assert "invalidated" in out
+        assert "bit-identical to the from-scratch rebuild" in out
+        assert "done." in out

@@ -67,3 +67,108 @@ class TestFeatureCache:
             FeatureCache(-1)
         with pytest.raises(ValueError):
             FeatureCache(4).gather(0, np.array([1]), row_bytes=-2)
+
+
+class TestPinDuringBatch:
+    def test_overflowing_batch_never_evicts_its_own_rows(self):
+        # A miss burst larger than capacity must not evict rows this
+        # same gather already fetched (the batch is about to bind them).
+        c = FeatureCache(capacity_rows=2)
+        split = c.gather(0, np.array([1, 2, 3, 4]), 8)
+        assert split.miss_rows == 4
+        # The first `capacity` rows stay resident; the overflow rows
+        # bypass insertion instead of churning the pinned ones.
+        assert (0, 1) in c and (0, 2) in c
+        assert (0, 3) not in c and (0, 4) not in c
+        assert c.evictions == 0
+        assert c.pinned_bypasses == 2
+        # Pinned rows survive into the next batch as hits.
+        again = c.gather(0, np.array([1, 2]), 8)
+        assert again.hit_rows == 2
+
+    def test_bypassed_rows_still_pay_miss_bytes(self):
+        c = FeatureCache(capacity_rows=1)
+        split = c.gather(0, np.array([7, 8, 9]), 16)
+        assert split.miss_bytes == 3 * 16
+        assert split.bytes == 3 * 16
+        assert c.pinned_bypasses == 2
+
+    def test_other_batches_rows_are_evicted_first(self):
+        c = FeatureCache(capacity_rows=2)
+        c.gather(0, np.array([1, 2]), 4)      # resident: 1, 2
+        split = c.gather(0, np.array([3, 4]), 4)
+        assert split.miss_rows == 2
+        # The old batch's rows go, the new batch's rows stay.
+        assert (0, 3) in c and (0, 4) in c
+        assert (0, 1) not in c and (0, 2) not in c
+        assert c.evictions == 2 and c.pinned_bypasses == 0
+
+    def test_duplicate_vertex_in_overflowing_batch_hits(self):
+        c = FeatureCache(capacity_rows=1)
+        split = c.gather(0, np.array([5, 5, 6, 6]), 4)
+        # 5 misses then hits; 6 bypasses (5 is pinned) then misses again.
+        assert split.hit_rows == 1
+        assert split.miss_rows == 3
+        assert c.pinned_bypasses == 2
+
+
+class TestInvalidation:
+    def test_regather_attributed_to_invalidation_not_cold_miss(self):
+        c = FeatureCache(capacity_rows=8)
+        c.gather(0, np.array([1, 2, 3]), 8)
+        assert c.invalidate(0, np.array([2])) == 1
+        split = c.gather(0, np.array([1, 2, 3]), 8)
+        assert (split.hit_rows, split.miss_rows) == (2, 0)
+        assert split.invalidated_rows == 1
+        assert split.invalidated_bytes == 8
+        assert split.paid_bytes == 8
+        assert c.invalidations == 1 and c.invalidated == 1
+
+    def test_non_resident_rows_do_not_count(self):
+        # Invalidating a row that was never cached must not reclassify
+        # its eventual cold miss as drift traffic.
+        c = FeatureCache(capacity_rows=8)
+        assert c.invalidate(0, np.array([5])) == 0
+        split = c.gather(0, np.array([5]), 8)
+        assert split.miss_rows == 1 and split.invalidated_rows == 0
+
+    def test_reconciliation_with_invalidation(self):
+        c = FeatureCache(capacity_rows=4)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            if rng.random() < 0.3:
+                c.invalidate(0, rng.integers(0, 12, size=3))
+            rows = rng.integers(0, 12, size=rng.integers(1, 8))
+            split = c.gather(0, rows, row_bytes=16)
+            assert (
+                split.hit_bytes + split.miss_bytes + split.invalidated_bytes
+                == rows.size * 16
+            )
+        assert (
+            c.hit_bytes + c.miss_bytes + c.invalidated_bytes
+            == 16 * c.lookups
+        )
+
+    def test_capacity_zero_never_invalidates(self):
+        c = FeatureCache(0)
+        c.gather(0, np.array([1]), 4)
+        assert c.invalidate(0, np.array([1])) == 0
+        split = c.gather(0, np.array([1]), 4)
+        assert split.invalidated_rows == 0 and split.miss_rows == 1
+
+    def test_clear_resets_stale_marks(self):
+        c = FeatureCache(capacity_rows=4)
+        c.gather(0, np.array([1]), 4)
+        c.invalidate(0, np.array([1]))
+        c.clear()
+        split = c.gather(0, np.array([1]), 4)
+        assert split.invalidated_rows == 0 and split.miss_rows == 1
+        assert c.invalidations == 0 and c.pinned_bypasses == 0
+
+    def test_layers_are_independent(self):
+        c = FeatureCache(capacity_rows=4)
+        c.gather(0, np.array([1]), 4)
+        c.gather(1, np.array([1]), 4)
+        assert c.invalidate(0, np.array([1])) == 1
+        assert c.gather(1, np.array([1]), 4).hit_rows == 1
+        assert c.gather(0, np.array([1]), 4).invalidated_rows == 1

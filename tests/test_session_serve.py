@@ -84,6 +84,41 @@ class TestSessionServe:
             assert trace.cost.compute.forward.planned_peak_bytes is not None
 
 
+class TestSessionDynamicServe:
+    def test_dynamic_report_through_the_fluent_api(self):
+        rep = serve_session(
+            cache_rows=512, update_frac=0.3, compact_every=2
+        )
+        assert rep.num_requests == 32
+        assert rep.num_updates > 0
+        assert rep.graph_version > 0 or rep.feature_version > 0
+        assert rep.mean_staleness_s > 0
+        assert rep.mutation_io_bytes > 0
+        assert "updates" in rep.summary() and "freshness" in rep.summary()
+
+    def test_fixed_seed_reproduces_dynamic_run(self):
+        a = serve_session(update_frac=0.3, compact_every=2)
+        b = serve_session(update_frac=0.3, compact_every=2)
+        assert np.array_equal(a.latencies_s, b.latencies_s)
+        assert a.mutation_io_bytes == b.mutation_io_bytes
+        for rid in a.outputs:
+            assert np.array_equal(a.outputs[rid], b.outputs[rid])
+
+    def test_update_frac_validation(self):
+        with pytest.raises(ValueError, match="update_frac"):
+            serve_session(update_frac=1.0)
+        with pytest.raises(ValueError, match="poisson"):
+            serve_session(update_frac=0.3, arrival="bursty")
+        with pytest.raises(ValueError, match="compact_every"):
+            serve_session(update_frac=0.3, compact_every=0)
+
+    def test_static_default_has_no_dynamic_state(self):
+        rep = serve_session()
+        assert rep.num_updates == 0
+        assert rep.mean_staleness_s == 0.0
+        assert "updates" not in rep.summary()
+
+
 class TestServeSweep:
     def test_rows_carry_serving_metrics(self):
         sweep = run_sweep(
@@ -110,6 +145,36 @@ class TestServeSweep:
             assert d["p99_latency_s"] == r.p99_latency_s
         table = sweep.table()
         assert "qps" in table and "p99 ms" in table
+
+    def test_update_frac_sweep_rows(self):
+        sweep = run_sweep(
+            models=["gat"],
+            datasets=["cora"],
+            strategies=["ours"],
+            serve_qps=[4000.0],
+            update_frac=[0.0, 0.3],
+            serve_requests=24,
+            serve_cache_rows=512,
+            serve_zipf_alpha=0.8,
+            feature_dim=16,
+            training=False,
+        )
+        assert [r.update_frac for r in sweep.rows] == [0.0, 0.3]
+        static, dynamic = sweep.rows
+        assert static.staleness_s == 0.0 and static.invalidated_bytes == 0
+        assert dynamic.staleness_s > 0.0
+        d = dynamic.to_dict()
+        assert d["update_frac"] == 0.3
+        assert d["staleness_s"] == dynamic.staleness_s
+        table = sweep.table()
+        assert "upd" in table and "stale ms" in table and "inval MiB" in table
+
+    def test_update_frac_requires_serving(self):
+        with pytest.raises(ValueError, match="serve_qps"):
+            run_sweep(
+                models=["gat"], datasets=["cora"],
+                update_frac=[0.2], feature_dim=16,
+            )
 
     def test_serve_conflicts_with_minibatch(self):
         with pytest.raises(ValueError):
