@@ -47,6 +47,43 @@ for _name in GOLDEN_TABLES:
             _COMMITTED[_name] = _fh.read()
 
 
+def test_backend_calibration_structure():
+    """Pin the calibration figure *structurally*, never by timing.
+
+    Measured wall-clock is host-dependent, so this figure cannot join
+    :data:`GOLDEN_TABLES`.  What is stable — and pinned here — is its
+    shape: one row per (registered backend, kernel class) with every
+    class present for every backend, positive measured and analytic
+    seconds, finite ratios, and the table header/title format the
+    README documents.
+    """
+    from repro.exec.kernel_registry import available_backends
+    from repro.exec.measure import KERNEL_CLASSES
+
+    fig = figures.fig_backend_calibration(
+        num_vertices=600, num_edges=4000, feat=8, repeats=1
+    )
+    backends = available_backends()
+    assert [r["backend"] for r in fig.normalized] == [
+        b for b in backends for _ in KERNEL_CLASSES
+    ]
+    assert [r["kernel_class"] for r in fig.normalized] == list(
+        KERNEL_CLASSES
+    ) * len(backends)
+    for row in fig.normalized:
+        assert row["kernels"] > 0
+        assert row["measured_s"] > 0.0
+        assert row["analytic_s"] > 0.0
+        assert 0.0 < row["ratio"] < float("inf")
+    lines = fig.table.splitlines()
+    assert lines[0].startswith("backend-calibration (gat training step")
+    assert lines[1].split() == [
+        "backend", "class", "kernels", "measured", "s", "analytic", "s",
+        "ratio",
+    ]
+    assert len(lines) == 3 + len(fig.normalized)
+
+
 @pytest.mark.parametrize("name", sorted(GOLDEN_TABLES))
 def test_committed_table_is_reproducible(name):
     assert name in _COMMITTED, (

@@ -21,6 +21,11 @@ case: an update-fraction sweep persisted to
 ``benchmarks/results/sweep_dynamic_smoke.json`` plus the
 hit + miss + invalidated reconciliation and the exact delta-apply
 ledger recomputed from a same-seed regenerated update stream.
+``--measured`` runs the measured-execution smoke case: the per-backend
+kernel-class calibration table (measured wall-clock vs the analytic
+roofline) plus its invariant — the ``blocked`` backend beats
+``reference`` on the segment-reduction (gather) class — and a small
+``run_sweep(backend=...)`` exercising the backend axis end to end.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.bench.figures import (
     fig9_fusion,
     fig10_recomputation,
     fig11_small_gpu,
+    fig_backend_calibration,
     fig_dynamic_serving,
     fig_memory_plan,
     fig_minibatch_io,
@@ -280,6 +286,56 @@ def run_dynamic_smoke() -> int:
     return 0
 
 
+def run_measured_smoke() -> int:
+    """Measured-execution case: backend calibration + its invariant.
+
+    Regenerates the backend-calibration figure at the segment-reduction
+    scale (V=20k, E=400k, f=64 — edge data far beyond L2, where
+    cache-sized chunking pays) and asserts the structural contract the
+    golden test pins: every backend reports all five kernel classes
+    with finite positive measured/analytic ratios, and ``blocked``
+    strictly beats ``reference`` wall-clock on the gather class.  A
+    small ``run_sweep(backend=...)`` then exercises the backend axis
+    through the session layer.
+    """
+    t0 = time.time()
+    figure = fig_backend_calibration()
+    print(figure.table)
+    path = save_table("backend_calibration_smoke", figure.table)
+    by_backend: dict[str, dict[str, dict]] = {}
+    for row in figure.normalized:
+        assert row["measured_s"] > 0.0 and row["analytic_s"] > 0.0
+        assert 0.0 < row["ratio"] < float("inf"), (
+            f"{row['backend']}/{row['kernel_class']}: ratio must be finite"
+        )
+        by_backend.setdefault(row["backend"], {})[row["kernel_class"]] = row
+    assert {"reference", "blocked"} <= set(by_backend), (
+        "reference and blocked must both be registered"
+    )
+    ref_gather = by_backend["reference"]["gather"]["measured_s"]
+    blk_gather = by_backend["blocked"]["gather"]["measured_s"]
+    assert blk_gather < ref_gather, (
+        f"blocked gather ({blk_gather:.4f}s) must beat reference "
+        f"({ref_gather:.4f}s)"
+    )
+    sweep = run_sweep(
+        models=["gat"],
+        datasets=["cora"],
+        strategies=["ours"],
+        backend=[None, "blocked"],
+        feature_dim=32,
+        save_as="sweep_backend_smoke",
+    )
+    print(sweep.table())
+    assert {r.backend for r in sweep.rows} == {None, "blocked"}
+    print(
+        f"measured smoke done in {time.time() - t0:.1f}s "
+        f"(blocked gather {ref_gather / blk_gather:.1f}x faster than "
+        f"reference; table -> {path})"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
@@ -338,6 +394,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the CI-sized dynamic-serving (graph/feature update) "
         "smoke case",
     )
+    parser.add_argument(
+        "--measured",
+        action="store_true",
+        help="run the measured-execution smoke case: per-backend "
+        "kernel-class calibration vs the analytic roofline",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
@@ -349,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve_smoke()
     if args.dynamic:
         return run_dynamic_smoke()
+    if args.measured:
+        return run_measured_smoke()
     return run_full()
 
 

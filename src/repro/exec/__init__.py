@@ -20,6 +20,12 @@ and recompute programs, as produced by :mod:`repro.opt`.
 
 from repro.exec.plan import ExecPlan, Kernel, plan_module
 from repro.exec.engine import Engine
+from repro.exec.kernel_registry import (
+    BackendUnavailableError,
+    available_backends,
+    canonical_backend,
+)
+from repro.exec.measure import MeasuredRun, kernel_class, measure_plan
 from repro.exec.memory import (
     MemoryLedger,
     MemoryPlan,
@@ -42,6 +48,12 @@ __all__ = [
     "plan_module",
     "Engine",
     "MultiEngine",
+    "BackendUnavailableError",
+    "available_backends",
+    "canonical_backend",
+    "MeasuredRun",
+    "kernel_class",
+    "measure_plan",
     "MemoryPlan",
     "StepMemoryPlan",
     "MemoryLedger",

@@ -15,16 +15,12 @@ in natural shape; the engine wraps PARAM/DENSE values with a leading
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.exec.kernels import (
-    apply_kernel,
-    gather_kernel,
-    param_grad_kernel,
-    scatter_kernel,
-)
+from repro.exec.kernel_registry import get_backend
 from repro.exec.memory import ArenaPool, MemoryLedger, MemoryPlan, StepMemoryPlan
 from repro.exec.plan import ExecPlan
 from repro.graph.csr import Graph
@@ -88,6 +84,7 @@ class Engine:
         free_dead_values: bool = True,
         check_finite: bool = False,
         memory_plan: Optional[object] = None,
+        backend: str = "reference",
     ):
         self.graph = graph
         self.precision = np.dtype(precision)
@@ -96,11 +93,19 @@ class Engine:
         #: naming the producing node (NaN/Inf failure localisation).
         self.check_finite = check_finite
         self.memory_plan = memory_plan
+        #: Kernel backend bundle (see :mod:`repro.exec.kernel_registry`);
+        #: aliases like ``"numpy"`` resolve to their canonical name.
+        self._kernels = get_backend(backend)
+        self.backend = self._kernels.name
         self._pools: Dict[int, ArenaPool] = {}
         #: Live-byte high-watermark of the most recent :meth:`run_plan`.
         self.measured_peak_bytes: int = 0
         #: Live bytes still resident when that run finished.
         self.measured_end_bytes: int = 0
+        #: Measured-execution hook: when set to a list, :meth:`run_plan`
+        #: appends one ``(kernel_index, seconds)`` wall-clock sample per
+        #: kernel it executes (see :mod:`repro.exec.measure`).
+        self.kernel_timings: Optional[List[Tuple[int, float]]] = None
 
     # ------------------------------------------------------------------
     def _memory_plan_for(self, plan: ExecPlan) -> Optional[MemoryPlan]:
@@ -221,7 +226,10 @@ class Engine:
                 if name in values and pool.slab_for(plan.root_of(name)):
                     values[name] = pool.adopt(plan.root_of(name), values[name])
 
+        timings = self.kernel_timings
         for i, kernel in enumerate(plan.kernels):
+            if timings is not None:
+                t0 = time.perf_counter()
             for node in kernel.nodes:
                 self._execute(node, values, argmax_needed)
                 if pool is not None and node.kind is not OpKind.VIEW:
@@ -232,6 +240,8 @@ class Engine:
                             values[o] = pool.adopt(o, values[o])
                 if self.check_finite:
                     self._assert_finite(node, values)
+            if timings is not None:
+                timings.append((i, time.perf_counter() - t0))
             ledger.after_kernel(i, values)
             if self.free_dead_values:
                 self._sweep(plan, values, lives, i, wanted)
@@ -294,10 +304,11 @@ class Engine:
     ) -> None:
         ins = [values[n] for n in node.inputs]
         params = [values[p][0] for p in node.params]
+        kernels = self._kernels
         if node.kind is OpKind.SCATTER:
-            values[node.outputs[0]] = scatter_kernel(node.fn, self.graph, ins)
+            values[node.outputs[0]] = kernels.scatter(node.fn, self.graph, ins)
         elif node.kind is OpKind.GATHER:
-            out, argmax = gather_kernel(
+            out, argmax = kernels.gather(
                 node.fn,
                 self.graph,
                 ins[0],
@@ -308,14 +319,14 @@ class Engine:
             if len(node.outputs) > 1 and argmax is not None:
                 values[node.outputs[1]] = argmax
         elif node.kind is OpKind.APPLY:
-            values[node.outputs[0]] = apply_kernel(node.fn, ins, params, node.attrs)
+            values[node.outputs[0]] = kernels.apply(node.fn, ins, params, node.attrs)
         elif node.kind is OpKind.VIEW:
             x = ins[0]
             values[node.outputs[0]] = x.reshape(
                 (x.shape[0],) + tuple(node.attrs["out_shape"])
             )
         elif node.kind is OpKind.PARAM_GRAD:
-            grad = param_grad_kernel(node.fn, ins, params, node.attrs)
+            grad = kernels.param_grad(node.fn, ins, params, node.attrs)
             values[node.outputs[0]] = grad[None]
         else:  # pragma: no cover - kinds are closed
             raise AssertionError(f"unhandled kind {node.kind}")

@@ -1,4 +1,4 @@
-"""Vectorised NumPy kernels for every IR function.
+"""Vectorised NumPy kernels for every IR function — the ``reference`` backend.
 
 Array convention
 ----------------
@@ -17,6 +17,21 @@ Edge-feature tensors are stored in COO edge-id order.  Segment
 reductions permute through the graph's CSC (in-edges) or CSR
 (out-edges) views and use ``ufunc.reduceat`` — the vectorised segmented
 reduction — with explicit handling of empty segments.
+
+Backends
+--------
+Every kernel here registers with :mod:`repro.exec.kernel_registry` as
+the ``reference`` backend, the oracle every alternative backend is
+differential-tested against.  The module-level dispatchers
+(:func:`apply_kernel` & co.) keep their historical signatures and
+always execute the reference implementation; backend-aware dispatch
+goes through :func:`repro.exec.kernel_registry.get_backend`.
+
+Aliasing contract: kernels NEVER return an array sharing memory with
+an input.  The engine's arena planner (PR 4) reuses dead buffers, so
+an aliased output would be silently corrupted once its input's slab is
+recycled.  ``OpKind.VIEW`` nodes are the one sanctioned alias and are
+handled by the engine itself, never through these kernels.
 """
 
 from __future__ import annotations
@@ -25,6 +40,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec.kernel_registry import (
+    REFERENCE_BACKEND,
+    declare_backend,
+    register_backend,
+)
 from repro.graph.csr import Graph
 
 __all__ = [
@@ -36,6 +56,12 @@ __all__ = [
     "reduce_to_shape_array",
     "segment_reduce",
 ]
+
+declare_backend(
+    REFERENCE_BACKEND,
+    bit_identical=True,
+    description="pure NumPy oracle (always available)",
+)
 
 
 # ======================================================================
@@ -81,19 +107,28 @@ def reduce_to_shape_array(
     return arr
 
 
+def no_alias(out: np.ndarray, *inputs: np.ndarray) -> np.ndarray:
+    """Copy ``out`` if it shares memory with any input array.
+
+    Shape-only kernels (identity, view, full-range slices, no-op
+    reductions) can hand back a view of their input; under the arena
+    planner that view would be corrupted when the input's slab is
+    reused for a later value.
+    """
+    for a in inputs:
+        if np.shares_memory(out, a):
+            return out.copy()
+    return out
+
+
 # ======================================================================
 # Apply kernels
 # ======================================================================
 ApplyKernel = Callable[..., np.ndarray]
-_APPLY_KERNELS: Dict[str, ApplyKernel] = {}
 
 
 def _register_apply(name: str):
-    def deco(fn: ApplyKernel) -> ApplyKernel:
-        _APPLY_KERNELS[name] = fn
-        return fn
-
-    return deco
+    return register_backend("apply", name)
 
 
 def apply_kernel(
@@ -102,17 +137,18 @@ def apply_kernel(
     params: Sequence[np.ndarray] = (),
     attrs: Optional[dict] = None,
 ) -> np.ndarray:
-    """Execute an APPLY-kind node numerically."""
-    try:
-        kernel = _APPLY_KERNELS[fn]
-    except KeyError:
-        raise KeyError(f"no apply kernel for {fn!r}") from None
+    """Execute an APPLY-kind node numerically (reference backend)."""
+    from repro.exec.kernel_registry import resolve_kernel
+
+    kernel = resolve_kernel("apply", fn)
     return kernel(list(inputs), list(params), attrs or {})
 
 
 @_register_apply("identity")
 def _k_identity(inputs, params, attrs):
-    return inputs[0]
+    # A bare ``return inputs[0]`` aliased the input: corruption hazard
+    # under arena slab reuse (see the module aliasing contract).
+    return inputs[0].copy()
 
 
 @_register_apply("neg")
@@ -138,7 +174,9 @@ def _k_relu(inputs, params, attrs):
 @_register_apply("leaky_relu")
 def _k_leaky_relu(inputs, params, attrs):
     x = inputs[0]
-    slope = attrs.get("slope", 0.01)
+    # Same dtype coercion as the grad kernel: an attrs slope
+    # deserialized as np.float64 must not upcast the forward pass.
+    slope = x.dtype.type(attrs.get("slope", 0.01))
     return np.where(x > 0, x, slope * x)
 
 
@@ -225,7 +263,10 @@ def _k_clamp_min(inputs, params, attrs):
 def _k_view(inputs, params, attrs):
     x = inputs[0]
     out_shape = tuple(attrs["out_shape"])
-    return x.reshape((x.shape[0],) + out_shape)
+    # reshape returns a view whenever strides allow — which is an
+    # aliased output here.  (Engine-level OpKind.VIEW nodes alias on
+    # purpose and never dispatch through this kernel.)
+    return no_alias(x.reshape((x.shape[0],) + out_shape), x)
 
 
 @_register_apply("slice_axis")
@@ -236,7 +277,9 @@ def _k_slice_axis(inputs, params, attrs):
     axis = axis + feat_rank if axis < 0 else axis
     idx = [slice(None)] * x.ndim
     idx[axis + 1] = slice(int(attrs["start"]), int(attrs["stop"]))
-    return np.ascontiguousarray(x[tuple(idx)])
+    # ascontiguousarray returns the *same* array when the slice spans
+    # the whole axis of a contiguous input — an aliased output.
+    return no_alias(np.ascontiguousarray(x[tuple(idx)]), x)
 
 
 @_register_apply("pad_axis")
@@ -257,7 +300,10 @@ def _k_pad_axis(inputs, params, attrs):
 
 @_register_apply("reduce_to_shape")
 def _k_reduce_to_shape(inputs, params, attrs):
-    return reduce_to_shape_array(inputs[0], tuple(attrs["target_shape"]))
+    x = inputs[0]
+    # When the target equals the input feature shape there is nothing
+    # to sum and the helper returns its argument unchanged — aliased.
+    return no_alias(reduce_to_shape_array(x, tuple(attrs["target_shape"])), x)
 
 
 @_register_apply("linear")
@@ -341,28 +387,61 @@ def scatter_kernel(
     inputs: Sequence[np.ndarray],
 ) -> np.ndarray:
     """Execute a SCATTER-kind node: per-edge function of endpoint rows."""
-    if fn == "copy_u":
-        return inputs[0][graph.src]
-    if fn == "copy_v":
-        return inputs[0][graph.dst]
-    if fn == "max_grad":
-        return _max_grad(graph, inputs[0], inputs[1])
+    from repro.exec.kernel_registry import resolve_kernel
+
+    try:
+        kernel = resolve_kernel("scatter", fn)
+    except KeyError:
+        raise KeyError(f"no scatter kernel for {fn!r}") from None
+    return kernel(graph, list(inputs))
+
+
+@register_backend("scatter", "copy_u")
+def _s_copy_u(graph, inputs):
+    return inputs[0][graph.src]
+
+
+@register_backend("scatter", "copy_v")
+def _s_copy_v(graph, inputs):
+    return inputs[0][graph.dst]
+
+
+@register_backend("scatter", "max_grad")
+def _s_max_grad(graph, inputs):
+    return _max_grad(graph, inputs[0], inputs[1])
+
+
+@register_backend("scatter", "u_add_v")
+def _s_u_add_v(graph, inputs):
     u, v = inputs
-    hu, hv = u[graph.src], v[graph.dst]
-    if fn == "u_add_v":
-        a, b = align_trailing([hu, hv])
-        return a + b
-    if fn == "u_sub_v":
-        a, b = align_trailing([hu, hv])
-        return a - b
-    if fn == "u_mul_v":
-        a, b = align_trailing([hu, hv])
-        return a * b
-    if fn == "u_dot_v":
-        return (hu * hv).sum(axis=-1)
-    if fn == "u_concat_v":
-        return np.concatenate([hu, hv], axis=-1)
-    raise KeyError(f"no scatter kernel for {fn!r}")
+    a, b = align_trailing([u[graph.src], v[graph.dst]])
+    return a + b
+
+
+@register_backend("scatter", "u_sub_v")
+def _s_u_sub_v(graph, inputs):
+    u, v = inputs
+    a, b = align_trailing([u[graph.src], v[graph.dst]])
+    return a - b
+
+
+@register_backend("scatter", "u_mul_v")
+def _s_u_mul_v(graph, inputs):
+    u, v = inputs
+    a, b = align_trailing([u[graph.src], v[graph.dst]])
+    return a * b
+
+
+@register_backend("scatter", "u_dot_v")
+def _s_u_dot_v(graph, inputs):
+    u, v = inputs
+    return (u[graph.src] * v[graph.dst]).sum(axis=-1)
+
+
+@register_backend("scatter", "u_concat_v")
+def _s_u_concat_v(graph, inputs):
+    u, v = inputs
+    return np.concatenate([u[graph.src], v[graph.dst]], axis=-1)
 
 
 def _max_grad(graph: Graph, grad: np.ndarray, argmax: np.ndarray) -> np.ndarray:
@@ -443,31 +522,50 @@ def gather_kernel(
     requested) holds COO edge ids, ``-1`` for vertices with no incident
     edges.
     """
+    from repro.exec.kernel_registry import resolve_kernel
+
+    try:
+        kernel = resolve_kernel("gather", reduce)
+    except KeyError:
+        raise KeyError(f"no gather kernel for reduce {reduce!r}") from None
+    return kernel(graph, edge_values, orientation, want_argmax)
+
+
+@register_backend("gather", "sum")
+def _g_sum(graph, edge_values, orientation, want_argmax):
     indptr, eids = _gather_layout(graph, orientation)
     ordered = edge_values[eids]
-    if reduce == "sum":
-        return segment_reduce(ordered, indptr, reduce="sum"), None
-    if reduce == "mean":
-        total = segment_reduce(ordered, indptr, reduce="sum")
-        counts = np.maximum(np.diff(indptr), 1).astype(edge_values.dtype)
-        counts = counts.reshape((-1,) + (1,) * (total.ndim - 1))
-        return total / counts, None
-    if reduce == "max":
-        finfo_min = (
-            np.finfo(edge_values.dtype).min
-            if np.issubdtype(edge_values.dtype, np.floating)
-            else np.iinfo(edge_values.dtype).min
-        )
-        mx = segment_reduce(ordered, indptr, reduce="max", fill=finfo_min)
-        empty = np.diff(indptr) == 0
-        argmax = None
-        if want_argmax:
-            argmax = _segment_argmax(ordered, mx, indptr, eids)
-        # Vertices with no in-edges: value 0 by convention (and -1 argmax).
-        if empty.any():
-            mx[empty] = 0
-        return mx, argmax
-    raise KeyError(f"no gather kernel for reduce {reduce!r}")
+    return segment_reduce(ordered, indptr, reduce="sum"), None
+
+
+@register_backend("gather", "mean")
+def _g_mean(graph, edge_values, orientation, want_argmax):
+    indptr, eids = _gather_layout(graph, orientation)
+    ordered = edge_values[eids]
+    total = segment_reduce(ordered, indptr, reduce="sum")
+    counts = np.maximum(np.diff(indptr), 1).astype(edge_values.dtype)
+    counts = counts.reshape((-1,) + (1,) * (total.ndim - 1))
+    return total / counts, None
+
+
+@register_backend("gather", "max")
+def _g_max(graph, edge_values, orientation, want_argmax):
+    indptr, eids = _gather_layout(graph, orientation)
+    ordered = edge_values[eids]
+    finfo_min = (
+        np.finfo(edge_values.dtype).min
+        if np.issubdtype(edge_values.dtype, np.floating)
+        else np.iinfo(edge_values.dtype).min
+    )
+    mx = segment_reduce(ordered, indptr, reduce="max", fill=finfo_min)
+    empty = np.diff(indptr) == 0
+    argmax = None
+    if want_argmax:
+        argmax = _segment_argmax(ordered, mx, indptr, eids)
+    # Vertices with no in-edges: value 0 by convention (and -1 argmax).
+    if empty.any():
+        mx[empty] = 0
+    return mx, argmax
 
 
 def _segment_argmax(
@@ -509,28 +607,69 @@ def param_grad_kernel(
     Returns the gradient in the parameter's *natural* shape (the engine
     re-wraps it with the leading row axis).
     """
-    out_shape = tuple(attrs["out_shape"])
-    if fn == "linear_wgrad":
-        x, g = inputs
-        f_in, f_out = out_shape
-        return x.reshape(-1, f_in).T @ g.reshape(-1, f_out)
-    if fn == "param_scale_wgrad":
-        x, g = inputs
-        return np.asarray((x * g).sum())
-    if fn == "bias_grad":
-        (g,) = inputs
-        summed = g.sum(axis=0, keepdims=True)
-        return reduce_to_shape_array(summed, out_shape)[0]
-    if fn == "head_dot_wgrad":
-        x, g = inputs
-        # x: (rows, h, f); g: (rows, h) -> (h, f)
-        return np.einsum("nhf,nh->hf", x, g)
-    if fn in ("gaussian_mu_grad", "gaussian_sigma_grad"):
-        m, w, g = inputs
-        mu, inv_sigma = params
-        d = (m[:, None, :] - mu[None]) * inv_sigma[None]
-        gw = (g * w)[:, :, None]
-        if fn == "gaussian_mu_grad":
-            return (gw * d * inv_sigma[None]).sum(axis=0)
-        return -(gw * d * (m[:, None, :] - mu[None])).sum(axis=0)
-    raise KeyError(f"no param_grad kernel for {fn!r}")
+    from repro.exec.kernel_registry import resolve_kernel
+
+    try:
+        kernel = resolve_kernel("param_grad", fn)
+    except KeyError:
+        raise KeyError(f"no param_grad kernel for {fn!r}") from None
+    return kernel(list(inputs), list(params), attrs)
+
+
+@register_backend("param_grad", "linear_wgrad")
+def _p_linear_wgrad(inputs, params, attrs):
+    x, g = inputs
+    f_in, f_out = tuple(attrs["out_shape"])
+    return x.reshape(-1, f_in).T @ g.reshape(-1, f_out)
+
+
+@register_backend("param_grad", "param_scale_wgrad")
+def _p_param_scale_wgrad(inputs, params, attrs):
+    x, g = inputs
+    return np.asarray((x * g).sum())
+
+
+@register_backend("param_grad", "bias_grad")
+def _p_bias_grad(inputs, params, attrs):
+    (g,) = inputs
+    summed = g.sum(axis=0, keepdims=True)
+    return reduce_to_shape_array(summed, tuple(attrs["out_shape"]))[0]
+
+
+@register_backend("param_grad", "head_dot_wgrad")
+def _p_head_dot_wgrad(inputs, params, attrs):
+    x, g = inputs
+    # x: (rows, h, f); g: (rows, h) -> (h, f)
+    return np.einsum("nhf,nh->hf", x, g)
+
+
+def _gaussian_param_grad(fn, inputs, params):
+    m, w, g = inputs
+    mu, inv_sigma = params
+    d = (m[:, None, :] - mu[None]) * inv_sigma[None]
+    gw = (g * w)[:, :, None]
+    if fn == "gaussian_mu_grad":
+        return (gw * d * inv_sigma[None]).sum(axis=0)
+    return -(gw * d * (m[:, None, :] - mu[None])).sum(axis=0)
+
+
+@register_backend("param_grad", "gaussian_mu_grad")
+def _p_gaussian_mu_grad(inputs, params, attrs):
+    return _gaussian_param_grad("gaussian_mu_grad", inputs, params)
+
+
+@register_backend("param_grad", "gaussian_sigma_grad")
+def _p_gaussian_sigma_grad(inputs, params, attrs):
+    return _gaussian_param_grad("gaussian_sigma_grad", inputs, params)
+
+
+# ======================================================================
+# Alternative backends
+# ======================================================================
+# Importing these modules registers their kernels.  ``blocked`` is pure
+# NumPy and always available; the numba/torch modules register nothing
+# when their optional dependency is missing.  These imports sit at the
+# bottom because the backend modules reuse helpers defined above.
+from repro.exec import backend_blocked as _backend_blocked  # noqa: E402,F401
+from repro.exec import backend_numba as _backend_numba  # noqa: E402,F401
+from repro.exec import backend_torch as _backend_torch  # noqa: E402,F401

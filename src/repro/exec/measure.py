@@ -1,0 +1,211 @@
+"""Measured execution: wall-clock per-kernel timing vs the analytic model.
+
+The analytic cost model (:mod:`repro.gpu.cost_model`) predicts kernel
+latency from exact FLOP/byte counters on a :class:`GPUSpec`.  This
+module closes the loop on the host actually running the NumPy
+substrate: it executes a compiled plan through an
+:class:`~repro.exec.engine.Engine` with per-kernel ``perf_counter``
+instrumentation (warmup pass + median of ``repeats``), then lines each
+kernel's measured seconds up against its analytic prediction.
+
+The absolute numbers are not comparable — the analytic model prices a
+GPU, the measurement prices this host's NumPy — but the *per-class
+ratio* is the point: it is a calibration table showing how far each
+kernel class (gather / scatter / apply / param-grad / dense) sits from
+the model, and how backends (:mod:`repro.exec.kernel_registry`) move
+real wall-clock where the analytic counters are identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.exec.analytic import kernel_record
+from repro.exec.engine import Engine
+from repro.exec.plan import ExecPlan, Kernel
+from repro.gpu.cost_model import CostModel
+from repro.gpu.spec import GPUSpec, V100
+from repro.graph.csr import Graph
+from repro.ir.ops import OpKind
+
+__all__ = [
+    "kernel_class",
+    "KernelTiming",
+    "MeasuredRun",
+    "measure_plan",
+    "calibration_rows",
+]
+
+#: Stable row order for per-class aggregation tables.
+KERNEL_CLASSES = ("gather", "scatter", "apply", "param_grad", "dense")
+
+
+def kernel_class(kernel: Kernel) -> str:
+    """Classify a kernel by its dominant operator for calibration.
+
+    Reduction kernels dominate their fused neighbours, so any GATHER
+    (or, failing that, SCATTER / PARAM_GRAD) node claims the kernel;
+    dense-mapped library kernels come next; everything else is an
+    element-wise apply.
+    """
+    kinds = {node.kind for node in kernel.nodes}
+    if OpKind.GATHER in kinds:
+        return "gather"
+    if OpKind.SCATTER in kinds:
+        return "scatter"
+    if OpKind.PARAM_GRAD in kinds:
+        return "param_grad"
+    if kernel.mapping == "dense":
+        return "dense"
+    return "apply"
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """One kernel's measured wall-clock against its analytic price."""
+
+    index: int
+    label: str
+    kernel_class: str
+    mapping: str
+    measured_s: float
+    analytic_s: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / analytic (inf when the model prices it at zero)."""
+        if self.analytic_s <= 0.0:
+            return float("inf")
+        return self.measured_s / self.analytic_s
+
+
+@dataclass
+class MeasuredRun:
+    """Per-kernel timings of one plan execution under one backend."""
+
+    backend: str
+    gpu: str
+    repeats: int
+    timings: List[KernelTiming] = field(default_factory=list)
+
+    @property
+    def total_measured_s(self) -> float:
+        return sum(t.measured_s for t in self.timings)
+
+    @property
+    def total_analytic_s(self) -> float:
+        return sum(t.analytic_s for t in self.timings)
+
+    def class_seconds(self) -> Dict[str, float]:
+        """Measured seconds summed per kernel class (stable order)."""
+        out: Dict[str, float] = {}
+        for cls in KERNEL_CLASSES:
+            secs = [t.measured_s for t in self.timings if t.kernel_class == cls]
+            if secs:
+                out[cls] = sum(secs)
+        return out
+
+    def class_analytic_seconds(self) -> Dict[str, float]:
+        """Analytic seconds summed per kernel class (stable order)."""
+        out: Dict[str, float] = {}
+        for cls in KERNEL_CLASSES:
+            secs = [t.analytic_s for t in self.timings if t.kernel_class == cls]
+            if secs:
+                out[cls] = sum(secs)
+        return out
+
+
+def measure_plan(
+    graph: Graph,
+    plan: ExecPlan,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    backend: str = "reference",
+    precision: str = "float32",
+    warmup: int = 1,
+    repeats: int = 5,
+    gpu: Optional[GPUSpec] = None,
+) -> MeasuredRun:
+    """Execute ``plan`` with per-kernel timing; median over ``repeats``.
+
+    A ``warmup`` pass (allocator touch, any backend JIT) runs untimed
+    first; each timed repeat then records every kernel's node-loop
+    wall-clock through :attr:`Engine.kernel_timings`, and the per-kernel
+    median across repeats is paired with the analytic prediction from
+    :func:`repro.exec.analytic.kernel_record` priced on ``gpu``
+    (default V100).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    gpu = gpu if gpu is not None else V100
+    engine = Engine(graph, precision=precision, backend=backend)
+    env = engine.bind(plan.module, arrays)
+
+    for _ in range(max(0, warmup)):
+        engine.run_plan(plan, env)
+
+    per_kernel: Dict[int, List[float]] = {}
+    for _ in range(repeats):
+        engine.kernel_timings = []
+        engine.run_plan(plan, env)
+        for index, seconds in engine.kernel_timings:
+            per_kernel.setdefault(index, []).append(seconds)
+    engine.kernel_timings = None
+
+    stats = graph.stats()
+    model = CostModel(gpu)
+    run = MeasuredRun(backend=engine.backend, gpu=gpu.name, repeats=repeats)
+    for index, kernel in enumerate(plan.kernels):
+        samples = per_kernel.get(index)
+        if not samples:  # pragma: no cover - every kernel index is timed
+            continue
+        record = kernel_record(plan, index, stats)
+        run.timings.append(
+            KernelTiming(
+                index=index,
+                label=kernel.label,
+                kernel_class=kernel_class(kernel),
+                mapping=kernel.mapping,
+                measured_s=statistics.median(samples),
+                analytic_s=model.kernel_seconds(record, stats),
+            )
+        )
+    return run
+
+
+def calibration_rows(runs: List[MeasuredRun]) -> List[List[str]]:
+    """Flatten measured runs into per-(backend, class) table rows.
+
+    Columns: backend, kernel class, kernel count, measured seconds,
+    analytic seconds, measured/analytic ratio.  Row order is backends
+    in the given order crossed with :data:`KERNEL_CLASSES`.
+    """
+    rows: List[List[str]] = []
+    for run in runs:
+        measured = run.class_seconds()
+        analytic = run.class_analytic_seconds()
+        for cls in KERNEL_CLASSES:
+            if cls not in measured:
+                continue
+            count = sum(1 for t in run.timings if t.kernel_class == cls)
+            ratio = (
+                measured[cls] / analytic[cls]
+                if analytic[cls] > 0.0
+                else float("inf")
+            )
+            rows.append(
+                [
+                    run.backend,
+                    cls,
+                    str(count),
+                    f"{measured[cls]:.6f}",
+                    f"{analytic[cls]:.6f}",
+                    f"{ratio:.2f}",
+                ]
+            )
+    return rows

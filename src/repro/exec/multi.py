@@ -37,12 +37,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 import numpy as np
 
 from repro.exec.engine import argmax_demand
-from repro.exec.kernels import (
-    apply_kernel,
-    gather_kernel,
-    param_grad_kernel,
-    scatter_kernel,
-)
+from repro.exec.kernel_registry import get_backend
 from repro.exec.plan import ExecPlan
 from repro.graph.csr import Graph
 from repro.graph.partition import (
@@ -104,6 +99,7 @@ class MultiEngine:
         partitioner: str = "hash",
         seed: int = 0,
         precision: str = "float32",
+        backend: str = "reference",
     ):
         if isinstance(partition, int):
             partition = partition_graph(
@@ -114,6 +110,10 @@ class MultiEngine:
         self.graph = graph
         self.partition = partition
         self.precision = np.dtype(precision)
+        #: Kernel backend bundle shared by every simulated GPU (see
+        #: :mod:`repro.exec.kernel_registry`).
+        self._kernels = get_backend(backend)
+        self.backend = self._kernels.name
         #: Transfers performed by the most recent :meth:`run_plan`.
         self.exchanges: List[ExchangeRecord] = []
         #: Per-part live-byte high-watermarks of the most recent run,
@@ -445,14 +445,14 @@ class MultiEngine:
             if out_domain in (Domain.PARAM, Domain.DENSE):
                 ins = [shared[n] for n in node.inputs]
                 params = [shared[pn][0] for pn in node.params]
-                shared[node.outputs[0]] = apply_kernel(
+                shared[node.outputs[0]] = self._kernels.apply(
                     node.fn, ins, params, node.attrs
                 )
                 return
             for p in range(self.num_parts):
                 ins = [value(p, n) for n in node.inputs]
                 params = [shared[pn][0] for pn in node.params]
-                parts_values[p][node.outputs[0]] = apply_kernel(
+                parts_values[p][node.outputs[0]] = self._kernels.apply(
                     node.fn, ins, params, node.attrs
                 )
             return
@@ -494,7 +494,7 @@ class MultiEngine:
             ins = [parts_values[p][n] for n in node.inputs]
             if ghost_rows is not None:
                 ins[0] = np.concatenate([ins[0], ghost_rows[p]], axis=0)
-            parts_values[p][node.outputs[0]] = scatter_kernel(
+            parts_values[p][node.outputs[0]] = self._kernels.scatter(
                 node.fn, part.in_graph, ins
             )
 
@@ -518,7 +518,7 @@ class MultiEngine:
             values = (
                 parts_values[p][name] if edge_rows is None else edge_rows[p]
             )
-            out, argmax = gather_kernel(
+            out, argmax = self._kernels.gather(
                 node.fn,
                 local_graph,
                 values,
@@ -543,7 +543,7 @@ class MultiEngine:
             # locally; no reduction needed.
             ins = [shared[n] for n in node.inputs]
             params = [shared[pn][0] for pn in node.params]
-            shared[node.outputs[0]] = param_grad_kernel(
+            shared[node.outputs[0]] = self._kernels.param_grad(
                 node.fn, ins, params, node.attrs
             )[None]
             return
@@ -554,7 +554,7 @@ class MultiEngine:
                 for n in node.inputs
             ]
             params = [shared[pn][0] for pn in node.params]
-            partials.append(param_grad_kernel(node.fn, ins, params, node.attrs))
+            partials.append(self._kernels.param_grad(node.fn, ins, params, node.attrs))
         total = partials[0]
         for partial in partials[1:]:
             total = total + partial

@@ -278,6 +278,7 @@ class InferenceServer:
             mb.subgraph,
             precision=self.precision,
             memory_plan=None if mplan is None else [mplan],
+            backend=compiled.strategy.backend,
         )
         if feature_rows is None:
             feature_rows = self.features[mb.vertices]

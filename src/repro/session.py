@@ -43,7 +43,7 @@ import os
 import time
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -315,6 +315,9 @@ class Session:
         # Memory planning: None = ledger accounting only, "memory" =
         # append the schedule_memory pass and price the arena plan.
         self._schedule: Optional[str] = None
+        # Kernel backend override: None keeps the strategy's own choice
+        # (normally "reference").
+        self._backend: Optional[str] = None
         # (compiled id, stats id) -> (compiled, stats, StepMemoryPlan).
         self._memory_memo: Dict[tuple, tuple] = {}
         # Registry-name models resolve once per configuration; the
@@ -362,6 +365,27 @@ class Session:
                 f"unknown schedule mode {mode!r}; use 'memory' or None"
             )
         self._schedule = mode
+        return self
+
+    def backend(self, backend: Optional[str]) -> "Session":
+        """Select the kernel backend executing this configuration.
+
+        ``backend`` is a name from
+        :func:`repro.exec.kernel_registry.available_backends` —
+        ``"reference"`` (alias ``"numpy"``), ``"blocked"``, or an
+        optional backend such as ``"numba"``/``"torch"`` when its
+        package is installed.  The resolved strategy carries the choice
+        (``ExecutionStrategy.backend``), so concrete execution paths —
+        :meth:`report` training, :meth:`serve`, direct ``Engine`` runs
+        on the compiled plans — all use it.  Analytic counters and
+        modelled latency are backend-independent.  ``backend(None)``
+        restores the strategy's own (reference) backend.
+        """
+        if backend is not None:
+            from repro.exec.kernel_registry import canonical_backend
+
+            backend = canonical_backend(backend)
+        self._backend = backend
         return self
 
     def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
@@ -459,7 +483,9 @@ class Session:
         s = self._strategy
         resolved = get_strategy(s) if isinstance(s, str) else s
         if self._schedule == "memory":
-            return with_memory_schedule(resolved)
+            resolved = with_memory_schedule(resolved)
+        if self._backend is not None and resolved.backend != self._backend:
+            resolved = replace(resolved, backend=self._backend)
         return resolved
 
     def resolve_gpu(self) -> GPUSpec:
@@ -1043,6 +1069,10 @@ class SweepRow:
     #: memory-scheduled plans) and leave ``arena_bytes`` at 0.
     schedule: Optional[str] = None
     arena_bytes: int = 0
+    #: Kernel backend executing the row's plans (``run_sweep(backend=
+    #: [...])``).  Analytic columns are backend-independent; the column
+    #: labels which backend concrete execution paths would use.
+    backend: Optional[str] = None
     #: Online-serving rows (``run_sweep(serve_qps=[...])``): the offered
     #: load and the tail-latency/SLO/cache metrics of the served
     #: stream; ``latency_s`` then reports the *mean* request latency
@@ -1080,6 +1110,7 @@ class SweepRow:
             "gather_bytes": self.gather_bytes,
             "schedule": self.schedule,
             "arena_bytes": self.arena_bytes,
+            "backend": self.backend,
             "serve_qps": self.serve_qps,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
@@ -1113,6 +1144,7 @@ class SweepReport:
 
         with_batches = any(r.batch_size is not None for r in self.rows)
         with_schedules = any(r.schedule is not None for r in self.rows)
+        with_backends = any(r.backend is not None for r in self.rows)
         with_serving = any(r.serve_qps is not None for r in self.rows)
         with_updates = any(r.update_frac is not None for r in self.rows)
         body = [
@@ -1122,6 +1154,7 @@ class SweepReport:
             + ([str(r.batch_size) if r.batch_size is not None else "full"]
                if with_batches else [])
             + ([r.schedule or "-"] if with_schedules else [])
+            + ([r.backend or "-"] if with_backends else [])
             + [
                 f"{r.flops / 1e9:.2f}",
                 f"{r.io_bytes / 2**20:.1f}",
@@ -1159,6 +1192,7 @@ class SweepReport:
             ["model", "dataset", "strategy", "gpu"]
             + (["batch"] if with_batches else [])
             + (["sched"] if with_schedules else [])
+            + (["backend"] if with_backends else [])
             + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"]
             + (["qps", "p50 ms", "p99 ms", "hit", "viol"]
                if with_serving else [])
@@ -1206,6 +1240,7 @@ def run_sweep(
     minibatch_hops: Optional[int] = None,
     minibatch_seed: int = 0,
     schedule: Union[None, str, Sequence[Optional[str]]] = None,
+    backend: Union[None, str, Sequence[Optional[str]]] = None,
     serve_qps: Optional[Sequence[float]] = None,
     serve_requests: int = 192,
     serve_seeds: int = 1,
@@ -1252,6 +1287,14 @@ def run_sweep(
     the memory column, while multi-GPU and mini-batch rows price the
     memory-scheduled plans with the ordinary ledger.
 
+    ``backend`` sweeps the kernel backend: a name or a sequence mixing
+    names from :func:`repro.exec.kernel_registry.available_backends`
+    with ``None`` (the strategy's own reference backend).  Analytic
+    counters are backend-independent — backend rows label which
+    registry backend concrete execution (training, serving, direct
+    ``Engine`` runs on the compiled plans) would use, and each named
+    backend compiles through its own plan-cache entry.
+
     ``serve_qps`` sweeps online serving instead of offline steps: each
     configuration serves a fixed-seed Poisson request stream at every
     offered load (``serve_requests`` requests of ``serve_seeds`` seeds,
@@ -1282,6 +1325,10 @@ def run_sweep(
         schedule_options: Tuple[Optional[str], ...] = (schedule,)
     else:
         schedule_options = tuple(schedule)
+    if backend is None or isinstance(backend, str):
+        backend_options: Tuple[Optional[str], ...] = (backend,)
+    else:
+        backend_options = tuple(backend)
     if any(b is not None for b in batch_options) and any(
         n > 1 for n in num_gpus
     ):
@@ -1309,9 +1356,13 @@ def run_sweep(
             stats = s.resolve_stats()
             for strat in strategies:
                 s.strategy(strat)
-                for sched in schedule_options:
+                for sched, bk in (
+                    (sc, b) for sc in schedule_options for b in backend_options
+                ):
                     s.schedule(sched)
+                    s.backend(bk)
                     resolved = s.resolve_strategy()
+                    row_backend = resolved.backend if bk is not None else None
                     if training and not resolved.supports_training:
                         continue
                     counters = s.counters(training=training)
@@ -1393,6 +1444,7 @@ def run_sweep(
                                                     else 1
                                                 ),
                                                 schedule=sched,
+                                                backend=row_backend,
                                                 serve_qps=float(q),
                                                 update_frac=uf,
                                             )
@@ -1415,6 +1467,7 @@ def run_sweep(
                                             num_gpus=rep.num_gpus,
                                             gather_bytes=sc.gather_bytes,
                                             schedule=sched,
+                                            backend=row_backend,
                                             serve_qps=float(q),
                                             p50_latency_s=rep.p50_latency_s,
                                             p95_latency_s=rep.p95_latency_s,
@@ -1459,6 +1512,7 @@ def run_sweep(
                                                 latency_s=cost.latency_seconds(counters, stats),
                                                 fits_device=cost.fits(counters),
                                                 schedule=sched,
+                                                backend=row_backend,
                                                 arena_bytes=arena,
                                             )
                                         )
@@ -1486,6 +1540,7 @@ def run_sweep(
                                             batch_size=bs,
                                             gather_bytes=mc.gather_bytes,
                                             schedule=sched,
+                                            backend=row_backend,
                                         )
                                     )
                                 s.minibatch(None)
@@ -1518,9 +1573,11 @@ def run_sweep(
                                     # depends on imbalance floors too).
                                     comm_fraction=multi.comm_fraction,
                                     schedule=sched,
+                                    backend=row_backend,
                                 )
                             )
                 s.schedule(None)
+                s.backend(None)
     report = SweepReport(
         rows=rows,
         cache_hits=cache.hits - hits0,

@@ -102,7 +102,12 @@ class Trainer:
             )
         self.compiled = compiled
         self.graph = graph
-        self.engine = Engine(graph, precision=precision, memory_plan=memory_plans)
+        self.engine = Engine(
+            graph,
+            precision=precision,
+            memory_plan=memory_plans,
+            backend=compiled.strategy.backend,
+        )
         #: Measured live-byte high-watermark of the last train/eval step
         #: (max over the forward and backward plan walks).
         self.last_peak_bytes: int = 0

@@ -1,0 +1,301 @@
+"""Kernel-layer contracts, swept over *every* registered kernel.
+
+Two regressions motivated this file (and the fixes it pins):
+
+- **Aliasing** — ``apply_kernel("identity", [x])`` returned ``x``
+  itself, and the view/slice/reduce kernels could return NumPy views of
+  their input.  Under arena slab reuse (PR 4) the engine may overwrite
+  an input's storage once it is dead, silently corrupting any output
+  that aliased it.  The contract: no kernel output ever shares memory
+  with a kernel input (the engine-level ``OpKind.VIEW`` alias is the
+  one sanctioned exception, and it never dispatches through a kernel).
+- **Dtype drift** — ``leaky_relu`` multiplied by a Python/np.float64
+  slope, upcasting float32 activations under NumPy 2 promotion rules
+  and desynchronising real array bytes from the declared-precision
+  accounting.  The contract: float32 in → float32 out, for every
+  kernel, even when attrs carry ``np.float64`` scalars (the worst case:
+  that is what JSON/config deserialization produces).
+
+The sweep is registry-driven: it enumerates ``registered_functions`` so
+a newly registered kernel is covered automatically — adding a kernel
+without adding a case here fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.kernel_registry import (
+    available_backends,
+    get_backend,
+    registered_functions,
+)
+from repro.exec.kernels import gather_kernel
+from repro.graph import Graph
+
+N = 6          # vertex rows
+F = 4          # feature width
+H, K, D = 2, 2, 3  # heads / gaussian kernels / pseudo-coord dim
+
+
+@pytest.fixture
+def graph() -> Graph:
+    """Self-loop, parallel edges, and an isolated vertex."""
+    src = np.array([0, 0, 1, 2, 2, 0])
+    dst = np.array([1, 2, 2, 0, 2, 1])
+    return Graph(src, dst, N)
+
+
+def _f64(value: float):
+    # The hostile attr form: a NumPy double scalar, as config/JSON
+    # loaders produce.  Kernels must not let it upcast float32 data.
+    return np.float64(value)
+
+
+def _apply_cases(rng: np.random.Generator, dtype):
+    """(inputs, params, attrs) per registered apply fn."""
+    x = rng.normal(size=(N, F)).astype(dtype)
+    y = rng.normal(size=(N, F)).astype(dtype) + dtype(2.0)
+    g = rng.normal(size=(N, F)).astype(dtype)
+    x3 = rng.normal(size=(N, H, F)).astype(dtype)
+    gh = rng.normal(size=(N, H)).astype(dtype)
+    m = rng.normal(size=(N, D)).astype(dtype)
+    w = rng.normal(size=(N, K)).astype(dtype)
+    mu = rng.normal(size=(K, D)).astype(dtype)
+    inv_sigma = (rng.uniform(0.5, 2.0, size=(K, D))).astype(dtype)
+    lin_w = rng.normal(size=(F, 3)).astype(dtype)
+    bias = rng.normal(size=(F,)).astype(dtype)
+    att = rng.normal(size=(H, F)).astype(dtype)
+    g3 = rng.normal(size=(N, 3)).astype(dtype)
+    return {
+        "identity": ([x], [], {}),
+        "neg": ([x], [], {}),
+        "scale": ([x], [], {"factor": _f64(1.5)}),
+        "relu": ([x], [], {}),
+        "leaky_relu": ([x], [], {"slope": _f64(0.2)}),
+        "exp": ([x], [], {}),
+        "sigmoid": ([x], [], {}),
+        "tanh": ([x], [], {}),
+        "add": ([x, y], [], {}),
+        "sub": ([x, y], [], {}),
+        "mul": ([x, y], [], {}),
+        "div": ([x, y], [], {}),
+        "relu_grad": ([g, x], [], {}),
+        "leaky_relu_grad": ([g, x], [], {"slope": _f64(0.2)}),
+        "sigmoid_grad": ([g, x], [], {}),
+        "tanh_grad": ([g, x], [], {}),
+        "clamp_min": ([x], [], {"min": _f64(1e-6)}),
+        # Degenerate shapes on purpose: same-shape view, full-span
+        # slice, and identity reduce are exactly the cases where NumPy
+        # hands back the input array (the aliasing regression).
+        "view": ([x], [], {"out_shape": (F,)}),
+        "slice_axis": ([x], [], {"axis": -1, "start": 0, "stop": F}),
+        "pad_axis": (
+            [x], [], {"axis": -1, "width": F, "start": 0, "stop": F}
+        ),
+        "reduce_to_shape": ([x], [], {"target_shape": (F,)}),
+        "linear": ([x], [lin_w], {}),
+        "linear_grad_input": ([g3], [lin_w], {}),
+        "bias_add": ([x], [bias], {}),
+        "param_scale": ([x], [bias], {}),
+        "head_dot": ([x3], [att], {}),
+        "head_dot_grad_input": ([gh], [att], {}),
+        "gaussian": ([m], [mu, inv_sigma], {}),
+        "gaussian_grad_input": ([gh, m, w], [mu, inv_sigma], {}),
+        "kernel_mean": ([w], [], {}),
+        "kernel_mean_grad": ([x[:, 0]], [], {"num_kernels": K}),
+    }
+
+
+def _scatter_cases(graph: Graph, rng: np.random.Generator, dtype):
+    """(inputs,) per registered scatter fn."""
+    u = rng.normal(size=(N, F)).astype(dtype)
+    v = rng.normal(size=(N, F)).astype(dtype)
+    grad = rng.normal(size=(N, F)).astype(dtype)
+    edge = rng.normal(size=(graph.num_edges, F)).astype(dtype)
+    _, argmax = gather_kernel("max", graph, edge, want_argmax=True)
+    return {
+        "copy_u": [u],
+        "copy_v": [v],
+        "u_add_v": [u, v],
+        "u_sub_v": [u, v],
+        "u_mul_v": [u, v],
+        "u_dot_v": [u, v],
+        "u_concat_v": [u, v],
+        "max_grad": [grad, argmax],
+    }
+
+
+def _param_grad_cases(rng: np.random.Generator, dtype):
+    """(inputs, params, attrs) per registered param_grad fn."""
+    x = rng.normal(size=(N, F)).astype(dtype)
+    g3 = rng.normal(size=(N, 3)).astype(dtype)
+    x3 = rng.normal(size=(N, H, F)).astype(dtype)
+    gh = rng.normal(size=(N, H)).astype(dtype)
+    m = rng.normal(size=(N, D)).astype(dtype)
+    w = rng.normal(size=(N, K)).astype(dtype)
+    gk = rng.normal(size=(N, K)).astype(dtype)
+    mu = rng.normal(size=(K, D)).astype(dtype)
+    inv_sigma = rng.uniform(0.5, 2.0, size=(K, D)).astype(dtype)
+    return {
+        "linear_wgrad": ([x, g3], [], {"out_shape": (F, 3)}),
+        "param_scale_wgrad": ([x, x], [], {}),
+        "bias_grad": ([x], [], {"out_shape": (F,)}),
+        "head_dot_wgrad": ([x3, gh], [], {}),
+        "gaussian_mu_grad": ([m, w, gk], [mu, inv_sigma], {}),
+        "gaussian_sigma_grad": ([m, w, gk], [mu, inv_sigma], {}),
+    }
+
+
+def _assert_no_alias(fn: str, out, arrays) -> None:
+    for i, arr in enumerate(arrays):
+        assert not np.shares_memory(out, arr), (
+            f"{fn}: output aliases argument {i} — corruption hazard "
+            "under arena slab reuse"
+        )
+
+
+class TestCaseCoverage:
+    """Every registered kernel has a case; the sweep cannot go stale."""
+
+    def test_apply_catalogue_complete(self, rng):
+        cases = _apply_cases(rng, np.float32)
+        assert set(registered_functions("apply")) == set(cases)
+
+    def test_scatter_catalogue_complete(self, graph, rng):
+        cases = _scatter_cases(graph, rng, np.float32)
+        assert set(registered_functions("scatter")) == set(cases)
+
+    def test_param_grad_catalogue_complete(self, rng):
+        cases = _param_grad_cases(rng, np.float32)
+        assert set(registered_functions("param_grad")) == set(cases)
+
+    def test_gather_catalogue(self):
+        assert set(registered_functions("gather")) == {"sum", "mean", "max"}
+
+
+class TestNoAliasing:
+    """No kernel output shares memory with any of its inputs."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_apply_kernels(self, rng, backend):
+        kernels = get_backend(backend)
+        for fn, (inputs, params, attrs) in _apply_cases(
+            rng, np.float32
+        ).items():
+            out = kernels.apply(fn, inputs, params, attrs)
+            _assert_no_alias(f"{backend}:apply:{fn}", out, inputs + params)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_scatter_kernels(self, graph, rng, backend):
+        kernels = get_backend(backend)
+        for fn, inputs in _scatter_cases(graph, rng, np.float32).items():
+            out = kernels.scatter(fn, graph, inputs)
+            _assert_no_alias(f"{backend}:scatter:{fn}", out, inputs)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_gather_kernels(self, graph, rng, backend):
+        kernels = get_backend(backend)
+        edge = rng.normal(size=(graph.num_edges, F)).astype(np.float32)
+        for fn in registered_functions("gather"):
+            for orientation in ("in", "out"):
+                out, _ = kernels.gather(
+                    fn, graph, edge, orientation=orientation
+                )
+                _assert_no_alias(
+                    f"{backend}:gather:{fn}:{orientation}", out, [edge]
+                )
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_param_grad_kernels(self, rng, backend):
+        kernels = get_backend(backend)
+        for fn, (inputs, params, attrs) in _param_grad_cases(
+            rng, np.float32
+        ).items():
+            out = kernels.param_grad(fn, inputs, params, attrs)
+            _assert_no_alias(
+                f"{backend}:param_grad:{fn}", out, inputs + params
+            )
+
+    def test_identity_regression(self, rng):
+        # The original bug, pinned directly: identity returned its
+        # input array object.
+        x = rng.normal(size=(N, F))
+        out = get_backend().apply("identity", [x])
+        assert out is not x and not np.shares_memory(out, x)
+        np.testing.assert_array_equal(out, x)
+
+
+class TestDtypePreservation:
+    """float32 in → float32 out, even with np.float64 scalar attrs."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_apply_kernels(self, rng, backend):
+        kernels = get_backend(backend)
+        for fn, (inputs, params, attrs) in _apply_cases(
+            rng, np.float32
+        ).items():
+            out = kernels.apply(fn, inputs, params, attrs)
+            assert out.dtype == np.float32, (
+                f"{backend}:apply:{fn} upcast float32 to {out.dtype}"
+            )
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_scatter_kernels(self, graph, rng, backend):
+        kernels = get_backend(backend)
+        for fn, inputs in _scatter_cases(graph, rng, np.float32).items():
+            out = kernels.scatter(fn, graph, inputs)
+            assert out.dtype == np.float32, (
+                f"{backend}:scatter:{fn} upcast float32 to {out.dtype}"
+            )
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_gather_kernels(self, graph, rng, backend):
+        kernels = get_backend(backend)
+        edge = rng.normal(size=(graph.num_edges, F)).astype(np.float32)
+        for fn in registered_functions("gather"):
+            for orientation in ("in", "out"):
+                for want_argmax in (False, fn == "max"):
+                    out, argmax = kernels.gather(
+                        fn, graph, edge,
+                        orientation=orientation, want_argmax=want_argmax,
+                    )
+                    assert out.dtype == np.float32, (
+                        f"{backend}:gather:{fn} upcast to {out.dtype}"
+                    )
+                    if want_argmax:
+                        assert argmax is not None
+                        assert np.issubdtype(argmax.dtype, np.integer)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_param_grad_kernels(self, rng, backend):
+        kernels = get_backend(backend)
+        for fn, (inputs, params, attrs) in _param_grad_cases(
+            rng, np.float32
+        ).items():
+            out = kernels.param_grad(fn, inputs, params, attrs)
+            assert out.dtype == np.float32, (
+                f"{backend}:param_grad:{fn} upcast float32 to {out.dtype}"
+            )
+
+    def test_leaky_relu_regression(self):
+        # The original bug, pinned directly: a float64 slope attr
+        # upcast the whole activation tensor.
+        x = np.array([[-2.0, 3.0]], dtype=np.float32)
+        out = get_backend().apply(
+            "leaky_relu", [x], attrs={"slope": np.float64(0.1)}
+        )
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(
+            out, np.array([[-0.2, 3.0]], dtype=np.float32), rtol=1e-6
+        )
+
+    def test_float64_passes_through(self, rng):
+        # The sweep must not have been made to pass by force-casting
+        # everything down: float64 inputs stay float64.
+        kernels = get_backend()
+        for fn, (inputs, params, attrs) in _apply_cases(
+            rng, np.float64
+        ).items():
+            assert kernels.apply(fn, inputs, params, attrs).dtype == np.float64

@@ -97,6 +97,18 @@ class TestExamples:
         assert "violations by tenant" in out
         assert "bit-identical to the direct engine run" in out
 
+    def test_measured_backends(self):
+        out = run_example(
+            "measured_backends.py",
+            "--vertices", "800", "--edges", "6000",
+            "--feature-dim", "16", "--repeats", "1",
+        )
+        assert "registered backends" in out
+        assert "bit-identical to reference: True" in out
+        assert "calibration table" in out
+        assert "blocked speedup on the gather class" in out
+        assert "done." in out
+
     def test_dynamic_serving(self):
         out = run_example(
             "dynamic_serving.py", "--dataset", "cora", "--requests", "48"
