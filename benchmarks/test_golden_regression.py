@@ -32,6 +32,7 @@ GOLDEN_TABLES = {
     "scaling_multi_gpu": lambda: figures.fig_multi_gpu_scaling().table,
     "minibatch_io": lambda: figures.fig_minibatch_io().table,
     "fig_memory_plan": lambda: figures.fig_memory_plan().table,
+    "fig_precision_io": lambda: figures.fig_precision_io().table,
     "fig_serving_latency": lambda: figures.fig_serving_latency().table,
     "fig_dynamic_serving": lambda: figures.fig_dynamic_serving().table,
     "inline_redundancy": lambda: figures.inline_redundant_computation()[1],
@@ -78,9 +79,10 @@ def test_backend_calibration_structure():
     lines = fig.table.splitlines()
     assert lines[0].startswith("backend-calibration (gat training step")
     assert lines[1].split() == [
-        "backend", "class", "kernels", "measured", "s", "analytic", "s",
-        "ratio",
+        "backend", "dtype", "class", "kernels", "measured", "s",
+        "analytic", "s", "ratio",
     ]
+    assert all(r["dtype"] == "float32" for r in fig.normalized)
     assert len(lines) == 3 + len(fig.normalized)
 
 

@@ -26,6 +26,12 @@ kernel-class calibration table (measured wall-clock vs the analytic
 roofline) plus its invariant — the ``blocked`` backend beats
 ``reference`` on the segment-reduction (gather) class — and a small
 ``run_sweep(backend=...)`` exercising the backend axis end to end.
+``--precision`` runs the mixed-precision smoke case: the model-zoo
+precision-io table plus its exactness invariants (fp16/bf16 gather
+bytes and analytic peak exactly half of fp32 on every model), a
+concrete fp16-vs-fp32 differential execution within the documented
+error bound, and a ``run_sweep(precision=...)`` exercising the
+precision axis end to end.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from repro.bench.figures import (
     fig_dynamic_serving,
     fig_memory_plan,
     fig_minibatch_io,
+    fig_precision_io,
     fig_serving_latency,
     inline_intermediate_memory_share,
     inline_redundant_computation,
@@ -63,6 +70,7 @@ FIGURES = (
     ("fig11_small_gpu", fig11_small_gpu),
     ("minibatch_io", fig_minibatch_io),
     ("fig_memory_plan", fig_memory_plan),
+    ("fig_precision_io", fig_precision_io),
     ("fig_serving_latency", fig_serving_latency),
     ("fig_dynamic_serving", fig_dynamic_serving),
 )
@@ -336,6 +344,94 @@ def run_measured_smoke() -> int:
     return 0
 
 
+def run_precision_smoke() -> int:
+    """Mixed-precision case: precision-io table + exactness invariants.
+
+    Regenerates the precision-io figure and asserts the contracts the
+    golden table pins — fp16/bf16 feature-gather bytes and analytic
+    peak **exactly** half of fp32 on every registered model, int8
+    gather strictly below fp16's — then executes one model concretely
+    at fp16 against the fp32 oracle and checks the outputs stay within
+    the documented error bound.  A small ``run_sweep(precision=...)``
+    exercises the precision axis through the session layer.
+    """
+    import numpy as np
+
+    from repro.exec.engine import Engine
+    from repro.frameworks import compile_forward, get_strategy
+    from repro.graph.generators import chung_lu
+    from repro.ir.precision import precision_error_bound
+    from repro.models import GAT
+
+    t0 = time.time()
+    figure = fig_precision_io()
+    print(figure.table)
+    path = save_table("fig_precision_io", figure.table)
+    by_model: dict[str, dict[str, dict]] = {}
+    for row in figure.normalized:
+        by_model.setdefault(row["workload"], {})[row["precision"]] = row
+    for name, rows in by_model.items():
+        fp32 = rows["fp32"]
+        for half in ("fp16", "bf16"):
+            assert rows[half]["gather_bytes"] * 2 == fp32["gather_bytes"], (
+                f"{name}: {half} gather bytes are not exactly half of fp32"
+            )
+            assert rows[half]["peak_bytes"] * 2 == fp32["peak_bytes"], (
+                f"{name}: {half} analytic peak is not exactly half of fp32"
+            )
+        assert rows["int8"]["gather_bytes"] < rows["fp16"]["gather_bytes"], (
+            f"{name}: int8 gather must undercut fp16"
+        )
+
+    # Concrete differential: fp16 outputs within the documented bound.
+    graph = chung_lu(400, 3000, seed=0)
+    model = GAT(16, (16,), heads=1)
+    rng = np.random.default_rng(0)
+    feats = rng.standard_normal((graph.num_vertices, 16)).astype(np.float32)
+    arrays = dict(model.make_inputs(graph, feats))
+    arrays.update(model.init_params(0))
+
+    def _outputs(precision: str) -> dict:
+        from dataclasses import replace
+
+        strat = replace(get_strategy("ours"), precision=precision)
+        cf = compile_forward(model, strat)
+        engine = Engine(graph, precision="float32")
+        env = engine.bind(cf.forward, arrays)
+        out = engine.run_plan(cf.plan, env, unwrap=True)
+        return {k: out[k] for k in cf.forward.outputs}
+
+    oracle = _outputs("fp32")
+    half = _outputs("fp16")
+    bound = precision_error_bound("fp16")
+    for k, ref in oracle.items():
+        denom = max(float(np.abs(ref).max()), 1e-12)
+        rel = float(np.abs(half[k] - ref).max()) / denom
+        assert rel <= bound, (
+            f"fp16 output {k} drifted {rel:.2e} > bound {bound:g}"
+        )
+
+    sweep = run_sweep(
+        models=["gat"],
+        datasets=["cora"],
+        strategies=["ours"],
+        precision=[None, "fp16", "int8"],
+        feature_dim=32,
+        save_as="sweep_precision_smoke",
+    )
+    print(sweep.table())
+    assert {r.precision for r in sweep.rows} == {None, "fp16", "int8"}
+    fp32_row = sweep.by(precision=None)[0]
+    fp16_row = sweep.by(precision="fp16")[0]
+    assert fp16_row.peak_memory_bytes * 2 == fp32_row.peak_memory_bytes
+    print(
+        f"precision smoke done in {time.time() - t0:.1f}s "
+        f"(fp16 halves gather IO and peak on "
+        f"{len(by_model)} models; table -> {path})"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()
     for name, fn in FIGURES:
@@ -400,6 +496,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the measured-execution smoke case: per-backend "
         "kernel-class calibration vs the analytic roofline",
     )
+    parser.add_argument(
+        "--precision",
+        action="store_true",
+        help="run the mixed-precision smoke case: precision-io table, "
+        "exact fp16 halving invariants, and a differential execution",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
@@ -413,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_dynamic_smoke()
     if args.measured:
         return run_measured_smoke()
+    if args.precision:
+        return run_precision_smoke()
     return run_full()
 
 

@@ -58,6 +58,7 @@ __all__ = [
     "fig_multi_gpu_scaling",
     "fig_minibatch_io",
     "fig_memory_plan",
+    "fig_precision_io",
     "fig_backend_calibration",
     "fig_serving_latency",
     "fig_dynamic_serving",
@@ -816,6 +817,82 @@ def fig_memory_plan(dataset: str = "pubmed") -> FigureResult:
 
 
 # ======================================================================
+# Mixed-precision IO/memory (dtype-aware accounting extension)
+# ======================================================================
+def fig_precision_io(dataset: str = "pubmed") -> FigureResult:
+    """Feature-gather IO and analytic peak per storage precision.
+
+    For every registered model, the inference plan under ``ours`` is
+    compiled at each precision policy and two byte counts are read off
+    the analytic ledgers: the full-graph feature-gather bill (vertex
+    data inputs at storage width,
+    :func:`~repro.exec.analytic.feature_gather_row_bytes` × ``|V|``)
+    and the peak resident bytes of the plan walk.  Ratios are against
+    the fp32 oracle.
+
+    The shape pinned by the golden table: fp16/bf16 cut both gather IO
+    and peak to **exactly half** of fp32 on every model (every float32
+    spec halves, and the per-row counts are even), while int8 cuts the
+    gather further — ``(f + 4) / 4f`` of fp32, the per-row
+    dequantisation scale riding along — but *rebounds* on peak, because
+    quantisation compresses only the stored feature rows and every
+    dequantised intermediate stays float32.
+    """
+    from repro.exec.analytic import feature_gather_row_bytes
+    from repro.ir.precision import PRECISIONS
+    from repro.registry import MODELS
+
+    cache = PlanCache()
+    normalized: List[Dict[str, object]] = []
+    for name in sorted(MODELS.names()):
+        base_gather = base_peak = None
+        for prec in PRECISIONS:  # fp32 first: the ratio baseline
+            s = (
+                Session(cache=cache)
+                .model(name).dataset(dataset).strategy("ours")
+                .precision(prec)
+            )
+            stats = s.resolve_stats()
+            gather = (
+                feature_gather_row_bytes(s.compile_forward().plan)
+                * stats.num_vertices
+            )
+            peak = s.counters(training=False).peak_memory_bytes
+            if prec == "fp32":
+                base_gather, base_peak = gather, peak
+            normalized.append(
+                {
+                    "workload": name,
+                    "precision": prec,
+                    "gather_bytes": gather,
+                    "gather_ratio": gather / base_gather,
+                    "peak_bytes": peak,
+                    "peak_ratio": peak / base_peak,
+                }
+            )
+    rows = [
+        [
+            r["workload"],
+            r["precision"],
+            f"{r['gather_bytes'] / 2**20:.2f}",
+            f"{r['gather_ratio']:.3f}x",
+            f"{r['peak_bytes'] / 2**20:.2f}",
+            f"{r['peak_ratio']:.3f}x",
+        ]
+        for r in normalized
+    ]
+    table = format_table(
+        ["model", "prec", "gather MiB", "vs fp32", "peak MiB", "vs fp32"],
+        rows,
+        title=(
+            f"precision-io (model zoo on {dataset}, ours, inference; "
+            "feature gather at storage width, analytic peak)"
+        ),
+    )
+    return FigureResult("precision-io", [], table, normalized)
+
+
+# ======================================================================
 # Backend calibration (measured execution extension)
 # ======================================================================
 def fig_backend_calibration(
@@ -849,6 +926,7 @@ def fig_backend_calibration(
     """
     from dataclasses import replace as _dc_replace
 
+    from repro.exec.analytic import vertex_data_inputs
     from repro.exec.engine import Engine
     from repro.exec.kernel_registry import available_backends
     from repro.exec.measure import MeasuredRun, calibration_rows, measure_plan
@@ -861,7 +939,12 @@ def fig_backend_calibration(
     compiled = compile_training(model, get_strategy("dgl-like"))
 
     rng = np.random.default_rng(seed)
-    features = rng.standard_normal((num_vertices, feat)).astype(np.float32)
+    # Materialise features in the compiled plan's declared storage
+    # dtype rather than assuming float32.
+    feat_name = vertex_data_inputs(compiled.forward)[0]
+    features = rng.standard_normal((num_vertices, feat)).astype(
+        compiled.forward.specs[feat_name].concrete_dtype
+    )
     arrays = dict(model.make_inputs(graph, features))
     arrays.update(model.init_params(seed))
 
@@ -901,6 +984,7 @@ def fig_backend_calibration(
                 backend=fwd_run.backend,
                 gpu=fwd_run.gpu,
                 repeats=repeats,
+                dtype=fwd_run.dtype,
                 timings=fwd_run.timings + [
                     _dc_replace(t, index=t.index + offset)
                     for t in bwd_run.timings
@@ -916,6 +1000,7 @@ def fig_backend_calibration(
             normalized.append(
                 {
                     "backend": run.backend,
+                    "dtype": run.dtype,
                     "kernel_class": cls,
                     "kernels": sum(
                         1 for t in run.timings if t.kernel_class == cls
@@ -930,7 +1015,8 @@ def fig_backend_calibration(
                 }
             )
     table = format_table(
-        ["backend", "class", "kernels", "measured s", "analytic s", "ratio"],
+        ["backend", "dtype", "class", "kernels", "measured s",
+         "analytic s", "ratio"],
         calibration_rows(runs),
         title=(
             "backend-calibration (gat training step, dgl-like plans, "

@@ -12,8 +12,9 @@ embeddings refreshed by an upstream trainer) makes those rows stale.
 - :meth:`snapshot_at` replays the write log onto the version-0 copy —
   the from-scratch reference the differential contract compares cached
   dynamic serving against,
-- the write ledger is exact: ``put_bytes``/``grow_bytes`` equal the raw
-  size of every row written, recomputable from the log.
+- the write ledger is exact: ``put_bytes``/``grow_bytes`` equal the
+  *storage* size of every row written (rows × :attr:`row_bytes`, which
+  shrinks with the declared dtype), recomputable from the log.
 """
 
 from __future__ import annotations
@@ -21,6 +22,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+from repro.ir.precision import simulate_storage
+from repro.ir.tensorspec import Domain, TensorSpec
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.serve
     from repro.serve.cache import FeatureCache
@@ -34,15 +38,21 @@ class FeatureStore:
     Parameters
     ----------
     features:
-        The version-0 ``(num_vertices, dim)`` float64 matrix.  Copied:
-        dataset feature matrices are module-level-cached and must never
-        be mutated in place.
+        The version-0 ``(num_vertices, dim)`` matrix.  Copied: dataset
+        feature matrices are module-level-cached and must never be
+        mutated in place.
     cache:
         Optional serve-layer :class:`FeatureCache`; each :meth:`put`
         invalidates the written vertices' resident rows in it.
     layer:
         Cache layer key the store's rows live under (the serve path
         gathers input features under layer 0).
+    dtype:
+        Storage dtype of the rows (defaults to ``float64``, the
+        bit-exact reference).  Logical dtypes (``bfloat16``, ``qint8``)
+        are accepted: rows are held in the concrete simulation dtype
+        while :attr:`row_bytes` and the write ledger charge storage
+        width (a qint8 row costs ``dim + 4`` bytes for its scale).
     """
 
     def __init__(
@@ -51,10 +61,15 @@ class FeatureStore:
         *,
         cache: Optional["FeatureCache"] = None,
         layer: int = 0,
+        dtype: str = "float64",
     ):
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(features)
         if features.ndim != 2:
             raise ValueError("features must be a 2-D (vertices, dim) matrix")
+        self._spec = TensorSpec(
+            Domain.VERTEX, (int(features.shape[1]),), str(dtype)
+        )
+        features = self._store(features)
         self._base = features.copy()    # version-0 snapshot, never touched
         self._matrix = features.copy()  # current version
         self.cache = cache
@@ -65,6 +80,11 @@ class FeatureStore:
         self.grow_bytes = 0
         # ("put", vertices, rows) / ("grow", rows) entries, in version order.
         self._log: List[Tuple[str, np.ndarray, np.ndarray]] = []
+
+    def _store(self, rows: np.ndarray) -> np.ndarray:
+        """Round rows through the declared storage dtype (fresh copy)."""
+        rows = np.asarray(rows).astype(self._spec.concrete_dtype, copy=True)
+        return np.asarray(simulate_storage(self._spec, rows))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -78,8 +98,14 @@ class FeatureStore:
         return int(self._matrix.shape[1])
 
     @property
+    def dtype(self) -> str:
+        """Declared storage dtype (possibly logical)."""
+        return self._spec.dtype
+
+    @property
     def row_bytes(self) -> int:
-        return int(self._matrix.itemsize * self.dim)
+        """Storage bytes per row (logical width + quantisation scales)."""
+        return self._spec.row_bytes
 
     @property
     def io_bytes(self) -> int:
@@ -111,14 +137,14 @@ class FeatureStore:
         """Overwrite feature rows; returns the new store version.
 
         ``vertices`` must be unique — a batch writing one row twice has
-        no well-defined result.  Charges exactly ``rows.nbytes`` to the
-        write ledger and invalidates the touched rows in the attached
-        cache (which attributes their eventual re-gather to the
-        invalidated-bytes column, keeping
+        no well-defined result.  Charges the rows' storage size
+        (``rows × row_bytes``) to the write ledger and invalidates the
+        touched rows in the attached cache (which attributes their
+        eventual re-gather to the invalidated-bytes column, keeping
         ``hit + miss + invalidated == uncached gather bill`` exact).
         """
         vertices = np.asarray(vertices, dtype=np.int64)
-        rows = np.asarray(rows, dtype=np.float64)
+        rows = self._store(rows)
         if vertices.ndim != 1:
             raise ValueError("vertices must be a 1-D id array")
         if rows.shape != (vertices.size, self.dim):
@@ -136,7 +162,7 @@ class FeatureStore:
             raise ValueError("put vertices must be unique within a batch")
         self._matrix[vertices] = rows
         self.version += 1
-        self.put_bytes += int(rows.nbytes)
+        self.put_bytes += int(rows.shape[0] * self.row_bytes)
         self._log.append(("put", vertices.copy(), rows.copy()))
         if self.cache is not None:
             self.cache.invalidate(self.layer, vertices)
@@ -150,16 +176,17 @@ class FeatureStore:
         Returns the new store version.  Fresh ids cannot be cached yet,
         so no invalidation is needed.
         """
-        rows = np.asarray(rows, dtype=np.float64)
+        rows = np.asarray(rows)
         if rows.ndim != 2 or rows.shape[1] != self.dim:
             raise ValueError(
                 f"rows must be 2-D with dim {self.dim}, got {rows.shape}"
             )
         if rows.shape[0] == 0:
             raise ValueError("an empty growth batch mutates nothing")
+        rows = self._store(rows)
         self._matrix = np.concatenate([self._matrix, rows], axis=0)
         self.version += 1
-        self.grow_bytes += int(rows.nbytes)
+        self.grow_bytes += int(rows.shape[0] * self.row_bytes)
         self._log.append(("grow", np.array([], dtype=np.int64), rows.copy()))
         return self.version
 

@@ -224,11 +224,12 @@ def feature_gather_row_bytes(plan: ExecPlan) -> int:
 
     Sums the per-row bytes of every :func:`vertex_data_inputs` entry —
     for every model in the zoo this is exactly the feature matrix row.
+    Dtype-aware: fp16/bf16 rows cost half of fp32, and qint8 rows carry
+    their 4-byte per-row dequantisation scale (``TensorSpec.row_bytes``).
     """
     specs = plan.module.specs
     return sum(
-        specs[name].feat_elements * specs[name].itemsize
-        for name in vertex_data_inputs(plan.module)
+        specs[name].row_bytes for name in vertex_data_inputs(plan.module)
     )
 
 
@@ -326,12 +327,12 @@ def plan_comm_records(
                     spec = specs[name]
                     if spec.domain is Domain.VERTEX:
                         root = plan.root_of(name)
-                        halo_in[root] = spec.feat_elements * spec.itemsize
+                        halo_in[root] = spec.row_bytes
             elif node.kind is OpKind.GATHER and node.orientation == "out":
                 name = node.inputs[0]
                 spec = specs[name]
                 root = plan.root_of(name)
-                halo_out[root] = spec.feat_elements * spec.itemsize
+                halo_out[root] = spec.row_bytes
             elif node.kind is OpKind.PARAM_GRAD:
                 row_domains = {specs[n].domain for n in node.inputs}
                 if row_domains <= {Domain.PARAM, Domain.DENSE}:
@@ -340,9 +341,7 @@ def plan_comm_records(
                     # applies the identical exemption).
                     continue
                 out_spec = specs[node.outputs[0]]
-                share = allreduce_bytes_per_gpu(
-                    out_spec.feat_elements * out_spec.itemsize, P
-                )
+                share = allreduce_bytes_per_gpu(out_spec.row_bytes, P)
                 for p in range(P):
                     per_gpu[p].append(
                         CommRecord(

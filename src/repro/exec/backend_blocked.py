@@ -26,7 +26,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exec.kernel_registry import declare_backend, register_backend
-from repro.exec.kernels import _gather_layout, _segment_argmax, segment_reduce
+from repro.exec.kernels import (
+    _gather_layout,
+    _segment_argmax,
+    acc_dtype,
+    segment_reduce,
+)
 
 __all__ = ["BLOCK_BYTES", "blocked_segment_reduce"]
 
@@ -50,6 +55,7 @@ def blocked_segment_reduce(
     reduce: str,
     fill: float = 0.0,
     block_bytes: int = BLOCK_BYTES,
+    acc: Optional[np.dtype] = None,
 ) -> np.ndarray:
     """Chunked equivalent of ``segment_reduce(edge_values[eids], indptr)``.
 
@@ -58,10 +64,15 @@ def blocked_segment_reduce(
     over-large segment becomes its own chunk), so each ``reduceat``
     covers whole segments and the per-segment reduction order — hence
     the floating-point result — matches the reference exactly.
+
+    ``acc`` accumulates each chunk (and the output) in a wider dtype —
+    the fp32-accumulation path for float16 storage; the caller rounds
+    the result back.  Chunk sizing still follows the *storage* bytes.
     """
     num_segments = indptr.shape[0] - 1
     out_shape = (num_segments,) + edge_values.shape[1:]
-    out = np.full(out_shape, fill, dtype=edge_values.dtype)
+    out_dtype = np.dtype(acc) if acc is not None else edge_values.dtype
+    out = np.full(out_shape, fill, dtype=out_dtype)
     if num_segments == 0 or eids.shape[0] == 0:
         return out
     ufunc = {"sum": np.add, "max": np.maximum}[reduce]
@@ -78,7 +89,7 @@ def blocked_segment_reduce(
         w = min(max(w, v + 1), num_segments)
         p1 = int(indptr[w])
         if p1 > p0:
-            chunk = edge_values[eids[p0:p1]]
+            chunk = edge_values[eids[p0:p1]].astype(out_dtype, copy=False)
             starts = indptr[v:w] - p0
             non_empty = indptr[v + 1 : w + 1] > indptr[v:w]
             if non_empty.any():
@@ -96,16 +107,19 @@ def blocked_segment_reduce(
 @register_backend("gather", "sum", backend="blocked")
 def _g_sum_blocked(graph, edge_values, orientation, want_argmax):
     indptr, eids = _gather_layout(graph, orientation)
-    return blocked_segment_reduce(edge_values, indptr, eids, reduce="sum"), None
+    acc = acc_dtype(edge_values.dtype)
+    total = blocked_segment_reduce(edge_values, indptr, eids, reduce="sum", acc=acc)
+    return total.astype(edge_values.dtype, copy=False), None
 
 
 @register_backend("gather", "mean", backend="blocked")
 def _g_mean_blocked(graph, edge_values, orientation, want_argmax):
     indptr, eids = _gather_layout(graph, orientation)
-    total = blocked_segment_reduce(edge_values, indptr, eids, reduce="sum")
-    counts = np.maximum(np.diff(indptr), 1).astype(edge_values.dtype)
+    acc = acc_dtype(edge_values.dtype)
+    total = blocked_segment_reduce(edge_values, indptr, eids, reduce="sum", acc=acc)
+    counts = np.maximum(np.diff(indptr), 1).astype(total.dtype)
     counts = counts.reshape((-1,) + (1,) * (total.ndim - 1))
-    return total / counts, None
+    return (total / counts).astype(edge_values.dtype, copy=False), None
 
 
 @register_backend("gather", "max", backend="blocked")

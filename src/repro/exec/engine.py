@@ -26,7 +26,8 @@ from repro.exec.plan import ExecPlan
 from repro.graph.csr import Graph
 from repro.ir.module import GRAPH_CONSTANTS, Module
 from repro.ir.ops import OpKind, OpNode
-from repro.ir.tensorspec import Domain, TensorSpec
+from repro.ir.precision import bf16_round, simulate_storage
+from repro.ir.tensorspec import LOGICAL_DTYPES, Domain, TensorSpec
 
 __all__ = ["Engine", "argmax_demand"]
 
@@ -88,6 +89,11 @@ class Engine:
     ):
         self.graph = graph
         self.precision = np.dtype(precision)
+        #: Default-precision engines execute each value in its *spec*
+        #: dtype (the storage simulation behind fp16/bf16/int8 plans);
+        #: a float64 engine keeps the legacy cast-everything behaviour
+        #: gradient checks rely on.
+        self._spec_driven = self.precision == np.dtype("float32")
         self.free_dead_values = free_dead_values
         #: Debugging mode: raise on the first non-finite kernel output,
         #: naming the producing node (NaN/Inf failure localisation).
@@ -147,7 +153,11 @@ class Engine:
         env: Dict[str, np.ndarray] = {}
         for name in list(module.inputs) + list(module.params):
             if name in GRAPH_CONSTANTS:
-                env[name] = self.graph_constant(name)
+                const = self.graph_constant(name)
+                spec = module.specs.get(name)
+                if self._spec_driven and spec is not None:
+                    const = self._storage_sim(spec, const)
+                env[name] = const
                 continue
             if name not in arrays:
                 raise KeyError(f"missing array for module value {name!r}")
@@ -162,10 +172,16 @@ class Engine:
             return self.graph.out_degrees.astype(self.precision)
         raise KeyError(name)  # pragma: no cover - registry guards this
 
+    def _storage_sim(self, spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
+        return simulate_storage(spec, arr)
+
     def _wrap(self, name: str, spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
         arr = np.asarray(arr)
         if np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(self.precision, copy=False)
+            if self._spec_driven:
+                arr = self._storage_sim(spec, arr)
+            else:
+                arr = arr.astype(self.precision, copy=False)
         expected_rows = spec.rows(self.graph.num_vertices, self.graph.num_edges)
         if spec.domain in (Domain.PARAM, Domain.DENSE):
             if arr.shape == spec.feat_shape:
@@ -211,6 +227,19 @@ class Engine:
         argmax_needed = self._argmax_demand(module, wanted)
 
         memory_plan = self._memory_plan_for(plan)
+        if memory_plan is not None and self._spec_driven:
+            logical = sorted(
+                {s.dtype for s in module.specs.values() if s.dtype in LOGICAL_DTYPES}
+            )
+            if logical:
+                # Logical dtypes are *simulated* in float32 arrays, which
+                # do not fit the (honestly sized) logical-byte slabs.
+                raise ValueError(
+                    f"arena-backed execution does not support logical "
+                    f"dtypes {logical}: slabs are sized for storage bytes "
+                    "but the simulation materialises float32; run without "
+                    "a memory plan (fp32/fp16 plans remain arena-backed)"
+                )
         pool = self._pool_for(memory_plan) if memory_plan is not None else None
         ledger = MemoryLedger(
             plan,
@@ -226,12 +255,25 @@ class Engine:
                 if name in values and pool.slab_for(plan.root_of(name)):
                     values[name] = pool.adopt(plan.root_of(name), values[name])
 
+        bf16_outputs: Set[str] = (
+            {n for n, s in module.specs.items() if s.dtype == "bfloat16"}
+            if self._spec_driven
+            else set()
+        )
+
         timings = self.kernel_timings
         for i, kernel in enumerate(plan.kernels):
             if timings is not None:
                 t0 = time.perf_counter()
             for node in kernel.nodes:
                 self._execute(node, values, argmax_needed)
+                if bf16_outputs and node.kind is not OpKind.VIEW:
+                    # Simulate bf16 storage: every produced value is
+                    # rounded to the bf16 grid at the node boundary
+                    # (views alias already-rounded storage).
+                    for o in node.outputs:
+                        if o in bf16_outputs and o in values:
+                            values[o] = bf16_round(values[o])
                 if pool is not None and node.kind is not OpKind.VIEW:
                     # Escaping writes are adopted before any view of
                     # them is minted, so aliases are arena-backed too.

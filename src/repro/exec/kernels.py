@@ -52,6 +52,7 @@ __all__ = [
     "scatter_kernel",
     "gather_kernel",
     "param_grad_kernel",
+    "acc_dtype",
     "align_trailing",
     "reduce_to_shape_array",
     "segment_reduce",
@@ -499,6 +500,19 @@ def segment_reduce(
     return out
 
 
+def acc_dtype(dtype: np.dtype) -> np.dtype:
+    """Accumulation dtype for segment reductions.
+
+    Half-precision inputs accumulate in float32 — the tensor-core
+    semantics every mixed-precision GPU kernel uses — and are rounded
+    back to the storage dtype afterwards.  Everything else accumulates
+    natively.
+    """
+    if dtype == np.float16:
+        return np.dtype(np.float32)
+    return np.dtype(dtype)
+
+
 def _gather_layout(graph: Graph, orientation: str):
     """(indptr, edge-permutation) for the requested incidence."""
     if orientation == "in":
@@ -534,18 +548,21 @@ def gather_kernel(
 @register_backend("gather", "sum")
 def _g_sum(graph, edge_values, orientation, want_argmax):
     indptr, eids = _gather_layout(graph, orientation)
-    ordered = edge_values[eids]
-    return segment_reduce(ordered, indptr, reduce="sum"), None
+    acc = acc_dtype(edge_values.dtype)
+    ordered = edge_values[eids].astype(acc, copy=False)
+    total = segment_reduce(ordered, indptr, reduce="sum")
+    return total.astype(edge_values.dtype, copy=False), None
 
 
 @register_backend("gather", "mean")
 def _g_mean(graph, edge_values, orientation, want_argmax):
     indptr, eids = _gather_layout(graph, orientation)
-    ordered = edge_values[eids]
+    acc = acc_dtype(edge_values.dtype)
+    ordered = edge_values[eids].astype(acc, copy=False)
     total = segment_reduce(ordered, indptr, reduce="sum")
-    counts = np.maximum(np.diff(indptr), 1).astype(edge_values.dtype)
+    counts = np.maximum(np.diff(indptr), 1).astype(total.dtype)
     counts = counts.reshape((-1,) + (1,) * (total.ndim - 1))
-    return total / counts, None
+    return (total / counts).astype(edge_values.dtype, copy=False), None
 
 
 @register_backend("gather", "max")
@@ -616,41 +633,60 @@ def param_grad_kernel(
     return kernel(list(inputs), list(params), attrs)
 
 
+def _row_reduce(inputs, compute):
+    """Run a row-reducing gradient kernel with fp32 accumulation.
+
+    ``compute`` receives the (possibly upcast) inputs and returns the
+    reduced gradient, which is rounded back to the first input's
+    storage dtype — parameter gradients are segment reductions over
+    rows and get the same accumulate-wide semantics as gathers.
+    """
+    out_dtype = inputs[0].dtype
+    acc = acc_dtype(out_dtype)
+    upcast = [a.astype(acc, copy=False) for a in inputs]
+    return np.asarray(compute(upcast)).astype(out_dtype, copy=False)
+
+
 @register_backend("param_grad", "linear_wgrad")
 def _p_linear_wgrad(inputs, params, attrs):
-    x, g = inputs
     f_in, f_out = tuple(attrs["out_shape"])
-    return x.reshape(-1, f_in).T @ g.reshape(-1, f_out)
+    return _row_reduce(
+        inputs, lambda ins: ins[0].reshape(-1, f_in).T @ ins[1].reshape(-1, f_out)
+    )
 
 
 @register_backend("param_grad", "param_scale_wgrad")
 def _p_param_scale_wgrad(inputs, params, attrs):
-    x, g = inputs
-    return np.asarray((x * g).sum())
+    return _row_reduce(inputs, lambda ins: (ins[0] * ins[1]).sum())
 
 
 @register_backend("param_grad", "bias_grad")
 def _p_bias_grad(inputs, params, attrs):
-    (g,) = inputs
-    summed = g.sum(axis=0, keepdims=True)
-    return reduce_to_shape_array(summed, tuple(attrs["out_shape"]))[0]
+    return _row_reduce(
+        inputs,
+        lambda ins: reduce_to_shape_array(
+            ins[0].sum(axis=0, keepdims=True), tuple(attrs["out_shape"])
+        )[0],
+    )
 
 
 @register_backend("param_grad", "head_dot_wgrad")
 def _p_head_dot_wgrad(inputs, params, attrs):
-    x, g = inputs
     # x: (rows, h, f); g: (rows, h) -> (h, f)
-    return np.einsum("nhf,nh->hf", x, g)
+    return _row_reduce(inputs, lambda ins: np.einsum("nhf,nh->hf", ins[0], ins[1]))
 
 
 def _gaussian_param_grad(fn, inputs, params):
-    m, w, g = inputs
-    mu, inv_sigma = params
-    d = (m[:, None, :] - mu[None]) * inv_sigma[None]
-    gw = (g * w)[:, :, None]
-    if fn == "gaussian_mu_grad":
-        return (gw * d * inv_sigma[None]).sum(axis=0)
-    return -(gw * d * (m[:, None, :] - mu[None])).sum(axis=0)
+    def compute(ins):
+        m, w, g = ins
+        mu, inv_sigma = params
+        d = (m[:, None, :] - mu[None]) * inv_sigma[None]
+        gw = (g * w)[:, :, None]
+        if fn == "gaussian_mu_grad":
+            return (gw * d * inv_sigma[None]).sum(axis=0)
+        return -(gw * d * (m[:, None, :] - mu[None])).sum(axis=0)
+
+    return _row_reduce(inputs, compute)
 
 
 @register_backend("param_grad", "gaussian_mu_grad")

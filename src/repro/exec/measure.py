@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.exec.analytic import kernel_record
+from repro.exec.analytic import kernel_record, vertex_data_inputs
 from repro.exec.engine import Engine
 from repro.exec.plan import ExecPlan, Kernel
 from repro.gpu.cost_model import CostModel
@@ -86,11 +86,18 @@ class KernelTiming:
 
 @dataclass
 class MeasuredRun:
-    """Per-kernel timings of one plan execution under one backend."""
+    """Per-kernel timings of one plan execution under one backend.
+
+    ``dtype`` records the plan's declared feature-storage dtype (the
+    vertex data inputs' :attr:`TensorSpec.dtype`) so calibration tables
+    distinguish runs that execute the same kernels at different
+    storage precisions.
+    """
 
     backend: str
     gpu: str
     repeats: int
+    dtype: str = "float32"
     timings: List[KernelTiming] = field(default_factory=list)
 
     @property
@@ -159,7 +166,15 @@ def measure_plan(
 
     stats = graph.stats()
     model = CostModel(gpu)
-    run = MeasuredRun(backend=engine.backend, gpu=gpu.name, repeats=repeats)
+    feat_dtypes = sorted(
+        {plan.module.specs[n].dtype for n in vertex_data_inputs(plan.module)}
+    )
+    run = MeasuredRun(
+        backend=engine.backend,
+        gpu=gpu.name,
+        repeats=repeats,
+        dtype="/".join(feat_dtypes) if feat_dtypes else "float32",
+    )
     for index, kernel in enumerate(plan.kernels):
         samples = per_kernel.get(index)
         if not samples:  # pragma: no cover - every kernel index is timed
@@ -181,9 +196,10 @@ def measure_plan(
 def calibration_rows(runs: List[MeasuredRun]) -> List[List[str]]:
     """Flatten measured runs into per-(backend, class) table rows.
 
-    Columns: backend, kernel class, kernel count, measured seconds,
-    analytic seconds, measured/analytic ratio.  Row order is backends
-    in the given order crossed with :data:`KERNEL_CLASSES`.
+    Columns: backend, feature-storage dtype, kernel class, kernel
+    count, measured seconds, analytic seconds, measured/analytic
+    ratio.  Row order is backends in the given order crossed with
+    :data:`KERNEL_CLASSES`.
     """
     rows: List[List[str]] = []
     for run in runs:
@@ -201,6 +217,7 @@ def calibration_rows(runs: List[MeasuredRun]) -> List[List[str]]:
             rows.append(
                 [
                     run.backend,
+                    run.dtype,
                     cls,
                     str(count),
                     f"{measured[cls]:.6f}",

@@ -48,6 +48,7 @@ from repro.graph.partition import (
 from repro.ir.functions import get_scatter_fn
 from repro.ir.module import GRAPH_CONSTANTS, Module
 from repro.ir.ops import OpKind, OpNode
+from repro.ir.precision import bf16_round, simulate_storage
 from repro.ir.tensorspec import Domain, TensorSpec
 
 __all__ = ["MultiEngine", "ExchangeRecord", "MultiEnv"]
@@ -110,6 +111,9 @@ class MultiEngine:
         self.graph = graph
         self.partition = partition
         self.precision = np.dtype(precision)
+        # Mirrors Engine: the default-precision engine executes each
+        # value in its spec dtype (fp16/bf16/int8 storage simulation).
+        self._spec_driven = self.precision == np.dtype("float32")
         #: Kernel backend bundle shared by every simulated GPU (see
         #: :mod:`repro.exec.kernel_registry`).
         self._kernels = get_backend(backend)
@@ -180,6 +184,8 @@ class MultiEngine:
         for name in list(module.inputs) + list(module.params):
             if name in GRAPH_CONSTANTS:
                 full = self.graph_constant(name)
+                if self._spec_driven and name in module.specs:
+                    full = simulate_storage(module.specs[name], full)
             elif name not in arrays:
                 raise KeyError(f"missing array for module value {name!r}")
             else:
@@ -201,7 +207,10 @@ class MultiEngine:
     def _wrap(self, name: str, spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
         arr = np.asarray(arr)
         if np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(self.precision, copy=False)
+            if self._spec_driven:
+                arr = simulate_storage(spec, arr)
+            else:
+                arr = arr.astype(self.precision, copy=False)
         rows = spec.rows(self.graph.num_vertices, self.graph.num_edges)
         if spec.domain in (Domain.PARAM, Domain.DENSE):
             if arr.shape == spec.feat_shape:
@@ -271,6 +280,11 @@ class MultiEngine:
 
         parts_values = [dict(d) for d in env.parts]
         shared = dict(env.shared)
+        bf16_outputs: Set[str] = (
+            {n for n, s in module.specs.items() if s.dtype == "bfloat16"}
+            if self._spec_driven
+            else set()
+        )
         ledgers = self._make_ledgers(plan, parts_values, shared)
         for ki, kernel in enumerate(plan.kernels):
             # Per-kernel exchange cache: kernels sharing an operand
@@ -281,6 +295,21 @@ class MultiEngine:
                     node, module, plan, ki, parts_values, shared,
                     argmax_needed, halo_cache,
                 )
+                if bf16_outputs and node.kind is not OpKind.VIEW:
+                    # bf16 storage simulation at node boundaries —
+                    # elementwise, so shards stay bit-identical to the
+                    # single-engine path (views alias rounded storage).
+                    for o in node.outputs:
+                        if o not in bf16_outputs:
+                            continue
+                        if o in shared:
+                            shared[o] = bf16_round(shared[o])
+                        else:
+                            for p in range(self.num_parts):
+                                if o in parts_values[p]:
+                                    parts_values[p][o] = bf16_round(
+                                        parts_values[p][o]
+                                    )
             self._ledgers_after_kernel(ledgers, plan, ki, parts_values, shared)
         self.measured_peak_bytes_per_gpu = [lg.peak_bytes for lg in ledgers]
 
@@ -336,10 +365,18 @@ class MultiEngine:
         self,
         name: str,
         root_label: str,
+        row_bytes: int,
         parts_values: List[Dict[str, np.ndarray]],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
     ) -> List[np.ndarray]:
-        """Ghost-source rows of vertex tensor ``name``, per part."""
+        """Ghost-source rows of vertex tensor ``name``, per part.
+
+        Transfer accounting charges ``row_bytes`` per fetched row — the
+        value's *storage* width (``TensorSpec.row_bytes``), so fp16
+        halos cost half of fp32 and qint8 halos ship int8 rows plus
+        their scales, matching ``plan_comm_records`` exactly even when
+        the simulation materialises wider concrete arrays.
+        """
         key = ("halo_in", root_label)
         if key in halo_cache:
             return halo_cache[key]
@@ -356,7 +393,7 @@ class MultiEngine:
                 if sel.any():
                     ghost[sel] = parts_values[q][name][owner_row[sel]]
             fetched.append(ghost)
-            bytes_per_gpu.append(int(ghost.nbytes))
+            bytes_per_gpu.append(int(part.ghost_src.size) * row_bytes)
         if self.num_parts > 1:
             self.exchanges.append(
                 ExchangeRecord(
@@ -371,13 +408,15 @@ class MultiEngine:
         self,
         name: str,
         root_label: str,
+        row_bytes: int,
         parts_values: List[Dict[str, np.ndarray]],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
     ) -> List[np.ndarray]:
         """Edge tensor ``name`` in each part's out-edge order.
 
         Rows owned locally are copied for free; remotely-owned rows
-        count as interconnect traffic.
+        count as interconnect traffic, at the value's storage width
+        (``row_bytes`` per row, as in :meth:`_fetch_ghost_rows`).
         """
         key = ("halo_out", root_label)
         if key in halo_cache:
@@ -396,7 +435,7 @@ class MultiEngine:
                 if sel.any():
                     rows[sel] = parts_values[q][name][owner_row[sel]]
                     if q != p:
-                        remote += int(rows[sel].nbytes)
+                        remote += int(sel.sum()) * row_bytes
             fetched.append(rows)
             bytes_per_gpu.append(remote)
         if self.num_parts > 1:
@@ -488,7 +527,11 @@ class MultiEngine:
             # The source-side operand needs its halo refreshed.
             u_name = node.inputs[0]
             ghost_rows = self._fetch_ghost_rows(
-                u_name, plan.root_of(u_name), parts_values, halo_cache
+                u_name,
+                plan.root_of(u_name),
+                plan.module.specs[u_name].row_bytes,
+                parts_values,
+                halo_cache,
             )
         for p, part in enumerate(self.partition.parts):
             ins = [parts_values[p][n] for n in node.inputs]
@@ -511,7 +554,11 @@ class MultiEngine:
         edge_rows: Optional[List[np.ndarray]] = None
         if orientation == "out":
             edge_rows = self._fetch_out_edge_rows(
-                name, plan.root_of(name), parts_values, halo_cache
+                name,
+                plan.root_of(name),
+                plan.module.specs[name].row_bytes,
+                parts_values,
+                halo_cache,
             )
         for p, part in enumerate(self.partition.parts):
             local_graph = part.in_graph if orientation == "in" else part.out_graph
@@ -560,8 +607,10 @@ class MultiEngine:
             total = total + partial
         shared[node.outputs[0]] = np.asarray(total)[None]
         if self.num_parts > 1:
+            # Storage-width bytes (spec row_bytes), matching the
+            # analytic allreduce schedule under any precision.
             share = allreduce_bytes_per_gpu(
-                int(np.asarray(total).nbytes), self.num_parts
+                specs[node.outputs[0]].row_bytes, self.num_parts
             )
             self.exchanges.append(
                 ExchangeRecord(

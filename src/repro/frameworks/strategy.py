@@ -96,6 +96,13 @@ class ExecutionStrategy:
         ``"numba"``/``"torch"`` when its package is installed.  Purely
         an execution choice — plans, counters, and the analytic model
         are backend-independent.
+    precision:
+        Feature-storage precision (see :mod:`repro.ir.precision`):
+        ``"fp32"`` (the oracle), ``"fp16"``/``"bf16"`` half-width
+        feature storage, or ``"int8"`` per-row quantized gathers with
+        fp32 accumulation.  Applied to the naive module before any
+        pass runs, so specs, ledgers, slabs, and cache rows all carry
+        the shrunk byte counts.
     """
 
     name: str
@@ -114,10 +121,17 @@ class ExecutionStrategy:
     pass_names: Optional[Tuple[str, ...]] = None
     partition: Optional[PartitionSpec] = None
     backend: str = "reference"
+    precision: str = "fp32"
 
     def __post_init__(self) -> None:
         from repro.opt.fusion import FUSION_MODES
 
+        if self.precision != "fp32":
+            from repro.ir.precision import canonical_precision
+
+            object.__setattr__(
+                self, "precision", canonical_precision(self.precision)
+            )
         if self.backend != "reference":
             # Canonicalise aliases ("numpy" → "reference") and fail
             # early — at strategy construction, not mid-run — when the
@@ -142,9 +156,15 @@ class ExecutionStrategy:
             object.__setattr__(self, "pass_names", tuple(self.pass_names))
 
     # ------------------------------------------------------------------
+    def build_module(self, model: GNNModel) -> Module:
+        """The model's naive module under this strategy's precision."""
+        from repro.ir.precision import apply_precision
+
+        return apply_precision(model.build_module(), self.precision)
+
     def prepare_forward(self, model: GNNModel) -> Module:
         """Apply the strategy's graph-level rewrites to a model."""
-        naive = model.build_module()
+        naive = self.build_module(model)
         if self.reorg_scope == "full" or (
             self.reorg_scope == "library" and model.dgl_library_reorganized
         ):
@@ -254,7 +274,7 @@ def compile_forward(model: GNNModel, strategy: ExecutionStrategy) -> CompiledFor
         strategy=strategy,
         model=model,
         training=False,
-        state={"forward": model.build_module()},
+        state={"forward": strategy.build_module(model)},
     )
     build_pipeline(strategy, training=False).run(ctx)
     return CompiledForward(
@@ -277,7 +297,7 @@ def compile_training(model: GNNModel, strategy: ExecutionStrategy) -> CompiledTr
         strategy=strategy,
         model=model,
         training=True,
-        state={"forward": model.build_module()},
+        state={"forward": strategy.build_module(model)},
     )
     build_pipeline(strategy, training=True).run(ctx)
     return CompiledTraining(

@@ -37,10 +37,21 @@ def infer_output_specs(
 
     Raises ``ValueError``/``KeyError`` on malformed nodes — this is the
     single source of truth for operator typing rules.
+
+    ``qint8`` is a storage dtype only: quantised rows are dequantised
+    to float32 before any operator reads them, so inference sees such
+    inputs as float32 and derived values never carry ``qint8``.
     """
     for name in node.all_inputs():
         if name not in specs:
             raise KeyError(f"node {node.name!r} references unknown value {name!r}")
+    deq = {
+        name: specs[name].with_dtype("float32")
+        for name in node.all_inputs()
+        if specs[name].dtype == "qint8"
+    }
+    if deq:
+        specs = {**dict(specs), **deq}
 
     if node.kind is OpKind.SCATTER:
         return _infer_scatter(node, specs)

@@ -209,11 +209,10 @@ class OpNode:
         self, input_name: str, specs: Mapping[str, TensorSpec], stats: GraphStats
     ) -> int:
         spec = specs[input_name]
-        return (
-            self.read_rows(input_name, specs, stats)
-            * spec.feat_elements
-            * spec.itemsize
-        )
+        # ``row_bytes`` (not ``feat_elements * itemsize``): quantized
+        # rows drag their per-row scale through the memory system on
+        # every access, and logical dtypes charge storage width.
+        return self.read_rows(input_name, specs, stats) * spec.row_bytes
 
     def write_bytes(
         self, output_name: str, specs: Mapping[str, TensorSpec], stats: GraphStats

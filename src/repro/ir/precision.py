@@ -1,0 +1,247 @@
+"""Precision policies: dtype-aware feature storage end-to-end.
+
+A *precision* names the storage dtype of every float32 value in a
+module — the one knob that moves the paper's computation, IO, and
+memory axes at once, because bytes-per-element multiplies into every
+gather, every slab, and every cache row:
+
+==========  ==============  =====================================
+Precision   Storage dtype   Semantics
+==========  ==============  =====================================
+``fp32``    ``float32``     the oracle; bit-identical baseline
+``fp16``    ``float16``     native half floats; segment reductions
+                            accumulate in fp32 and round back
+``bf16``    ``bfloat16``    logical 2-byte dtype: computed as
+                            float32, round-to-nearest-even on the
+                            top 16 bits at node boundaries
+``int8``    ``qint8``       quantized *feature gathers* only:
+                            VERTEX data inputs stored as symmetric
+                            per-row int8 + one fp32 scale per row,
+                            dequantized to fp32 before any compute
+==========  ==============  =====================================
+
+:func:`apply_precision` rewrites a module's interface specs to the
+storage dtype and re-infers every node output, so the analytic
+ledgers, the arena planner, and the serving cache all see the shrunk
+byte counts without any of them special-casing precision.  The
+numeric helpers (:func:`bf16_round`, :func:`quantize_dequantize`)
+are what the execution engine uses to *simulate* the storage formats
+NumPy cannot represent natively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.ir.tensorspec import Domain, TensorSpec
+
+__all__ = [
+    "PRECISIONS",
+    "DEFAULT_PRECISION",
+    "canonical_precision",
+    "storage_dtype",
+    "apply_precision",
+    "bf16_round",
+    "quantize_rows",
+    "dequantize_rows",
+    "quantize_dequantize",
+    "simulate_storage",
+    "precision_error_bound",
+]
+
+# precision name -> storage dtype for float32 values.
+PRECISIONS: Dict[str, str] = {
+    "fp32": "float32",
+    "fp16": "float16",
+    "bf16": "bfloat16",
+    "int8": "qint8",
+}
+
+DEFAULT_PRECISION = "fp32"
+
+_ALIASES = {
+    "float32": "fp32",
+    "float16": "fp16",
+    "half": "fp16",
+    "bfloat16": "bf16",
+    "qint8": "int8",
+}
+
+# Documented relative-error bounds vs. the fp32 oracle (see README
+# differential contract 1b).  fp32 is bit-identical; fp16/bf16 follow
+# from 10/7 mantissa bits through shallow GNNs; int8 from the 1/254
+# per-row quantisation step amplified by aggregation.
+PRECISION_ERROR_BOUNDS: Dict[str, float] = {
+    "fp32": 0.0,
+    "fp16": 1e-2,
+    "bf16": 1e-2,
+    "int8": 1e-1,
+}
+
+
+def canonical_precision(precision: str) -> str:
+    """Normalise a precision name; raise ``ValueError`` on junk."""
+    p = str(precision).lower()
+    p = _ALIASES.get(p, p)
+    if p not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{sorted(PRECISIONS)}"
+        )
+    return p
+
+
+def storage_dtype(precision: str) -> str:
+    """Storage dtype (possibly logical) for float32 values."""
+    return PRECISIONS[canonical_precision(precision)]
+
+
+def precision_error_bound(precision: str) -> float:
+    """Relative-error bound vs. the fp32 oracle for this precision."""
+    return PRECISION_ERROR_BOUNDS[canonical_precision(precision)]
+
+
+# ======================================================================
+# Module transform
+# ======================================================================
+def apply_precision(module, precision: str):
+    """Rewrite ``module``'s float32 specs to the precision's storage dtype.
+
+    * ``fp32`` returns the module unchanged (the oracle path is
+      untouched — bit-identical by construction).
+    * ``fp16``/``bf16`` re-dtype every float32 input, param, and graph
+      constant, then re-infer node outputs topologically so derived
+      values inherit the storage dtype.
+    * ``int8`` re-dtypes only VERTEX-domain *data* inputs (the feature
+      rows a gather actually reads); params, graph constants, and all
+      derived values stay float32 — quantisation compresses storage,
+      not compute.
+
+    Non-float32 specs (int64 argmax outputs, explicit float64 inputs)
+    are never touched.
+    """
+    from repro.ir.module import GRAPH_CONSTANTS, Module, infer_output_specs
+
+    p = canonical_precision(precision)
+    if p == "fp32":
+        return module
+    storage = PRECISIONS[p]
+
+    produced = set()
+    for node in module.nodes:
+        produced.update(node.outputs)
+
+    def _rewrite(name: str, spec: TensorSpec) -> TensorSpec:
+        if spec.dtype != "float32":
+            return spec
+        if p == "int8":
+            if (
+                spec.domain is Domain.VERTEX
+                and name in module.inputs
+                and name not in GRAPH_CONSTANTS
+            ):
+                return spec.with_dtype(storage)
+            return spec
+        return spec.with_dtype(storage)
+
+    # Interface specs (inputs, params, graph constants) first …
+    new_specs: Dict[str, TensorSpec] = {}
+    infer_specs: Dict[str, TensorSpec] = {}
+    for name, spec in module.specs.items():
+        if name in produced:
+            continue
+        new = _rewrite(name, spec)
+        new_specs[name] = new
+        # qint8 dequantises to float32 before compute, so inference
+        # sees the concrete dtype and derived values never carry it.
+        infer_specs[name] = (
+            new.with_dtype("float32") if new.dtype == "qint8" else new
+        )
+
+    # … then re-infer every node output in topological order.
+    for node in module.nodes:
+        out = infer_output_specs(node, infer_specs)
+        new_specs.update(out)
+        infer_specs.update(out)
+
+    return Module(
+        name=module.name,
+        nodes=list(module.nodes),
+        specs=new_specs,
+        inputs=list(module.inputs),
+        params=list(module.params),
+        outputs=list(module.outputs),
+    )
+
+
+# ======================================================================
+# Numeric simulation helpers
+# ======================================================================
+def bf16_round(arr: np.ndarray) -> np.ndarray:
+    """Round a float32 array to bfloat16 precision (kept as float32).
+
+    Round-to-nearest-even on the top 16 bits of the IEEE-754 bit
+    pattern — the hardware semantics of an fp32→bf16→fp32 round trip.
+    NaNs and infinities pass through (the RNE increment cannot turn a
+    NaN payload into an infinity here because the low mantissa bits
+    are truncated afterwards only for finite values).
+    """
+    arr = np.ascontiguousarray(arr, dtype=np.float32)
+    u = arr.view(np.uint32)
+    rounded = u + (((u >> np.uint32(16)) & np.uint32(1)) + np.uint32(0x7FFF))
+    rounded &= np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32)
+    finite = np.isfinite(arr)
+    if not finite.all():
+        out = np.where(finite, out, arr)
+    return out.reshape(arr.shape)
+
+
+def quantize_rows(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-row int8 quantisation.
+
+    Returns ``(q, scales)`` with ``q`` int8 in ``[-127, 127]`` and
+    ``scales`` float32 of shape ``(rows,)`` where
+    ``scale = max|row| / 127`` (1.0 for all-zero rows so dequantisation
+    is exact there).
+    """
+    arr = np.asarray(arr, dtype=np.float32)
+    rows = arr.shape[0]
+    flat = arr.reshape(rows, -1)
+    absmax = np.abs(flat).max(axis=1)
+    scales = np.where(absmax > 0, absmax / np.float32(127.0), np.float32(1.0))
+    scales = scales.astype(np.float32)
+    q = np.clip(np.rint(flat / scales[:, None]), -127, 127).astype(np.int8)
+    return q.reshape(arr.shape), scales
+
+
+def dequantize_rows(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_rows`; returns float32."""
+    rows = q.shape[0]
+    out = q.reshape(rows, -1).astype(np.float32) * scales.astype(np.float32)[:, None]
+    return out.reshape(q.shape)
+
+
+def quantize_dequantize(arr: np.ndarray) -> np.ndarray:
+    """Round-trip an array through per-row int8 — the storage simulation."""
+    q, scales = quantize_rows(arr)
+    return dequantize_rows(q, scales)
+
+
+def simulate_storage(spec: TensorSpec, arr: np.ndarray) -> np.ndarray:
+    """Cast ``arr`` to ``spec``'s execution dtype, simulating its storage.
+
+    fp16 specs cast natively; ``bfloat16`` rounds the float32 mantissa
+    (RNE); ``qint8`` round-trips through per-row int8 + scale.
+    Non-float arrays (argmax indices) pass through untouched.
+    """
+    if not np.issubdtype(np.asarray(arr).dtype, np.floating):
+        return arr
+    arr = np.asarray(arr).astype(spec.concrete_dtype, copy=False)
+    if spec.dtype == "bfloat16":
+        return bf16_round(arr)
+    if spec.dtype == "qint8":
+        return quantize_dequantize(arr)
+    return arr

@@ -26,7 +26,27 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["Domain", "TensorSpec"]
+__all__ = ["Domain", "TensorSpec", "LOGICAL_DTYPES"]
+
+# Storage-only dtypes NumPy cannot represent natively.  Each entry maps a
+# *logical* dtype name to ``(itemsize, concrete_dtype)``: byte accounting
+# uses the logical itemsize while the execution engine materialises the
+# value in the concrete dtype (simulating the storage format numerically).
+#
+# ``bfloat16``  — 2-byte truncated float32 (round-to-nearest-even on the
+#                 top 16 bits); computed as float32, rounded at node
+#                 boundaries.
+# ``qint8``     — symmetric per-row int8 quantisation with one float32
+#                 scale per row (``max|row| / 127``); rows therefore cost
+#                 ``feat_elements * 1 + 4`` bytes.  Dequantised to float32
+#                 before any compute, so derived values never carry it.
+LOGICAL_DTYPES: dict = {
+    "bfloat16": (2, "float32"),
+    "qint8": (1, "float32"),
+}
+
+# Per-row overhead bytes beyond ``feat_elements * itemsize``.
+_SCALE_BYTES: dict = {"qint8": 4}
 
 
 class Domain(Enum):
@@ -69,7 +89,14 @@ class TensorSpec:
             raise ValueError(f"feature dims must be positive, got {fs}")
         object.__setattr__(self, "feat_shape", fs)
         # Validate the dtype eagerly so errors surface at build time.
-        np.dtype(self.dtype)
+        if self.dtype not in LOGICAL_DTYPES:
+            try:
+                np.dtype(self.dtype)
+            except TypeError:
+                raise ValueError(
+                    f"unknown dtype {self.dtype!r}: not a NumPy dtype and "
+                    f"not one of the logical dtypes {sorted(LOGICAL_DTYPES)}"
+                ) from None
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +106,36 @@ class TensorSpec:
 
     @property
     def itemsize(self) -> int:
+        """Bytes per element in *storage* (logical dtypes included)."""
+        if self.dtype in LOGICAL_DTYPES:
+            return LOGICAL_DTYPES[self.dtype][0]
         return np.dtype(self.dtype).itemsize
+
+    @property
+    def concrete_dtype(self) -> np.dtype:
+        """NumPy dtype the engine materialises this value in.
+
+        Logical dtypes (``bfloat16``, ``qint8``) have no NumPy
+        representation; they are simulated in their concrete dtype while
+        *accounting* uses the logical :attr:`itemsize`.
+        """
+        if self.dtype in LOGICAL_DTYPES:
+            return np.dtype(LOGICAL_DTYPES[self.dtype][1])
+        return np.dtype(self.dtype)
+
+    @property
+    def scale_bytes(self) -> int:
+        """Per-row metadata bytes (quantisation scales); 0 for plain dtypes."""
+        return _SCALE_BYTES.get(self.dtype, 0)
+
+    @property
+    def row_bytes(self) -> int:
+        """Storage bytes per leading row, including per-row scales."""
+        return self.feat_elements * self.itemsize + self.scale_bytes
+
+    @property
+    def is_quantized(self) -> bool:
+        return self.dtype == "qint8"
 
     def rows(self, num_vertices: int, num_edges: int) -> int:
         """Leading extent given the graph size."""
@@ -93,7 +149,7 @@ class TensorSpec:
         return self.rows(num_vertices, num_edges) * self.feat_elements
 
     def nbytes(self, num_vertices: int, num_edges: int) -> int:
-        return self.elements(num_vertices, num_edges) * self.itemsize
+        return self.rows(num_vertices, num_edges) * self.row_bytes
 
     # ------------------------------------------------------------------
     def with_feat(self, feat_shape: Tuple[int, ...]) -> "TensorSpec":

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Set, Tuple
+from typing import Optional, Set, Tuple
 
 import numpy as np
 
@@ -82,13 +82,38 @@ class FeatureCache:
 
     ``capacity_rows`` bounds the number of cached rows; 0 disables
     caching (every lookup misses, the uncached-accounting limit).
-    Lookups are resolved row by row in vertex order, so a batch's split
-    is deterministic; missed rows are inserted (and the least recently
-    used *unpinned* row evicted) immediately, modelling a fetch-through
-    cache.
+    Alternatively pass ``capacity_bytes`` with the per-row storage cost
+    (``row_bytes``) and the row budget is derived as
+    ``capacity_bytes // row_bytes`` — the device-memory framing, under
+    which a fixed byte budget holds twice as many fp16 rows as fp32
+    ones.  Lookups are resolved row by row in vertex order, so a
+    batch's split is deterministic; missed rows are inserted (and the
+    least recently used *unpinned* row evicted) immediately, modelling
+    a fetch-through cache.
     """
 
-    def __init__(self, capacity_rows: int = 0):
+    def __init__(
+        self,
+        capacity_rows: int = 0,
+        *,
+        capacity_bytes: Optional[int] = None,
+        row_bytes: Optional[int] = None,
+    ):
+        if capacity_bytes is not None:
+            if capacity_rows:
+                raise ValueError(
+                    "pass capacity_rows or capacity_bytes, not both"
+                )
+            if capacity_bytes < 0:
+                raise ValueError("capacity_bytes must be non-negative")
+            if row_bytes is None or row_bytes <= 0:
+                raise ValueError(
+                    "capacity_bytes requires a positive row_bytes "
+                    "(the per-row storage cost to divide the budget by)"
+                )
+            capacity_rows = int(capacity_bytes) // int(row_bytes)
+        elif row_bytes is not None:
+            raise ValueError("row_bytes is only meaningful with capacity_bytes")
         if capacity_rows < 0:
             raise ValueError("capacity_rows must be non-negative")
         self.capacity_rows = int(capacity_rows)

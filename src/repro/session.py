@@ -318,6 +318,9 @@ class Session:
         # Kernel backend override: None keeps the strategy's own choice
         # (normally "reference").
         self._backend: Optional[str] = None
+        # Feature-storage precision override: None keeps the strategy's
+        # own precision (normally "fp32").
+        self._precision: Optional[str] = None
         # (compiled id, stats id) -> (compiled, stats, StepMemoryPlan).
         self._memory_memo: Dict[tuple, tuple] = {}
         # Registry-name models resolve once per configuration; the
@@ -386,6 +389,27 @@ class Session:
 
             backend = canonical_backend(backend)
         self._backend = backend
+        return self
+
+    def precision(self, precision: Optional[str]) -> "Session":
+        """Select the feature-storage precision of this configuration.
+
+        ``precision`` is a policy name from
+        :mod:`repro.ir.precision` — ``"fp32"`` (the oracle),
+        ``"fp16"``/``"bf16"`` half-width feature storage, or ``"int8"``
+        per-row quantized feature gathers with fp32 accumulation.  The
+        resolved strategy carries the choice
+        (``ExecutionStrategy.precision``), so compiled specs, analytic
+        IO/memory ledgers, arena slabs, serving cache rows, and
+        concrete execution all see the storage dtype.
+        ``precision(None)`` restores the strategy's own (fp32)
+        precision.
+        """
+        if precision is not None:
+            from repro.ir.precision import canonical_precision
+
+            precision = canonical_precision(precision)
+        self._precision = precision
         return self
 
     def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
@@ -486,6 +510,8 @@ class Session:
             resolved = with_memory_schedule(resolved)
         if self._backend is not None and resolved.backend != self._backend:
             resolved = replace(resolved, backend=self._backend)
+        if self._precision is not None and resolved.precision != self._precision:
+            resolved = replace(resolved, precision=self._precision)
         return resolved
 
     def resolve_gpu(self) -> GPUSpec:
@@ -1073,6 +1099,11 @@ class SweepRow:
     #: [...])``).  Analytic columns are backend-independent; the column
     #: labels which backend concrete execution paths would use.
     backend: Optional[str] = None
+    #: Feature-storage precision of the row's plans (``run_sweep(
+    #: precision=[...])``).  Unlike ``backend``, precision changes the
+    #: analytic columns: IO, peak memory, stash, and gather bytes all
+    #: shrink with the storage dtype.
+    precision: Optional[str] = None
     #: Online-serving rows (``run_sweep(serve_qps=[...])``): the offered
     #: load and the tail-latency/SLO/cache metrics of the served
     #: stream; ``latency_s`` then reports the *mean* request latency
@@ -1111,6 +1142,7 @@ class SweepRow:
             "schedule": self.schedule,
             "arena_bytes": self.arena_bytes,
             "backend": self.backend,
+            "precision": self.precision,
             "serve_qps": self.serve_qps,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
@@ -1145,6 +1177,7 @@ class SweepReport:
         with_batches = any(r.batch_size is not None for r in self.rows)
         with_schedules = any(r.schedule is not None for r in self.rows)
         with_backends = any(r.backend is not None for r in self.rows)
+        with_precisions = any(r.precision is not None for r in self.rows)
         with_serving = any(r.serve_qps is not None for r in self.rows)
         with_updates = any(r.update_frac is not None for r in self.rows)
         body = [
@@ -1155,6 +1188,7 @@ class SweepReport:
                if with_batches else [])
             + ([r.schedule or "-"] if with_schedules else [])
             + ([r.backend or "-"] if with_backends else [])
+            + ([r.precision or "-"] if with_precisions else [])
             + [
                 f"{r.flops / 1e9:.2f}",
                 f"{r.io_bytes / 2**20:.1f}",
@@ -1193,6 +1227,7 @@ class SweepReport:
             + (["batch"] if with_batches else [])
             + (["sched"] if with_schedules else [])
             + (["backend"] if with_backends else [])
+            + (["prec"] if with_precisions else [])
             + ["GFLOPs", "IO MiB", "mem MiB", "fits", "ms/step"]
             + (["qps", "p50 ms", "p99 ms", "hit", "viol"]
                if with_serving else [])
@@ -1241,6 +1276,7 @@ def run_sweep(
     minibatch_seed: int = 0,
     schedule: Union[None, str, Sequence[Optional[str]]] = None,
     backend: Union[None, str, Sequence[Optional[str]]] = None,
+    precision: Union[None, str, Sequence[Optional[str]]] = None,
     serve_qps: Optional[Sequence[float]] = None,
     serve_requests: int = 192,
     serve_seeds: int = 1,
@@ -1295,6 +1331,13 @@ def run_sweep(
     ``Engine`` runs on the compiled plans) would use, and each named
     backend compiles through its own plan-cache entry.
 
+    ``precision`` sweeps feature-storage precision: a policy name or a
+    sequence mixing ``"fp32"``/``"fp16"``/``"bf16"``/``"int8"`` with
+    ``None`` (the strategy's own fp32).  Unlike ``backend``, precision
+    *changes* the analytic columns — gather IO, peak memory, and stash
+    bytes shrink with the storage dtype — and each precision compiles
+    through its own plan-cache entry.
+
     ``serve_qps`` sweeps online serving instead of offline steps: each
     configuration serves a fixed-seed Poisson request stream at every
     offered load (``serve_requests`` requests of ``serve_seeds`` seeds,
@@ -1329,6 +1372,10 @@ def run_sweep(
         backend_options: Tuple[Optional[str], ...] = (backend,)
     else:
         backend_options = tuple(backend)
+    if precision is None or isinstance(precision, str):
+        precision_options: Tuple[Optional[str], ...] = (precision,)
+    else:
+        precision_options = tuple(precision)
     if any(b is not None for b in batch_options) and any(
         n > 1 for n in num_gpus
     ):
@@ -1356,13 +1403,20 @@ def run_sweep(
             stats = s.resolve_stats()
             for strat in strategies:
                 s.strategy(strat)
-                for sched, bk in (
-                    (sc, b) for sc in schedule_options for b in backend_options
+                for sched, bk, prec in (
+                    (sc, b, pr)
+                    for sc in schedule_options
+                    for b in backend_options
+                    for pr in precision_options
                 ):
                     s.schedule(sched)
                     s.backend(bk)
+                    s.precision(prec)
                     resolved = s.resolve_strategy()
                     row_backend = resolved.backend if bk is not None else None
+                    row_precision = (
+                        resolved.precision if prec is not None else None
+                    )
                     if training and not resolved.supports_training:
                         continue
                     counters = s.counters(training=training)
@@ -1445,6 +1499,7 @@ def run_sweep(
                                                 ),
                                                 schedule=sched,
                                                 backend=row_backend,
+                                                precision=row_precision,
                                                 serve_qps=float(q),
                                                 update_frac=uf,
                                             )
@@ -1468,6 +1523,7 @@ def run_sweep(
                                             gather_bytes=sc.gather_bytes,
                                             schedule=sched,
                                             backend=row_backend,
+                                            precision=row_precision,
                                             serve_qps=float(q),
                                             p50_latency_s=rep.p50_latency_s,
                                             p95_latency_s=rep.p95_latency_s,
@@ -1513,6 +1569,7 @@ def run_sweep(
                                                 fits_device=cost.fits(counters),
                                                 schedule=sched,
                                                 backend=row_backend,
+                                                precision=row_precision,
                                                 arena_bytes=arena,
                                             )
                                         )
@@ -1541,6 +1598,7 @@ def run_sweep(
                                             gather_bytes=mc.gather_bytes,
                                             schedule=sched,
                                             backend=row_backend,
+                                            precision=row_precision,
                                         )
                                     )
                                 s.minibatch(None)
@@ -1574,10 +1632,12 @@ def run_sweep(
                                     comm_fraction=multi.comm_fraction,
                                     schedule=sched,
                                     backend=row_backend,
+                                    precision=row_precision,
                                 )
                             )
                 s.schedule(None)
                 s.backend(None)
+                s.precision(None)
     report = SweepReport(
         rows=rows,
         cache_hits=cache.hits - hits0,

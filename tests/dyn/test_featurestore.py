@@ -116,3 +116,68 @@ class TestCacheCoupling:
         s = _store(cache=None)
         s.put(np.array([0]), np.zeros((1, 3)))  # no cache, no error
         assert s.version == 1
+
+
+class TestStorageDtypes:
+    """The declared dtype shrinks the write ledger and rounds rows to
+    what the storage format can actually hold."""
+
+    def test_default_is_float64_reference(self):
+        s = _store(dim=3)
+        assert s.dtype == "float64"
+        assert s.row_bytes == 3 * 8
+
+    def test_float16_halves_the_put_ledger(self):
+        full = _store(dim=4)
+        half = _store(dim=4, dtype="float16")
+        assert half.row_bytes * 4 == full.row_bytes
+        rows = np.full((2, 4), 0.5)
+        full.put(np.array([0, 1]), rows)
+        half.put(np.array([0, 1]), rows)
+        assert half.put_bytes * 4 == full.put_bytes
+
+    def test_float16_rows_are_stored_at_half(self):
+        s = _store(dim=3, dtype="float16")
+        x = np.array([[1.0, 1.0 + 2.0 ** -12, -2.0]])
+        s.put(np.array([2]), x)
+        got = s.rows(np.array([2]))
+        np.testing.assert_array_equal(
+            got, x.astype(np.float16).astype(got.dtype)
+        )
+
+    def test_qint8_rows_carry_scale_bytes(self):
+        s = _store(dim=6, dtype="qint8")
+        assert s.row_bytes == 6 + 4
+        s.put(np.array([0]), np.ones((1, 6)))
+        assert s.put_bytes == 10
+
+    def test_qint8_round_trips_through_quantisation(self):
+        from repro.ir.precision import quantize_dequantize
+
+        s = _store(dim=4, dtype="qint8")
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 4))
+        s.put(np.array([0, 1]), x)
+        np.testing.assert_array_equal(
+            s.rows(np.array([0, 1])),
+            quantize_dequantize(x.astype(np.float32)),
+        )
+
+    def test_grow_ledger_charges_storage_width(self):
+        s = _store(n=4, dim=2, dtype="float16")
+        s.add_vertices(np.ones((3, 2)))
+        assert s.grow_bytes == 3 * 2 * 2
+
+    def test_snapshot_is_bit_exact_under_quantisation(self):
+        # The log records *stored* rows, so the replayed snapshot equals
+        # the live matrix bit for bit even though puts are lossy.
+        s = _store(n=5, dim=3, dtype="qint8")
+        rng = np.random.default_rng(4)
+        s.put(np.array([0, 2]), rng.normal(size=(2, 3)))
+        s.add_vertices(rng.normal(size=(2, 3)))
+        s.put(np.array([5]), rng.normal(size=(1, 3)))
+        np.testing.assert_array_equal(s.snapshot_at(), s.matrix)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            _store(dtype="floatX")

@@ -228,32 +228,44 @@ class TestNoAliasing:
 
 
 class TestDtypePreservation:
-    """float32 in → float32 out, even with np.float64 scalar attrs."""
+    """Storage dtype in → same dtype out, even with float64 scalar attrs.
+
+    Swept at float32 AND float16: mixed-precision execution stores
+    activations in half floats, and segment reductions / weight-gradient
+    row reductions accumulate in float32 internally — the contract is
+    that the *visible* output dtype still matches the input storage
+    dtype (the fp32 accumulator never leaks out).  bfloat16 needs no
+    kernel-level sweep: it is a logical dtype the engine materialises as
+    float32, so kernels only ever see float32 arrays for it.
+    """
+
+    DTYPES = (np.float32, np.float16)
 
     @pytest.mark.parametrize("backend", available_backends())
-    def test_apply_kernels(self, rng, backend):
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_apply_kernels(self, rng, backend, dtype):
         kernels = get_backend(backend)
-        for fn, (inputs, params, attrs) in _apply_cases(
-            rng, np.float32
-        ).items():
+        for fn, (inputs, params, attrs) in _apply_cases(rng, dtype).items():
             out = kernels.apply(fn, inputs, params, attrs)
-            assert out.dtype == np.float32, (
-                f"{backend}:apply:{fn} upcast float32 to {out.dtype}"
+            assert out.dtype == dtype, (
+                f"{backend}:apply:{fn} upcast {dtype} to {out.dtype}"
             )
 
     @pytest.mark.parametrize("backend", available_backends())
-    def test_scatter_kernels(self, graph, rng, backend):
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_kernels(self, graph, rng, backend, dtype):
         kernels = get_backend(backend)
-        for fn, inputs in _scatter_cases(graph, rng, np.float32).items():
+        for fn, inputs in _scatter_cases(graph, rng, dtype).items():
             out = kernels.scatter(fn, graph, inputs)
-            assert out.dtype == np.float32, (
-                f"{backend}:scatter:{fn} upcast float32 to {out.dtype}"
+            assert out.dtype == dtype, (
+                f"{backend}:scatter:{fn} upcast {dtype} to {out.dtype}"
             )
 
     @pytest.mark.parametrize("backend", available_backends())
-    def test_gather_kernels(self, graph, rng, backend):
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_gather_kernels(self, graph, rng, backend, dtype):
         kernels = get_backend(backend)
-        edge = rng.normal(size=(graph.num_edges, F)).astype(np.float32)
+        edge = rng.normal(size=(graph.num_edges, F)).astype(dtype)
         for fn in registered_functions("gather"):
             for orientation in ("in", "out"):
                 for want_argmax in (False, fn == "max"):
@@ -261,22 +273,23 @@ class TestDtypePreservation:
                         fn, graph, edge,
                         orientation=orientation, want_argmax=want_argmax,
                     )
-                    assert out.dtype == np.float32, (
-                        f"{backend}:gather:{fn} upcast to {out.dtype}"
+                    assert out.dtype == dtype, (
+                        f"{backend}:gather:{fn} upcast {dtype} to {out.dtype}"
                     )
                     if want_argmax:
                         assert argmax is not None
                         assert np.issubdtype(argmax.dtype, np.integer)
 
     @pytest.mark.parametrize("backend", available_backends())
-    def test_param_grad_kernels(self, rng, backend):
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_param_grad_kernels(self, rng, backend, dtype):
         kernels = get_backend(backend)
         for fn, (inputs, params, attrs) in _param_grad_cases(
-            rng, np.float32
+            rng, dtype
         ).items():
             out = kernels.param_grad(fn, inputs, params, attrs)
-            assert out.dtype == np.float32, (
-                f"{backend}:param_grad:{fn} upcast float32 to {out.dtype}"
+            assert out.dtype == dtype, (
+                f"{backend}:param_grad:{fn} upcast {dtype} to {out.dtype}"
             )
 
     def test_leaky_relu_regression(self):

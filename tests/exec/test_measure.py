@@ -91,6 +91,7 @@ class TestMeasurePlan:
         assert run.backend == "reference"
         assert run.gpu == "V100"
         assert run.repeats == 3
+        assert run.dtype == "float32"
         assert [t.index for t in run.timings] == list(
             range(len(compiled.plan.kernels))
         )
@@ -146,11 +147,12 @@ class TestCalibrationRows:
             )
         )
         rows = calibration_rows([run])
-        assert [r[:2] for r in rows] == [
-            ["reference", "gather"], ["reference", "apply"],
+        assert [r[:3] for r in rows] == [
+            ["reference", "float32", "gather"],
+            ["reference", "float32", "apply"],
         ]
-        assert rows[0][5] == "4.00"
-        assert rows[1][5] == "inf"
+        assert rows[0][6] == "4.00"
+        assert rows[1][6] == "inf"
         assert KernelTiming(
             index=1, label="k1", kernel_class="apply",
             mapping="vertex", measured_s=1.0, analytic_s=0.0,

@@ -1,0 +1,273 @@
+"""Precision policies: canonicalisation, module rewrite, simulation.
+
+The precision subsystem has three layers, each pinned here:
+
+- **Names** — ``canonical_precision`` maps aliases onto the four
+  policies and rejects junk at build time.
+- **Module rewrite** — ``apply_precision`` re-dtypes float32 interface
+  specs and re-infers node outputs; fp32 is the identity, int8 touches
+  only VERTEX data inputs, and non-float32 specs (int64 argmax,
+  float64) are never rewritten.  Derived specs inherit the storage
+  dtype, including autodiff gradient specs.
+- **Numerics** — ``bf16_round`` is IEEE round-to-nearest-even on the
+  top 16 bits; ``quantize_rows``/``dequantize_rows`` is symmetric
+  per-row int8 with ``max|row|/127`` scales and a bounded round-trip
+  error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import Builder, Domain, differentiate
+from repro.ir.module import GRAPH_CONSTANTS
+from repro.ir.precision import (
+    PRECISION_ERROR_BOUNDS,
+    PRECISIONS,
+    apply_precision,
+    bf16_round,
+    canonical_precision,
+    dequantize_rows,
+    precision_error_bound,
+    quantize_dequantize,
+    quantize_rows,
+    simulate_storage,
+    storage_dtype,
+)
+from repro.ir.tensorspec import TensorSpec
+
+
+class TestNames:
+    def test_canonical_identity(self):
+        for p in PRECISIONS:
+            assert canonical_precision(p) == p
+
+    def test_aliases(self):
+        assert canonical_precision("float32") == "fp32"
+        assert canonical_precision("float16") == "fp16"
+        assert canonical_precision("half") == "fp16"
+        assert canonical_precision("bfloat16") == "bf16"
+        assert canonical_precision("qint8") == "int8"
+        assert canonical_precision("FP16") == "fp16"
+
+    def test_rejects_junk(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            canonical_precision("fp8")
+
+    def test_storage_dtypes(self):
+        assert storage_dtype("fp32") == "float32"
+        assert storage_dtype("fp16") == "float16"
+        assert storage_dtype("bf16") == "bfloat16"
+        assert storage_dtype("int8") == "qint8"
+
+    def test_error_bounds(self):
+        assert precision_error_bound("fp32") == 0.0
+        assert set(PRECISION_ERROR_BOUNDS) == set(PRECISIONS)
+        assert all(
+            precision_error_bound(p) >= 0.0 for p in PRECISIONS
+        )
+
+
+def _gat_like_module():
+    """A module with features, params, a gather, and an int64 argmax."""
+    b = Builder("m")
+    h = b.input("h", Domain.VERTEX, (4,))
+    w = b.param("w", (4, 2))
+    y = b.apply("linear", h, params=[w])
+    msg = b.scatter("copy_u", y)
+    agg, _argmax = b.gather("max", msg)
+    b.output(agg)
+    return b.build()
+
+
+class TestApplyPrecision:
+    def test_fp32_is_the_identity(self):
+        m = _gat_like_module()
+        assert apply_precision(m, "fp32") is m
+
+    @pytest.mark.parametrize("prec,storage", [
+        ("fp16", "float16"), ("bf16", "bfloat16"),
+    ])
+    def test_half_rewrites_every_float32_spec(self, prec, storage):
+        m = apply_precision(_gat_like_module(), prec)
+        for name, spec in m.specs.items():
+            if spec.dtype == "int64":
+                continue  # the argmax stays integral
+            assert spec.dtype == storage, f"{name} kept {spec.dtype}"
+
+    def test_int8_touches_only_vertex_data_inputs(self):
+        m = apply_precision(_gat_like_module(), "int8")
+        assert m.specs["h"].dtype == "qint8"
+        # Params stay float32 — quantisation compresses storage reads,
+        # not weights or compute.
+        assert m.specs["w"].dtype == "float32"
+        # Derived values never carry qint8: dequantise-before-compute.
+        for node in m.nodes:
+            for out in node.outputs:
+                assert m.specs[out].dtype != "qint8", out
+
+    def test_int8_leaves_graph_constants_alone(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,))
+        deg = b.input(next(iter(GRAPH_CONSTANTS)), Domain.VERTEX, ())
+        b.output(b.apply("mul", h, b.apply("view", deg, attrs={
+            "out_shape": (1,)})))
+        m = b.build()
+        out = apply_precision(m, "int8")
+        assert out.specs[next(iter(GRAPH_CONSTANTS))].dtype == "float32"
+
+    def test_argmax_survives_as_int64(self):
+        for prec in ("fp16", "bf16", "int8"):
+            m = apply_precision(_gat_like_module(), prec)
+            argmax = [
+                n.outputs[1]
+                for n in m.nodes
+                if len(n.outputs) == 2
+            ]
+            assert argmax and all(
+                m.specs[a].dtype == "int64" for a in argmax
+            )
+
+    def test_float64_specs_are_never_touched(self):
+        b = Builder("m")
+        h = b.input("h", Domain.VERTEX, (4,), dtype="float64")
+        b.output(b.apply("identity", h))
+        m = apply_precision(b.build(), "fp16")
+        assert m.specs["h"].dtype == "float64"
+
+    def test_interface_lists_preserved(self):
+        m = _gat_like_module()
+        out = apply_precision(m, "fp16")
+        assert out.inputs == m.inputs
+        assert out.params == m.params
+        assert out.outputs == m.outputs
+        assert len(out.nodes) == len(m.nodes)
+
+
+class TestGradSpecPropagation:
+    """Autodiff gradient specs inherit the storage dtype."""
+
+    @pytest.mark.parametrize("prec,storage", [
+        ("fp16", "float16"), ("bf16", "bfloat16"),
+    ])
+    def test_grads_inherit_storage_dtype(self, prec, storage):
+        fwd = apply_precision(_gat_like_module(), prec)
+        bwd = differentiate(fwd).backward
+        grads = [n for n in bwd.specs if n.startswith("grad__")]
+        assert grads
+        for name in grads:
+            assert bwd.specs[name].dtype == storage, (
+                f"{name} is {bwd.specs[name].dtype}, wanted {storage}"
+            )
+
+    def test_int8_grads_stay_float32(self):
+        # Features are stored int8 but dequantised before compute, so
+        # every value the backward pass *produces* is float32.  (The
+        # stashed forward input itself stays qint8 — same storage.)
+        fwd = apply_precision(_gat_like_module(), "int8")
+        bwd = differentiate(fwd).backward
+        produced = [o for n in bwd.nodes for o in n.outputs]
+        assert produced
+        for name in produced:
+            assert bwd.specs[name].dtype != "qint8", name
+        grads = [n for n in bwd.specs if n.startswith("grad__")]
+        assert grads
+        for name in grads:
+            assert bwd.specs[name].dtype == "float32", name
+
+
+class TestBf16Round:
+    def test_representable_values_fixed(self):
+        # Values whose mantissa already fits 8 bits round to themselves.
+        vals = np.array([0.0, 1.0, -2.5, 0.15625], dtype=np.float32)
+        np.testing.assert_array_equal(bf16_round(vals), vals)
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 sits exactly between 1.0 and the next bf16 value
+        # (1 + 2^-7); RNE picks the even mantissa — 1.0.
+        x = np.float32(1.0 + 2.0 ** -8)
+        assert bf16_round(np.array([x]))[0] == np.float32(1.0)
+        # Just above the midpoint rounds up.
+        y = np.float32(1.0 + 2.0 ** -8 + 2.0 ** -12)
+        assert bf16_round(np.array([y]))[0] == np.float32(1.0 + 2.0 ** -7)
+
+    def test_relative_error_bound(self, rng):
+        x = rng.normal(size=4096).astype(np.float32)
+        rel = np.abs(bf16_round(x) - x) / np.maximum(np.abs(x), 1e-30)
+        # Half-ULP at 8 mantissa bits: 2^-8.
+        assert float(rel.max()) <= 2.0 ** -8
+
+    def test_non_finite_passthrough(self):
+        x = np.array([np.inf, -np.inf, np.nan, 1.0], dtype=np.float32)
+        out = bf16_round(x)
+        assert out[0] == np.inf and out[1] == -np.inf and np.isnan(out[2])
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=256).astype(np.float32)
+        once = bf16_round(x)
+        np.testing.assert_array_equal(bf16_round(once), once)
+
+
+class TestQuantize:
+    def test_round_trip_error_bound(self, rng):
+        x = rng.normal(size=(64, 16)).astype(np.float32)
+        out = quantize_dequantize(x)
+        # Per-row bound: half a quantisation step, scale = max|row|/127.
+        step = np.abs(x).max(axis=1, keepdims=True) / 127.0
+        assert np.all(np.abs(out - x) <= 0.5 * step + 1e-7)
+
+    def test_q_range_and_scales(self, rng):
+        x = (rng.normal(size=(32, 8)) * 100).astype(np.float32)
+        q, scales = quantize_rows(x)
+        assert q.dtype == np.int8
+        assert q.min() >= -127 and q.max() <= 127
+        np.testing.assert_allclose(
+            scales, np.abs(x).max(axis=1) / 127.0, rtol=1e-6
+        )
+
+    def test_zero_rows_are_exact(self):
+        x = np.zeros((3, 5), dtype=np.float32)
+        q, scales = quantize_rows(x)
+        np.testing.assert_array_equal(scales, np.ones(3, dtype=np.float32))
+        np.testing.assert_array_equal(dequantize_rows(q, scales), x)
+
+    def test_higher_rank_rows(self, rng):
+        x = rng.normal(size=(10, 2, 3)).astype(np.float32)
+        out = quantize_dequantize(x)
+        assert out.shape == x.shape
+        flat = quantize_dequantize(x.reshape(10, 6)).reshape(10, 2, 3)
+        np.testing.assert_array_equal(out, flat)
+
+    def test_idempotent_on_quantised_grid(self, rng):
+        x = rng.normal(size=(16, 8)).astype(np.float32)
+        once = quantize_dequantize(x)
+        np.testing.assert_allclose(
+            quantize_dequantize(once), once, atol=1e-6
+        )
+
+
+class TestSimulateStorage:
+    def test_float16_casts(self):
+        spec = TensorSpec(Domain.VERTEX, (4,), "float16")
+        out = simulate_storage(spec, np.ones((3, 4), dtype=np.float32))
+        assert out.dtype == np.float16
+
+    def test_bfloat16_rounds_in_float32(self, rng):
+        spec = TensorSpec(Domain.VERTEX, (4,), "bfloat16")
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        out = simulate_storage(spec, x)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, bf16_round(x))
+
+    def test_qint8_round_trips(self, rng):
+        spec = TensorSpec(Domain.VERTEX, (4,), "qint8")
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        out = simulate_storage(spec, x)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, quantize_dequantize(x))
+
+    def test_integer_arrays_pass_through(self):
+        spec = TensorSpec(Domain.VERTEX, (4,), "float16")
+        idx = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert simulate_storage(spec, idx) is idx

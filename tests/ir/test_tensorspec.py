@@ -27,8 +27,12 @@ class TestTensorSpec:
         assert spec.elements(7, 3) == 7
 
     def test_dtype_validation(self):
-        with pytest.raises(TypeError):
+        # Unknown dtypes fail at spec-construction (build) time with a
+        # uniform ValueError, whether or not they look NumPy-ish.
+        with pytest.raises(ValueError, match="unknown dtype"):
             TensorSpec(Domain.VERTEX, (3,), "floatX")
+        with pytest.raises(ValueError, match="unknown dtype"):
+            TensorSpec(Domain.VERTEX, (3,), "qint4")
 
     def test_rejects_nonpositive_dims(self):
         with pytest.raises(ValueError):
@@ -42,11 +46,54 @@ class TestTensorSpec:
         assert spec.with_domain(Domain.EDGE).domain is Domain.EDGE
         assert spec.with_dtype("int64").itemsize == 8
 
+    def test_with_dtype_round_trips(self):
+        spec = TensorSpec(Domain.VERTEX, (3,), "float32")
+        for dtype in ("float16", "bfloat16", "qint8", "float64"):
+            there = spec.with_dtype(dtype)
+            assert there.dtype == dtype
+            back = there.with_dtype("float32")
+            assert back == spec
+
     def test_int64_itemsize(self):
         assert TensorSpec(Domain.VERTEX, (2,), "int64").itemsize == 8
 
     def test_str(self):
         assert "vertex" in str(TensorSpec(Domain.VERTEX, (3,)))
+
+
+class TestLogicalDtypes:
+    """bfloat16/qint8: storage-width accounting, concrete simulation."""
+
+    def test_bfloat16_accounting(self):
+        spec = TensorSpec(Domain.VERTEX, (8,), "bfloat16")
+        assert spec.itemsize == 2
+        assert spec.scale_bytes == 0
+        assert spec.row_bytes == 16
+        assert spec.nbytes(10, 99) == 160
+        assert spec.concrete_dtype == np.dtype("float32")
+        assert not spec.is_quantized
+
+    def test_qint8_rows_carry_their_scale(self):
+        spec = TensorSpec(Domain.VERTEX, (8,), "qint8")
+        assert spec.itemsize == 1
+        assert spec.scale_bytes == 4
+        assert spec.row_bytes == 8 + 4
+        assert spec.nbytes(10, 99) == 120
+        assert spec.concrete_dtype == np.dtype("float32")
+        assert spec.is_quantized
+
+    def test_float16_is_native(self):
+        spec = TensorSpec(Domain.EDGE, (4,), "float16")
+        assert spec.itemsize == 2
+        assert spec.row_bytes == 8
+        assert spec.concrete_dtype == np.dtype("float16")
+
+    def test_halving_vs_float32(self):
+        fp32 = TensorSpec(Domain.VERTEX, (16,), "float32")
+        for half in ("float16", "bfloat16"):
+            assert fp32.with_dtype(half).nbytes(100, 0) * 2 == fp32.nbytes(
+                100, 0
+            )
 
 
 class TestRightPadBroadcast:

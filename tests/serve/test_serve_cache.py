@@ -69,6 +69,55 @@ class TestFeatureCache:
             FeatureCache(4).gather(0, np.array([1]), row_bytes=-2)
 
 
+class TestByteCapacity:
+    """A byte budget divided by the storage row width sizes the cache —
+    the same device memory holds twice as many fp16 rows as fp32."""
+
+    def test_rows_derived_from_budget(self):
+        c = FeatureCache(capacity_bytes=1024, row_bytes=64)
+        assert c.capacity_rows == 16
+
+    def test_floor_division(self):
+        c = FeatureCache(capacity_bytes=100, row_bytes=64)
+        assert c.capacity_rows == 1
+
+    def test_fp16_doubles_residency(self):
+        budget = 1 << 10
+        fp32 = FeatureCache(capacity_bytes=budget, row_bytes=64)
+        fp16 = FeatureCache(capacity_bytes=budget, row_bytes=32)
+        assert fp16.capacity_rows == 2 * fp32.capacity_rows
+
+    def test_zero_budget_disables(self):
+        c = FeatureCache(capacity_bytes=0, row_bytes=8)
+        c.gather(0, np.array([1, 2]), 8)
+        assert len(c) == 0
+
+    def test_both_capacities_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            FeatureCache(4, capacity_bytes=64, row_bytes=8)
+
+    def test_budget_requires_row_bytes(self):
+        with pytest.raises(ValueError, match="row_bytes"):
+            FeatureCache(capacity_bytes=64)
+        with pytest.raises(ValueError, match="row_bytes"):
+            FeatureCache(capacity_bytes=64, row_bytes=0)
+
+    def test_row_bytes_alone_rejected(self):
+        with pytest.raises(ValueError, match="only meaningful"):
+            FeatureCache(row_bytes=8)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FeatureCache(capacity_bytes=-1, row_bytes=8)
+
+    def test_byte_sized_cache_evicts_like_row_sized(self):
+        a = FeatureCache(capacity_rows=2)
+        b = FeatureCache(capacity_bytes=16, row_bytes=8)
+        for c in (a, b):
+            c.gather(0, np.array([1, 2, 3]), 8)
+        assert a.evictions == b.evictions and len(a) == len(b)
+
+
 class TestPinDuringBatch:
     def test_overflowing_batch_never_evicts_its_own_rows(self):
         # A miss burst larger than capacity must not evict rows this
