@@ -32,6 +32,7 @@ GOLDEN_TABLES = {
     "scaling_multi_gpu": lambda: figures.fig_multi_gpu_scaling().table,
     "minibatch_io": lambda: figures.fig_minibatch_io().table,
     "fig_memory_plan": lambda: figures.fig_memory_plan().table,
+    "fig_static_analysis": lambda: figures.fig_static_analysis().table,
     "fig_precision_io": lambda: figures.fig_precision_io().table,
     "fig_serving_latency": lambda: figures.fig_serving_latency().table,
     "fig_dynamic_serving": lambda: figures.fig_dynamic_serving().table,

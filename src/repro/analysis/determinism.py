@@ -1,0 +1,197 @@
+"""Determinism lint: RNG and wall-clock hygiene in serving-path code.
+
+The serving, dynamic-graph, and benchmark layers promise reproducible
+runs: the same seed replays the identical workload, and the golden
+tables regenerate bit-identically.  Both promises die silently the
+moment someone reaches for ambient nondeterminism, so this lint walks
+the AST of those trees and flags:
+
+- RP501 — global NumPy RNG state (``np.random.rand`` et al.): hidden
+  cross-call coupling, unseedable per workload,
+- RP502 — ``default_rng()`` with no arguments: a fresh OS-entropy seed
+  per call,
+- RP503 — wall-clock reads (``time.time``, ``perf_counter``,
+  ``datetime.now`` …) anywhere outside ``measure.py`` — measured time
+  belongs to the measurement layer only,
+- RP504 — the stdlib ``random`` module: unseeded and process-global.
+
+Suppressions are explicit per line: ``# repro: allow-wallclock`` and
+``# repro: allow-rng`` mark audited exceptions (CLI progress printing
+in ``bench/__main__.py`` is the canonical one).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity, SourceLocation
+
+__all__ = ["lint_source", "lint_paths", "DeterminismChecker", "LINT_TREES"]
+
+#: Package-relative trees the determinism contract covers.
+LINT_TREES = ("serve", "dyn", "bench")
+
+_WALLCLOCK_PATHS = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "monotonic"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+}
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: Files whose whole purpose is reading the wall clock.
+_WALLCLOCK_EXEMPT_FILES = {"measure.py"}
+
+
+def _dotted(node: ast.AST) -> Optional[tuple]:
+    """``a.b.c`` call target as a name tuple, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _pragma_lines(text: str, pragma: str) -> Set[int]:
+    return {
+        i
+        for i, line in enumerate(text.splitlines(), start=1)
+        if pragma in line
+    }
+
+
+def lint_source(
+    text: str, filename: str = "<source>"
+) -> List[Diagnostic]:
+    """Lint one source text; returns RP5xx diagnostics with file/line."""
+    try:
+        tree = ast.parse(text, filename=filename)
+    except SyntaxError as exc:
+        raise ValueError(f"cannot lint {filename}: {exc}") from exc
+    allow_clock = _pragma_lines(text, "repro: allow-wallclock")
+    allow_rng = _pragma_lines(text, "repro: allow-rng")
+    base = Path(filename).name
+    diags: List[Diagnostic] = []
+
+    def emit(code: str, line: int, message: str) -> None:
+        diags.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message=message,
+                location=SourceLocation(file=filename, line=line),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _dotted(node.func)
+        if path is None:
+            continue
+        if path == ("default_rng",):
+            # Imported by name: ``from numpy.random import default_rng``.
+            if (
+                not node.args
+                and not node.keywords
+                and node.lineno not in allow_rng
+            ):
+                emit(
+                    "RP502",
+                    node.lineno,
+                    "default_rng() without a seed draws OS entropy — pass "
+                    "an explicit seed",
+                )
+            continue
+        line = node.lineno
+        if len(path) >= 2 and path[0] in _NUMPY_NAMES and path[1] == "random":
+            if path[-1] == "default_rng":
+                if (
+                    not node.args
+                    and not node.keywords
+                    and line not in allow_rng
+                ):
+                    emit(
+                        "RP502",
+                        line,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy — pass an explicit seed",
+                    )
+            elif len(path) >= 3 and line not in allow_rng:
+                emit(
+                    "RP501",
+                    line,
+                    f"global NumPy RNG state via "
+                    f"{'.'.join(path)} — construct a seeded "
+                    "np.random.Generator instead",
+                )
+        elif path[0] == "random" and len(path) >= 2 and line not in allow_rng:
+            emit(
+                "RP504",
+                line,
+                f"stdlib {'.'.join(path)} uses process-global state — use "
+                "a seeded np.random.Generator",
+            )
+        elif path in _WALLCLOCK_PATHS or (
+            len(path) >= 2 and path[-2:] in {p[-2:] for p in _WALLCLOCK_PATHS}
+            and path[0] in ("time", "datetime")
+        ):
+            if base not in _WALLCLOCK_EXEMPT_FILES and line not in allow_clock:
+                emit(
+                    "RP503",
+                    line,
+                    f"wall-clock read {'.'.join(path)}() outside measure.py "
+                    "— timing belongs to the measurement layer "
+                    "(# repro: allow-wallclock to audit an exception)",
+                )
+    return diags
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    diags: List[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            diags.extend(lint_source(f.read_text(), filename=str(f)))
+    return diags
+
+
+class DeterminismChecker:
+    """Bundle checker: RP5xx over the serve/dyn/bench trees.
+
+    ``bundle.lint_paths`` selects the trees (default: the installed
+    :data:`LINT_TREES`); ``bundle.extra_sources`` maps virtual filenames
+    to source texts linted in addition — the hook the mutation harness
+    injects corrupted code through.
+    """
+
+    name = "determinism"
+    codes = ("RP501", "RP502", "RP503", "RP504")
+
+    def check(self, bundle) -> List[Diagnostic]:
+        diags = lint_paths(bundle.lint_paths)
+        for filename, text in sorted(bundle.extra_sources.items()):
+            diags.extend(lint_source(text, filename=filename))
+        return diags
+
+
+def default_lint_paths() -> List[Path]:
+    """The installed package trees the determinism contract covers."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    return [root / tree for tree in LINT_TREES if (root / tree).is_dir()]

@@ -1,0 +1,190 @@
+"""Halo-consistency checking: every ghost read has exactly one exchange.
+
+A partitioned run (:class:`~repro.exec.multi.MultiEngine`) only computes
+correct values if every remote row a kernel touches is fetched by the
+exchange schedule — and the analytic cost model only prices the run
+correctly if it schedules *exactly* those fetches, once each.  This
+checker re-derives the required exchanges from first principles — a
+node-level walk of the plan over the partition's halo extents — and
+reconciles them against the analytic
+:class:`~repro.exec.profiler.CommRecord` schedule:
+
+- RP401: a ghost read (or gradient reduction) with no covering record —
+  the concrete run would compute on stale/absent rows,
+- RP402: a ghost read covered more than once — double-priced traffic,
+- RP403: a covering record whose byte count disagrees with the halo
+  extent times the row width,
+- RP404: a record matching no ghost read — phantom traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.exec.plan import ExecPlan
+from repro.graph.partition import PartitionStats, allreduce_bytes_per_gpu
+from repro.ir.functions import get_scatter_fn
+from repro.ir.ops import OpKind
+from repro.ir.tensorspec import Domain
+
+__all__ = ["expected_exchanges", "check_comm_records", "HaloChecker"]
+
+
+def expected_exchanges(
+    plan: ExecPlan, pstats: PartitionStats
+) -> List[Dict[Tuple[str, str], int]]:
+    """Per-GPU required exchanges: ``(kind, label) -> bytes``.
+
+    Derived from the ownership semantics alone (destination-owned
+    edges, owned + ghost vertex rows per part):
+
+    - a Scatter reading a vertex tensor through the edge *source* needs
+      that tensor's ghost rows — once per (kernel, storage root),
+    - an out-orientation Gather needs the remotely-owned rows of its
+      edge operand,
+    - a parameter-gradient over row-distributed operands needs a ring
+      all-reduce of its output; gradients of replicated (PARAM/DENSE)
+      operands are computed identically everywhere and are exempt.
+    """
+    specs = plan.module.specs
+    P = pstats.num_parts
+    expected: List[Dict[Tuple[str, str], int]] = [dict() for _ in range(P)]
+    if P <= 1:
+        return expected
+    for kernel in plan.kernels:
+        per_kernel: Dict[Tuple[str, str], int] = {}
+        for node in kernel.nodes:
+            if node.kind is OpKind.SCATTER:
+                fn = get_scatter_fn(node.fn)
+                if fn.reads_u and not fn.vertex_direct_read:
+                    name = node.inputs[0]
+                    if specs[name].domain is Domain.VERTEX:
+                        root = plan.root_of(name)
+                        per_kernel[("halo_in", f"{kernel.label}:{root}")] = (
+                            specs[name].row_bytes
+                        )
+            elif node.kind is OpKind.GATHER and node.orientation == "out":
+                name = node.inputs[0]
+                root = plan.root_of(name)
+                per_kernel[("halo_out", f"{kernel.label}:{root}")] = (
+                    specs[name].row_bytes
+                )
+            elif node.kind is OpKind.PARAM_GRAD:
+                if {specs[n].domain for n in node.inputs} <= {
+                    Domain.PARAM,
+                    Domain.DENSE,
+                }:
+                    continue
+                per_kernel[("allreduce", f"{kernel.label}:{node.name}")] = (
+                    specs[node.outputs[0]].row_bytes
+                )
+        for (kind, label), row_bytes in per_kernel.items():
+            for p in range(P):
+                if kind == "halo_in":
+                    nbytes = pstats.halo_in_rows[p] * row_bytes
+                elif kind == "halo_out":
+                    nbytes = pstats.halo_out_rows[p] * row_bytes
+                else:
+                    nbytes = allreduce_bytes_per_gpu(row_bytes, P)
+                expected[p][(kind, label)] = nbytes
+    return expected
+
+
+def check_comm_records(
+    plan: ExecPlan,
+    pstats: PartitionStats,
+    records,
+    *,
+    phase: str = "forward",
+) -> List[Diagnostic]:
+    """Reconcile recorded per-GPU ``CommRecord`` lists with the ghost
+    reads the plan provably performs on this partition."""
+    diags: List[Diagnostic] = []
+    expected = expected_exchanges(plan, pstats)
+    for p in range(pstats.num_parts):
+        want = expected[p]
+        got: Dict[Tuple[str, str], List[int]] = {}
+        for rec in records[p]:
+            got.setdefault((rec.kind, rec.label), []).append(rec.bytes)
+        loc = lambda value: SourceLocation(  # noqa: E731
+            phase=phase, gpu=p, value=value
+        )
+        for (kind, label), nbytes in sorted(want.items()):
+            have = got.get((kind, label))
+            if have is None:
+                diags.append(
+                    Diagnostic(
+                        code="RP401",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"ghost read {label!r} ({kind}, {nbytes} "
+                            "byte(s)) is not covered by any comm record — "
+                            "the partitioned run would compute on stale rows"
+                        ),
+                        location=loc(label),
+                    )
+                )
+                continue
+            if len(have) > 1:
+                diags.append(
+                    Diagnostic(
+                        code="RP402",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"ghost read {label!r} ({kind}) is covered by "
+                            f"{len(have)} comm records; exchanges are "
+                            "deduplicated per (kernel, tensor)"
+                        ),
+                        location=loc(label),
+                    )
+                )
+            if any(b != nbytes for b in have):
+                diags.append(
+                    Diagnostic(
+                        code="RP403",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"comm record {label!r} ({kind}) moves "
+                            f"{have} byte(s) but the halo extent requires "
+                            f"{nbytes}"
+                        ),
+                        location=loc(label),
+                    )
+                )
+        for (kind, label) in sorted(set(got) - set(want)):
+            diags.append(
+                Diagnostic(
+                    code="RP404",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"comm record {label!r} ({kind}) matches no ghost "
+                        "read of the plan on this partition (phantom "
+                        "traffic)"
+                    ),
+                    location=loc(label),
+                )
+            )
+    return diags
+
+
+class HaloChecker:
+    """Bundle checker: RP4xx over every phase of a partitioned bundle."""
+
+    name = "halo"
+    codes = ("RP401", "RP402", "RP403", "RP404")
+
+    def check(self, bundle) -> List[Diagnostic]:
+        if bundle.pstats is None:
+            return []
+        diags: List[Diagnostic] = []
+        for artifact in bundle.plans:
+            records = bundle.comm_records.get(artifact.phase)
+            if records is None:
+                continue
+            diags.extend(
+                check_comm_records(
+                    artifact.plan, bundle.pstats, records, phase=artifact.phase
+                )
+            )
+        return diags

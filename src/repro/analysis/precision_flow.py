@@ -1,0 +1,152 @@
+"""Precision-flow checking: logical dtypes stay storage-only.
+
+The precision machinery (:mod:`repro.ir.precision`) has a narrow
+contract: *logical* dtypes (``bfloat16``, ``qint8``) are storage
+formats, never compute formats.  ``qint8`` may only appear on
+VERTEX-domain data inputs (the feature rows a gather dequantises on
+load); no logical dtype may back an arena slab (the engine materialises
+the concrete float32, which would not fit the logically-sized slab);
+and every reduction must carry a dtype with a known fp32-accumulation
+rule.  This checker proves those rules over a compiled artifact instead
+of trusting ``apply_precision`` call sites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.exec.plan import ExecPlan
+from repro.ir.module import GRAPH_CONSTANTS
+from repro.ir.ops import OpKind
+from repro.ir.tensorspec import LOGICAL_DTYPES
+
+__all__ = ["check_precision_flow", "PrecisionFlowChecker", "ACCUMULATION_DTYPES"]
+
+#: Reduction output dtypes with a defined fp32-accumulation rule:
+#: fp32/fp64 accumulate natively; fp16 segment reductions accumulate in
+#: fp32 and round back; bfloat16 is computed as fp32 throughout.
+#: Integer dtypes are allowed only for argmax index outputs
+#: (``outputs[1]`` of a max-Gather), which are not reductions of data.
+ACCUMULATION_DTYPES = frozenset(
+    {"float32", "float64", "float16", "bfloat16"}
+)
+
+
+def check_precision_flow(
+    plan: ExecPlan, *, memory_plan=None, phase: str = "forward"
+) -> List[Diagnostic]:
+    """All RP3xx findings for one phase's plan (and optional arena)."""
+    module = plan.module
+    specs = module.specs
+    diags: List[Diagnostic] = []
+    loc = lambda value=None, **kw: SourceLocation(  # noqa: E731
+        phase=phase, value=value, **kw
+    )
+
+    # RP301 — qint8 is a *feature-gather* format: legal only on
+    # VERTEX-domain data inputs, never on params, graph constants, or
+    # any value a kernel computed (those are dequantised float32).
+    quant_ok = {
+        name
+        for name in module.inputs
+        if name not in GRAPH_CONSTANTS
+        and specs[name].domain.value == "vertex"
+    }
+    for name in sorted(specs):
+        if specs[name].dtype == "qint8" and name not in quant_ok:
+            diags.append(
+                Diagnostic(
+                    code="RP301",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{name!r} carries qint8 but is not a VERTEX-domain "
+                        "data input — quantisation compresses feature "
+                        "storage, derived values must be dequantised fp32"
+                    ),
+                    location=loc(name),
+                )
+            )
+
+    # RP302 — a logical dtype has no NumPy representation: the engine
+    # materialises the concrete float32, which overflows a slab sized to
+    # the logical itemsize.  The Engine refuses these at bind time; the
+    # checker proves the refusal can never be needed.
+    if memory_plan is not None:
+        for root in sorted(memory_plan.slabs):
+            if specs[root].dtype in LOGICAL_DTYPES:
+                diags.append(
+                    Diagnostic(
+                        code="RP302",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"arena slab for {root!r} holds logical dtype "
+                            f"{specs[root].dtype!r}; the engine would "
+                            "materialise concrete "
+                            f"{specs[root].concrete_dtype} and overflow it"
+                        ),
+                        location=loc(root),
+                    )
+                )
+
+    # RP303 — every reduction (Gather, param-grad accumulation) needs an
+    # fp32-accumulation rule for its primary output dtype.
+    for i, kernel in enumerate(plan.kernels):
+        for node in kernel.nodes:
+            if node.kind not in (OpKind.GATHER, OpKind.PARAM_GRAD):
+                continue
+            out = node.outputs[0]
+            if specs[out].dtype not in ACCUMULATION_DTYPES:
+                diags.append(
+                    Diagnostic(
+                        code="RP303",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"reduction {node.kind.value}:{node.fn} output "
+                            f"{out!r} has dtype {specs[out].dtype!r} with no "
+                            "fp32-accumulation rule"
+                        ),
+                        location=loc(out, kernel=i),
+                    )
+                )
+
+    # RP304 — a view is a zero-copy alias: its output must carry its
+    # root's dtype or byte accounting silently forks from storage.
+    for i, kernel in enumerate(plan.kernels):
+        for node in kernel.nodes:
+            if node.kind is not OpKind.VIEW:
+                continue
+            out, root = node.outputs[0], plan.root_of(node.outputs[0])
+            if specs[out].dtype != specs[root].dtype:
+                diags.append(
+                    Diagnostic(
+                        code="RP304",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"view {out!r} has dtype {specs[out].dtype!r} "
+                            f"but aliases {root!r} of dtype "
+                            f"{specs[root].dtype!r}"
+                        ),
+                        location=loc(out, kernel=i),
+                    )
+                )
+    return diags
+
+
+class PrecisionFlowChecker:
+    """Bundle checker: RP3xx over every compiled phase."""
+
+    name = "precision"
+    codes = ("RP301", "RP302", "RP303", "RP304")
+
+    def check(self, bundle) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for artifact in bundle.plans:
+            diags.extend(
+                check_precision_flow(
+                    artifact.plan,
+                    memory_plan=artifact.memory_plan,
+                    phase=artifact.phase,
+                )
+            )
+        return diags

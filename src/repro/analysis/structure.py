@@ -1,0 +1,145 @@
+"""Structural IR checking (RP0xx) — the analyzer form of
+``repro.ir.validate.validate_module``.
+
+Same invariants, collected as :class:`Diagnostic`\\ s instead of raised
+one at a time, so a corrupted module reports *every* structural defect
+in one pass.  ``validate_module`` remains the raising shim over this
+walk (first error wins, identical message text), so existing call sites
+and tests keep their exception contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.ir.module import GRAPH_CONSTANTS, Module, infer_output_specs
+from repro.ir.tensorspec import Domain
+
+__all__ = ["check_module", "StructureChecker"]
+
+
+def _err(code: str, message: str, value: str = None) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        location=SourceLocation(value=value),
+    )
+
+
+def check_module(module: Module) -> List[Diagnostic]:
+    """All RP0xx findings of one module (empty list = well-formed)."""
+    diags: List[Diagnostic] = []
+    defined: Set[str] = set()
+
+    for name in module.inputs:
+        if name not in module.specs:
+            diags.append(_err("RP001", f"input {name!r} has no spec", name))
+            continue
+        if name in defined:
+            diags.append(
+                _err("RP002", f"duplicate interface value {name!r}", name)
+            )
+        if name in GRAPH_CONSTANTS and module.specs[name] != GRAPH_CONSTANTS[name]:
+            diags.append(
+                _err(
+                    "RP009",
+                    f"graph constant {name!r} has wrong spec "
+                    f"{module.specs[name]}",
+                    name,
+                )
+            )
+        defined.add(name)
+
+    for name in module.params:
+        if name not in module.specs:
+            diags.append(_err("RP001", f"param {name!r} has no spec", name))
+            continue
+        if module.specs[name].domain is not Domain.PARAM:
+            diags.append(
+                _err(
+                    "RP008",
+                    f"param {name!r} must be PARAM domain, got "
+                    f"{module.specs[name]}",
+                    name,
+                )
+            )
+        if name in defined:
+            diags.append(
+                _err("RP002", f"duplicate interface value {name!r}", name)
+            )
+        defined.add(name)
+
+    for node in module.nodes:
+        for used in node.all_inputs():
+            if used not in defined:
+                diags.append(
+                    _err(
+                        "RP003",
+                        f"node {node.name!r} uses {used!r} before "
+                        "definition (or it is never defined)",
+                        used,
+                    )
+                )
+        try:
+            inferred = infer_output_specs(node, module.specs)
+        except (ValueError, KeyError) as exc:
+            diags.append(_err("RP004", f"node {node.name!r}: {exc}", node.name))
+            defined.update(node.outputs)
+            continue
+        for out in node.outputs:
+            if out in defined:
+                diags.append(_err("RP002", f"value {out!r} defined twice", out))
+            if out not in module.specs:
+                diags.append(
+                    _err("RP010", f"output {out!r} missing from specs", out)
+                )
+            elif module.specs[out] != inferred[out]:
+                diags.append(
+                    _err(
+                        "RP005",
+                        f"spec mismatch for {out!r}: recorded "
+                        f"{module.specs[out]} vs inferred {inferred[out]}",
+                        out,
+                    )
+                )
+            defined.add(out)
+
+    for out in module.outputs:
+        if out not in defined:
+            diags.append(
+                _err("RP006", f"module output {out!r} is never defined", out)
+            )
+
+    extra = set(module.specs) - defined
+    if extra:
+        diags.append(
+            _err(
+                "RP007",
+                f"specs recorded for undefined values: {sorted(extra)}",
+            )
+        )
+    return diags
+
+
+class StructureChecker:
+    """Bundle checker: RP0xx over every compiled phase's module."""
+
+    name = "structure"
+    codes = (
+        "RP001", "RP002", "RP003", "RP004", "RP005",
+        "RP006", "RP007", "RP008", "RP009", "RP010",
+    )
+
+    def check(self, bundle) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        seen = set()
+        modules = [bundle.module] if bundle.module is not None else []
+        modules += [a.plan.module for a in bundle.plans]
+        for m in modules:
+            if id(m) in seen:
+                continue
+            seen.add(id(m))
+            diags.extend(check_module(m))
+        return diags

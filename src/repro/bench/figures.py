@@ -58,6 +58,7 @@ __all__ = [
     "fig_multi_gpu_scaling",
     "fig_minibatch_io",
     "fig_memory_plan",
+    "fig_static_analysis",
     "fig_precision_io",
     "fig_backend_calibration",
     "fig_serving_latency",
@@ -814,6 +815,104 @@ def fig_memory_plan(dataset: str = "pubmed") -> FigureResult:
         ),
     )
     return FigureResult("memory-plan", [], table, normalized)
+
+
+# ======================================================================
+# Static plan analysis (checker inventory extension)
+# ======================================================================
+
+#: Strategies swept per model in the static-analysis inventory: the two
+#: baseline families, the inference-only configuration, and ``ours``
+#: (whose int8 precision variant rides along as a fifth target).
+ANALYSIS_STRATEGIES = ("dgl-like", "fuse_all", "huang-like", "ours")
+
+
+def fig_static_analysis(dataset: str = "cora") -> FigureResult:
+    """Checker × model inventory of the static plan analyzer.
+
+    For every registered model, the compiled artifacts of the
+    :data:`ANALYSIS_STRATEGIES` configurations (plus ``ours`` at int8
+    storage precision) are run through the full
+    :class:`~repro.analysis.Analyzer` stack — structure, races, arena,
+    precision-flow, halo, partition and differential checkers — and the
+    ERROR counts per checker are tabulated.  The golden contract is
+    that every cell is zero: the zoo is clean, and any pass or planner
+    change that introduces a race, an overlapping slab, a leaked
+    logical dtype or a missing halo record flips a cell and fails the
+    golden regression.  The target-independent determinism lint of the
+    serve/dyn/bench trees is folded into the table title.
+
+    The analyzer's *sensitivity* (that each checker actually kills its
+    mutant class) is pinned separately by the ``--self-test`` mutation
+    harness; this figure pins the zoo's *cleanliness*.
+    """
+    from repro.analysis import Analyzer, build_bundle, lint_paths
+    from repro.analysis.determinism import default_lint_paths
+    from repro.analysis.diagnostics import Severity
+    from repro.registry import MODELS
+
+    checker_cols = (
+        "structure", "races", "arena", "precision",
+        "halo", "partition", "differential",
+    )
+    cache = PlanCache()
+    analyzer = Analyzer()
+    normalized: List[Dict[str, object]] = []
+    for name in sorted(MODELS.names()):
+        counts = {c: 0 for c in checker_cols}
+        targets = 0
+        kernels = 0
+        for strategy in ANALYSIS_STRATEGIES:
+            sessions = [
+                Session(cache=cache)
+                .model(name).dataset(dataset).strategy(strategy)
+            ]
+            if strategy == "ours":
+                sessions.append(
+                    Session(cache=cache)
+                    .model(name).dataset(dataset).strategy("ours")
+                    .precision("int8")
+                )
+            for session in sessions:
+                bundle = build_bundle(session, lint=False)
+                report = analyzer.run(bundle)
+                targets += 1
+                kernels += sum(
+                    len(a.plan.kernels) for a in bundle.plans
+                )
+                for diag in report.errors:
+                    if diag.checker in counts:
+                        counts[diag.checker] += 1
+        row: Dict[str, object] = {
+            "workload": name,
+            "targets": targets,
+            "kernels": kernels,
+        }
+        row.update(counts)
+        row["clean"] = not any(counts.values())
+        normalized.append(row)
+
+    lint_errors = sum(
+        1 for d in lint_paths(default_lint_paths())
+        if d.severity is Severity.ERROR
+    )
+    rows = [
+        [r["workload"], r["targets"], r["kernels"]]
+        + [r[c] for c in checker_cols]
+        + ["clean" if r["clean"] else "DIRTY"]
+        for r in normalized
+    ]
+    table = format_table(
+        ["model", "targets", "kernels"] + list(checker_cols) + ["status"],
+        rows,
+        title=(
+            f"static-analysis (model zoo on {dataset}, "
+            f"{'+'.join(ANALYSIS_STRATEGIES)} & ours+int8; ERROR "
+            "diagnostics per checker; serve/dyn/bench determinism "
+            f"lint: {lint_errors} error(s))"
+        ),
+    )
+    return FigureResult("static-analysis", [], table, normalized)
 
 
 # ======================================================================

@@ -318,21 +318,20 @@ class Engine:
         divergence beyond the tolerances.  Cheap insurance when
         composing custom passes: fusion and recomputation must never
         change values.
-        """
-        from repro.exec.plan import plan_module
 
-        module = plan.module
-        env = self.bind(module, arrays)
-        got = self.run_plan(plan, env)
-        reference_plan = plan_module(module, mode="per_op", keep=plan.keep)
-        want = self.run_plan(reference_plan, self.bind(module, arrays))
-        for name in module.outputs:
-            if not np.allclose(got[name], want[name], rtol=rtol, atol=atol):
-                worst = float(np.abs(got[name] - want[name]).max())
-                raise AssertionError(
-                    f"plan diverges from per-op reference on output "
-                    f"{name!r} (max abs diff {worst:.3e})"
-                )
+        Thin shim over the static analyzer's RP701 differential checker
+        (:func:`repro.analysis.differential.check_plan_equivalence`) —
+        the dynamic completion of the "analyzer clean ⇒ verify_plan
+        passes" contract — keeping the historical ``AssertionError``
+        with the same message text.
+        """
+        from repro.analysis.differential import check_plan_equivalence
+
+        diags = check_plan_equivalence(
+            self, plan, arrays, rtol=rtol, atol=atol
+        )
+        if diags:
+            raise AssertionError(diags[0].message)
 
     def _argmax_demand(self, module: Module, wanted: Set[str]) -> Set[str]:
         return argmax_demand(module, wanted)

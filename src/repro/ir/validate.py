@@ -1,6 +1,7 @@
 """Structural validation of IR modules.
 
-Checks performed:
+Checks performed (see :mod:`repro.analysis.structure` for the full
+RP0xx inventory):
 
 1. every value name has a spec and a unique definition site,
 2. node order is topological (defs precede uses),
@@ -8,14 +9,17 @@ Checks performed:
    specs (catches passes that edit nodes without updating specs),
 4. module outputs exist,
 5. params are PARAM-domain, graph constants match their reserved specs.
+
+:func:`validate_module` is now a thin shim over the static analyzer's
+structure checker — one diagnostic vocabulary for every layer — that
+keeps the historical raising contract: the first ERROR-severity finding
+becomes an :class:`IRValidationError` with the same message text as
+always.
 """
 
 from __future__ import annotations
 
-from typing import Set
-
-from repro.ir.module import GRAPH_CONSTANTS, Module, infer_output_specs
-from repro.ir.tensorspec import Domain
+from repro.ir.module import Module
 
 __all__ = ["validate_module", "IRValidationError"]
 
@@ -26,57 +30,10 @@ class IRValidationError(ValueError):
 
 def validate_module(module: Module) -> None:
     """Raise :class:`IRValidationError` on any malformed structure."""
-    defined: Set[str] = set()
+    # Imported lazily: the analysis package imports ir modules, and
+    # builders call validate_module at IR-construction time.
+    from repro.analysis.structure import check_module
 
-    for name in module.inputs:
-        if name not in module.specs:
-            raise IRValidationError(f"input {name!r} has no spec")
-        if name in defined:
-            raise IRValidationError(f"duplicate interface value {name!r}")
-        if name in GRAPH_CONSTANTS and module.specs[name] != GRAPH_CONSTANTS[name]:
-            raise IRValidationError(
-                f"graph constant {name!r} has wrong spec {module.specs[name]}"
-            )
-        defined.add(name)
-
-    for name in module.params:
-        if name not in module.specs:
-            raise IRValidationError(f"param {name!r} has no spec")
-        if module.specs[name].domain is not Domain.PARAM:
-            raise IRValidationError(
-                f"param {name!r} must be PARAM domain, got {module.specs[name]}"
-            )
-        if name in defined:
-            raise IRValidationError(f"duplicate interface value {name!r}")
-        defined.add(name)
-
-    for node in module.nodes:
-        for used in node.all_inputs():
-            if used not in defined:
-                raise IRValidationError(
-                    f"node {node.name!r} uses {used!r} before definition "
-                    "(or it is never defined)"
-                )
-        try:
-            inferred = infer_output_specs(node, module.specs)
-        except (ValueError, KeyError) as exc:
-            raise IRValidationError(f"node {node.name!r}: {exc}") from exc
-        for out in node.outputs:
-            if out in defined:
-                raise IRValidationError(f"value {out!r} defined twice")
-            if out not in module.specs:
-                raise IRValidationError(f"output {out!r} missing from specs")
-            if module.specs[out] != inferred[out]:
-                raise IRValidationError(
-                    f"spec mismatch for {out!r}: recorded {module.specs[out]} "
-                    f"vs inferred {inferred[out]}"
-                )
-            defined.add(out)
-
-    for out in module.outputs:
-        if out not in defined:
-            raise IRValidationError(f"module output {out!r} is never defined")
-
-    extra = set(module.specs) - defined
-    if extra:
-        raise IRValidationError(f"specs recorded for undefined values: {sorted(extra)}")
+    diags = check_module(module)
+    if diags:
+        raise IRValidationError(diags[0].message)

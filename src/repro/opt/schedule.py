@@ -13,8 +13,12 @@ dependency-ready kernels, pick the one whose execution leaves the
 smallest live-byte footprint (several priority rules are tried and the
 best simulated peak wins; the incoming order is always a candidate, so
 the result is never worse than the input).  Reordering is an accounting
-transform like fusion itself — kernels run in a dependency-respecting
-order, so values never change (``verify_plan`` holds on the output).
+transform like fusion itself — but legality is *proved*, not assumed:
+every candidate order passes the race detector
+(:func:`repro.analysis.races.check_order`) before it may win, so values
+never change (``verify_plan`` holds on the output) and a caller-supplied
+conflicting order is rejected with RP-coded diagnostics
+(:class:`SchedulingRaceError`).
 
 The pass form (``schedule_memory``) slots after ``fusion`` in an
 :class:`~repro.frameworks.strategy.ExecutionStrategy`'s ``pass_names``;
@@ -38,10 +42,29 @@ from repro.registry import register_pass
 __all__ = [
     "schedule_kernels",
     "simulate_peak_bytes",
+    "SchedulingRaceError",
     "ScheduleMemoryPass",
     "with_memory_schedule",
     "REFERENCE_STATS",
 ]
+
+
+class SchedulingRaceError(ValueError):
+    """A proposed kernel order races (inverts a data dependence).
+
+    Raised when a caller-supplied candidate order fails the race
+    detector; ``diagnostics`` carries the RP-coded findings naming the
+    exact conflicting kernel pairs
+    (:func:`repro.analysis.races.check_order`).
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        lines = "\n".join("  " + d.render() for d in self.diagnostics)
+        super().__init__(
+            f"candidate kernel order races "
+            f"({len(self.diagnostics)} conflict(s)):\n{lines}"
+        )
 
 #: Nominal workload used to size values when scheduling at compile time
 #: (no concrete stats yet).  Mean degree 8 keeps edge tensors an order
@@ -179,6 +202,7 @@ def schedule_kernels(
     stats: Optional[GraphStats] = None,
     *,
     pinned: Sequence[str] = (),
+    candidates: Optional[Sequence[Sequence[int]]] = None,
 ) -> ExecPlan:
     """Reorder a plan's kernels to minimise the ledger's live-byte peak.
 
@@ -186,8 +210,18 @@ def schedule_kernels(
     the exact ledger simulation; the incoming order competes as a
     candidate, so the returned plan's peak is never worse.  Returns the
     input plan object unchanged when no candidate improves it.
+
+    Every order — the greedy ones and any caller-supplied
+    ``candidates`` — is validated by the race detector
+    (:func:`repro.analysis.races.check_order`) before it may win: a
+    caller candidate that inverts a data dependence raises
+    :class:`SchedulingRaceError` with the RP-coded diagnostics, and a
+    greedy candidate that races (a bug in the priority rules, never by
+    design) is discarded rather than trusted.
     """
-    if len(plan.kernels) <= 2:
+    from repro.analysis.races import check_order
+
+    if len(plan.kernels) <= 2 and not candidates:
         return plan
     stats = stats if stats is not None else REFERENCE_STATS
     sizes = _root_sizes(plan, stats)
@@ -199,19 +233,25 @@ def schedule_kernels(
     } | pinned_roots
 
     identity = list(range(len(plan.kernels)))
-    candidates: List[List[int]] = [identity]
+    pool: List[List[int]] = [identity]
+    for supplied in candidates or ():
+        supplied = list(supplied)
+        diags = check_order(plan, supplied)
+        if diags:
+            raise SchedulingRaceError(diags)
+        pool.append(supplied)
     for priority in ("net", "alloc", "free"):
-        candidates.append(
-            _greedy_order(plan, sizes, protected, free_names, priority)
-        )
+        order = _greedy_order(plan, sizes, protected, free_names, priority)
+        if not check_order(plan, order):
+            pool.append(order)
     scored = [
         (simulate_peak_bytes(plan, order, sizes, pinned_roots=pinned_roots), k)
-        for k, order in enumerate(candidates)
+        for k, order in enumerate(pool)
     ]
     best_peak, best_k = min(scored)
-    if best_k == 0 or candidates[best_k] == identity:
+    if best_k == 0 or pool[best_k] == identity:
         return plan
-    order = candidates[best_k]
+    order = pool[best_k]
     return ExecPlan(
         module=plan.module,
         kernels=[plan.kernels[i] for i in order],

@@ -607,6 +607,32 @@ class Session:
     def compile_forward(self) -> CompiledForward:
         return self.compile(training=False)
 
+    def analyze(
+        self,
+        *,
+        training: Optional[bool] = None,
+        lint: bool = True,
+        checkers=None,
+    ):
+        """Statically analyze this configuration before running it.
+
+        Compiles the session (training when the strategy supports it),
+        bundles every artifact — plans, arena memory plans, partition
+        stats, the analytic comm schedule — and runs the registered
+        checkers (:mod:`repro.analysis`) over the bundle.  Returns an
+        :class:`~repro.analysis.diagnostics.AnalysisReport` whose
+        ``ok`` property proves the RP-coded invariants hold: kernel
+        orders race-free, arena slabs overlap-free under the ledger
+        watermark, logical dtypes confined to storage, every ghost read
+        covered by exactly one exchange.  ``lint=False`` skips the
+        determinism source lint (zoo sweeps lint the trees once
+        instead of once per target).
+        """
+        from repro.analysis import Analyzer, build_bundle
+
+        bundle = build_bundle(self, training=training, lint=lint)
+        return Analyzer(checkers).run(bundle)
+
     def memory_plan(self, *, training: bool = True) -> StepMemoryPlan:
         """Arena memory plan of the configured pair on the workload.
 

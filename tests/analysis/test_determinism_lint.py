@@ -1,0 +1,85 @@
+"""Determinism lint unit tests: RP5xx emission, pragmas, exemptions."""
+
+import pytest
+
+from repro.analysis.determinism import (
+    LINT_TREES,
+    default_lint_paths,
+    lint_paths,
+    lint_source,
+)
+
+
+def codes(text, filename="mod.py"):
+    return [d.code for d in lint_source(text, filename=filename)]
+
+
+class TestRngRules:
+    def test_global_numpy_rng_is_rp501(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == [
+            "RP501"
+        ]
+        assert codes(
+            "import numpy\nnumpy.random.shuffle(xs)\n"
+        ) == ["RP501"]
+
+    def test_unseeded_default_rng_is_rp502(self):
+        assert codes("import numpy as np\nr = np.random.default_rng()\n") == [
+            "RP502"
+        ]
+        assert codes(
+            "from numpy.random import default_rng\nr = default_rng()\n"
+        ) == ["RP502"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert codes("import numpy as np\nr = np.random.default_rng(7)\n") == []
+        assert (
+            codes("import numpy as np\nr = np.random.default_rng(seed=s)\n")
+            == []
+        )
+
+    def test_stdlib_random_is_rp504(self):
+        assert codes("import random\nx = random.random()\n") == ["RP504"]
+
+    def test_rng_pragma_suppresses(self):
+        src = "import numpy as np\nx = np.random.rand()  # repro: allow-rng\n"
+        assert codes(src) == []
+
+
+class TestWallclockRules:
+    def test_time_time_is_rp503(self):
+        assert codes("import time\nt = time.time()\n") == ["RP503"]
+        assert codes("import time\nt = time.perf_counter()\n") == ["RP503"]
+
+    def test_datetime_now_is_rp503(self):
+        assert codes(
+            "import datetime\nt = datetime.datetime.now()\n"
+        ) == ["RP503"]
+
+    def test_measure_py_is_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert codes(src, filename="exec/measure.py") == []
+        assert codes(src, filename="other.py") == ["RP503"]
+
+    def test_wallclock_pragma_suppresses(self):
+        src = "import time\nt = time.time()  # repro: allow-wallclock\n"
+        assert codes(src) == []
+
+    def test_diagnostics_carry_file_and_line(self):
+        diags = lint_source("import time\n\nt = time.time()\n", "x.py")
+        assert diags[0].location.file == "x.py"
+        assert diags[0].location.line == 3
+
+
+class TestInstalledTrees:
+    def test_default_paths_cover_the_contract_trees(self):
+        names = {p.name for p in default_lint_paths()}
+        assert names == set(LINT_TREES)
+
+    def test_shipped_trees_lint_clean(self):
+        # The repo's own serve/dyn/bench code obeys its contract.
+        assert lint_paths(default_lint_paths()) == []
+
+    def test_syntax_error_is_reported_not_swallowed(self):
+        with pytest.raises(ValueError, match="cannot lint"):
+            lint_source("def broken(:\n", "bad.py")

@@ -1,0 +1,116 @@
+"""Kernel race detector: conflicts, happens-before, order checking,
+and the scheduler's rejection of racing candidate orders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import (
+    check_order,
+    conflicts,
+    happens_before,
+    kernel_access,
+    may_overlap,
+)
+from repro.frameworks import compile_training, get_strategy
+from repro.opt.schedule import SchedulingRaceError, schedule_kernels
+from repro.registry import MODELS
+
+
+@pytest.fixture(scope="module")
+def plan():
+    """A fused forward plan with enough kernels to reorder."""
+    compiled = compile_training(MODELS.get("gat")(8, 3), get_strategy("ours"))
+    assert len(compiled.fwd_plan.kernels) > 2
+    return compiled.fwd_plan
+
+
+def _first_raw_pair(plan):
+    n = len(plan.kernels)
+    for j in range(n):
+        for i in range(j):
+            if any(c.kind == "RAW" for c in conflicts(plan, i, j)):
+                return i, j
+    pytest.skip("plan has no dependent kernel pair")
+
+
+class TestConflicts:
+    def test_kernel_access_roots_resolved(self, plan):
+        for i in range(len(plan.kernels)):
+            acc = kernel_access(plan, i)
+            # Boundary sets name storage roots, never view aliases.
+            for root in acc.reads | acc.writes:
+                assert plan.root_of(root) == root
+
+    def test_ssa_means_only_raw_at_value_level(self, plan):
+        n = len(plan.kernels)
+        kinds = {
+            c.kind
+            for j in range(n)
+            for i in range(j)
+            for c in conflicts(plan, i, j)
+        }
+        assert "RAW" in kinds
+        # Every root has one producer, so plan order shows no WAW; WAR
+        # only appears once byte reuse (a memory_plan) enters.
+        assert "WAW" not in kinds
+
+    def test_dependent_pair_must_not_overlap(self, plan):
+        i, j = _first_raw_pair(plan)
+        assert not may_overlap(plan, i, j)
+        assert conflicts(plan, i, j)
+
+    def test_happens_before_covers_raw_pairs(self, plan):
+        hb = happens_before(plan)
+        i, j = _first_raw_pair(plan)
+        assert i in hb[j]
+
+
+class TestCheckOrder:
+    def test_identity_order_is_clean(self, plan):
+        assert check_order(plan, list(range(len(plan.kernels)))) == []
+
+    def test_swapped_raw_pair_is_rp101(self, plan):
+        i, j = _first_raw_pair(plan)
+        order = list(range(len(plan.kernels)))
+        order[i], order[j] = order[j], order[i]
+        diags = check_order(plan, order)
+        assert diags
+        assert all(d.code == "RP101" for d in diags)
+        # The diagnostics name the exact inverted pair at least once.
+        assert any(
+            {d.location.kernel, d.location.kernel2} == {i, j} for d in diags
+        )
+
+    def test_non_permutation_is_rp103(self, plan):
+        order = [0] * len(plan.kernels)
+        diags = check_order(plan, order)
+        assert [d.code for d in diags] == ["RP103"]
+
+
+class TestSchedulerConsultsRaceDetector:
+    """Satellite regression: opt/schedule rejects racing candidates."""
+
+    def test_conflicting_candidate_rejected_with_rp_codes(self, plan):
+        i, j = _first_raw_pair(plan)
+        bad = list(range(len(plan.kernels)))
+        bad[i], bad[j] = bad[j], bad[i]
+        with pytest.raises(SchedulingRaceError) as excinfo:
+            schedule_kernels(plan, candidates=[bad])
+        err = excinfo.value
+        assert err.diagnostics
+        assert all(d.code == "RP101" for d in err.diagnostics)
+        assert "RP101" in str(err)
+
+    def test_legal_candidate_accepted(self, plan):
+        identity = list(range(len(plan.kernels)))
+        out = schedule_kernels(plan, candidates=[identity])
+        # Identity candidate never races and never beats itself.
+        assert check_order(out, list(range(len(out.kernels)))) == []
+
+    def test_greedy_schedule_output_passes_check_order(self, plan):
+        out = schedule_kernels(plan)
+        assert check_order(out, list(range(len(out.kernels)))) == []
+        # Values are preserved: same kernels, possibly new order.
+        assert sorted(k.label for k in out.kernels) == sorted(
+            k.label for k in plan.kernels
+        )

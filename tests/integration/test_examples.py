@@ -118,3 +118,11 @@ class TestExamples:
         assert "invalidated" in out
         assert "bit-identical to the from-scratch rebuild" in out
         assert "done." in out
+
+    def test_static_analysis(self):
+        out = run_example(
+            "static_analysis.py", "--model", "gat", "--dataset", "cora"
+        )
+        assert "0 error(s)" in out
+        assert "racing candidate rejected: RP101" in out
+        assert "all mutants killed" in out
