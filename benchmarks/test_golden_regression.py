@@ -34,6 +34,7 @@ GOLDEN_TABLES = {
     "fig_memory_plan": lambda: figures.fig_memory_plan().table,
     "fig_static_analysis": lambda: figures.fig_static_analysis().table,
     "fig_precision_io": lambda: figures.fig_precision_io().table,
+    "fig_overlap_efficiency": lambda: figures.fig_overlap_efficiency().table,
     "fig_serving_latency": lambda: figures.fig_serving_latency().table,
     "fig_dynamic_serving": lambda: figures.fig_dynamic_serving().table,
     "inline_redundancy": lambda: figures.inline_redundant_computation()[1],

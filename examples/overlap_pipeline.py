@@ -1,0 +1,99 @@
+"""Async pipelined runtime: overlapping compute, halo exchange, gathers.
+
+Walkthrough of the overlap API:
+
+1. build per-phase overlap schedules through the session
+   (``.cluster(...).overlap_schedules()``) — compute and halo exchange
+   placed on separate per-GPU channels versus the lockstep baseline —
+   and read makespans, channel utilization, and co-scheduled pairs,
+2. run the **concrete** overlapped MultiEngine (hazard-wave ``events``
+   mode and the thread-pool ``threads`` mode) against the serial
+   plan-order oracle — outputs and exchange logs stay bit-identical,
+   because the runtime only co-schedules kernel pairs ``may_overlap``
+   certifies as independent,
+3. serve an online trace with overlapped gather/compute channels and
+   read the overlap-efficiency line off the report.
+
+Run:  PYTHONPATH=src python examples/overlap_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+from repro.exec import MultiEngine
+from repro.frameworks import compile_forward, get_strategy
+from repro.graph import get_dataset
+from repro.registry import MODELS
+
+# ----------------------------------------------------------------------
+# 1. Per-phase overlap schedules on a narrow-link cluster.
+# ----------------------------------------------------------------------
+sess = (
+    repro.session()
+    .model("gat").dataset("cora")
+    .strategy("ours")
+    .cluster("V100", 4, interconnect_gbps=8.0)
+)
+for schedule in sess.overlap_schedules():
+    util = schedule.utilization()
+    comm_busy = max(
+        frac for group, frac in util.items() if group.endswith(".comm")
+    )
+    print(
+        f"{schedule.phase:>8}: serialized {schedule.serialized_makespan_s * 1e3:.2f} ms, "
+        f"overlapped {schedule.overlapped_makespan_s * 1e3:.2f} ms "
+        f"(efficiency {schedule.efficiency:.4f}x, "
+        f"{len(schedule.co_scheduled)} co-scheduled pairs, "
+        f"comm busy {comm_busy * 100:.0f}%)"
+    )
+print()
+
+# ----------------------------------------------------------------------
+# 2. Concrete overlapped execution == serial plan-order oracle.
+# ----------------------------------------------------------------------
+dataset = get_dataset("cora")
+graph = dataset.graph()
+model = MODELS.get("gat")(dataset.feature_dim, dataset.num_classes)
+compiled = compile_forward(model, get_strategy("ours"))
+
+arrays = model.make_inputs(graph, dataset.features())
+arrays.update(model.init_params(0))
+
+
+def forward(overlap):
+    multi = MultiEngine(
+        graph, 4, partitioner="hash", precision="float64", overlap=overlap,
+    )
+    env = multi.bind(compiled.forward, arrays)
+    out = multi.run_plan(compiled.plan, env, unwrap=True)
+    return multi, {k: out[k] for k in compiled.forward.outputs}
+
+
+serial, want = forward(None)
+for mode in ("events", "threads"):
+    multi, got = forward(mode)
+    assert all(np.array_equal(want[k], got[k]) for k in want)
+    assert multi.exchanges == serial.exchanges
+    print(
+        f"overlap={mode}: {len(multi.overlap_waves)} hazard waves over "
+        f"{sum(len(w) for w in multi.overlap_waves)} kernels, outputs "
+        "bit-identical to the serial oracle"
+    )
+print()
+
+# ----------------------------------------------------------------------
+# 3. Overlapped serving: gathers pipeline on the io channel.
+# ----------------------------------------------------------------------
+report = (
+    repro.session()
+    .model("gat").dataset("cora").gpu("V100")
+    .overlap("events")
+    .serve(num_requests=64, qps=50000.0, seeds_per_request=2,
+           cache_rows=64, seed=7)
+)
+print(report.summary())
+assert report.makespan_s <= report.serialized_makespan_s + 1e-12
+print(
+    f"\noverlapped serving never extends the makespan "
+    f"({report.overlap_efficiency:.3f}x vs the serial clock)"
+)

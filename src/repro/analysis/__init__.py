@@ -51,6 +51,7 @@ from repro.analysis.precision_flow import PrecisionFlowChecker, check_precision_
 from repro.analysis.races import (
     RaceChecker,
     check_order,
+    check_overlap_schedule,
     conflicts,
     happens_before,
     kernel_access,
@@ -97,6 +98,7 @@ __all__ = [
     "happens_before",
     "may_overlap",
     "check_order",
+    "check_overlap_schedule",
     "overlap_diagnostics",
     # mutation harness
     "MUTANTS",

@@ -31,7 +31,7 @@ from repro.analysis.diagnostics import Diagnostic, Severity, SourceLocation
 __all__ = ["lint_source", "lint_paths", "DeterminismChecker", "LINT_TREES"]
 
 #: Package-relative trees the determinism contract covers.
-LINT_TREES = ("serve", "dyn", "bench")
+LINT_TREES = ("serve", "dyn", "bench", "runtime")
 
 _WALLCLOCK_PATHS = {
     ("time", "time"),

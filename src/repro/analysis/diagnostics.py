@@ -79,6 +79,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RP102": ("races", "parallel overlap of conflicting kernels"),
     "RP103": ("races", "proposed order is not a permutation of the plan"),
     "RP104": ("races", "slab-sharing kernels reordered against reuse"),
+    "RP105": ("races", "recorded overlap schedule co-runs conflicting kernels"),
     # -- RP2xx: arena overlap / memory watermarks ----------------------
     "RP201": ("arena", "lifetime-overlapping slabs intersect in bytes"),
     "RP202": ("arena", "slab smaller than the value it must hold"),

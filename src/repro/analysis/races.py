@@ -36,6 +36,7 @@ __all__ = [
     "happens_before",
     "may_overlap",
     "check_order",
+    "check_overlap_schedule",
     "overlap_diagnostics",
     "RaceChecker",
 ]
@@ -208,17 +209,76 @@ def check_order(
     return diags
 
 
+def check_overlap_schedule(
+    plan: ExecPlan,
+    slots,
+    *,
+    memory_plan=None,
+    phase: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Post-hoc verification of a recorded overlap schedule: RP105.
+
+    ``slots`` maps task keys of the form ``(kind, kernel_index, gpu)``
+    to placed slots with ``start_s``/``finish_s`` (the shape
+    :func:`repro.runtime.overlap.build_overlap_schedule` records).  The
+    co-scheduled kernel pairs are re-derived from the placed wall-time
+    intervals — never trusted from the schedule's own summary — and
+    every pair that overlaps with positive measure must pass
+    :func:`may_overlap`.  One RP105 per violating kernel pair, naming
+    the first hazard it races on.
+    """
+    keys = sorted(slots, key=str)
+    pairs: Set[Tuple[int, int]] = set()
+    for x in range(len(keys)):
+        sx = slots[keys[x]]
+        kx = keys[x][1]
+        for y in range(x + 1, len(keys)):
+            sy = slots[keys[y]]
+            ky = keys[y][1]
+            if kx == ky:
+                continue
+            if sx.start_s < sy.finish_s and sy.start_s < sx.finish_s:
+                pairs.add((min(kx, ky), max(kx, ky)))
+    diags: List[Diagnostic] = []
+    for i, j in sorted(pairs):
+        found = conflicts(plan, i, j, memory_plan=memory_plan) or conflicts(
+            plan, j, i, memory_plan=memory_plan
+        )
+        if not found:
+            continue
+        c = found[0]
+        diags.append(
+            Diagnostic(
+                code="RP105",
+                severity=Severity.ERROR,
+                message=(
+                    f"recorded schedule co-runs kernels {i} "
+                    f"({plan.kernels[i].label!r}) and {j} "
+                    f"({plan.kernels[j].label!r}) in overlapping wall "
+                    f"time, but they race: {c.kind} on {c.resource!r}"
+                ),
+                location=SourceLocation(
+                    phase=phase, kernel=i, kernel2=j, value=c.resource
+                ),
+            )
+        )
+    return diags
+
+
 class RaceChecker:
     """Bundle checker: RP1xx over every phase's (proposed) kernel order.
 
     Each :class:`~repro.analysis.analyzer.PlanArtifact` may carry a
     ``proposed_order`` (a reordering some pass wants to execute); absent
     one, the plan's emitted order is validated — which also proves the
-    hazard graph itself is order-consistent with slab reuse.
+    hazard graph itself is order-consistent with slab reuse.  Artifacts
+    carrying a recorded ``overlap_schedule`` additionally get RP105
+    post-hoc verification: every kernel pair the placed timeline
+    co-runs must be a pair :func:`may_overlap` certifies.
     """
 
     name = "races"
-    codes = ("RP101", "RP102", "RP103", "RP104")
+    codes = ("RP101", "RP102", "RP103", "RP104", "RP105")
 
     def check(self, bundle) -> List[Diagnostic]:
         diags: List[Diagnostic] = []
@@ -234,6 +294,16 @@ class RaceChecker:
                     phase=artifact.phase,
                 )
             )
+            schedule = getattr(artifact, "overlap_schedule", None)
+            if schedule is not None:
+                diags.extend(
+                    check_overlap_schedule(
+                        artifact.plan,
+                        schedule.slots,
+                        memory_plan=artifact.memory_plan,
+                        phase=artifact.phase,
+                    )
+                )
         return diags
 
 

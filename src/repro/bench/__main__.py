@@ -31,7 +31,12 @@ precision-io table plus its exactness invariants (fp16/bf16 gather
 bytes and analytic peak exactly half of fp32 on every model), a
 concrete fp16-vs-fp32 differential execution within the documented
 error bound, and a ``run_sweep(precision=...)`` exercising the
-precision axis end to end.
+precision axis end to end.  ``--overlap`` runs the async-runtime smoke
+case: the overlap-efficiency table plus its acceptance invariants
+(overlapped makespan never above serialized, strictly below it on the
+comm-bound narrow-link rows), a concrete overlapped MultiEngine
+execution bit-identical to the serial oracle, and an overlapped serve
+run persisted to ``benchmarks/results/sweep_overlap_smoke.json``.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from repro.bench.figures import (
     fig_dynamic_serving,
     fig_memory_plan,
     fig_minibatch_io,
+    fig_overlap_efficiency,
     fig_precision_io,
     fig_serving_latency,
     fig_static_analysis,
@@ -75,6 +81,7 @@ FIGURES = (
     ("fig_precision_io", fig_precision_io),
     ("fig_serving_latency", fig_serving_latency),
     ("fig_dynamic_serving", fig_dynamic_serving),
+    ("fig_overlap_efficiency", fig_overlap_efficiency),
 )
 
 
@@ -434,6 +441,117 @@ def run_precision_smoke() -> int:
     return 0
 
 
+def run_overlap_smoke() -> int:
+    """Async-runtime case: overlap-efficiency table + pipelining wins.
+
+    Regenerates the overlap-efficiency figure and asserts the
+    acceptance contract of the pipelined runtime — the overlapped
+    makespan never exceeds the serialized one on any row, and strictly
+    beats it on at least one comm-bound narrow-link configuration —
+    then executes one model concretely through the overlapped
+    ``MultiEngine`` (both ``events`` and ``threads`` modes) and checks
+    the outputs stay **bit-identical** to the serial oracle.  An
+    overlapped serve run exercises the channelled request placement and
+    the whole case is persisted to ``sweep_overlap_smoke.json``.
+    """
+    import json
+    import os
+
+    import numpy as np
+
+    from repro.bench.report import RESULTS_DIR
+    from repro.exec.multi import MultiEngine
+    from repro.frameworks import compile_forward, get_strategy
+    from repro.graph.generators import chung_lu
+    from repro.models import GAT
+    from repro.session import PlanCache
+
+    t0 = time.time()  # repro: allow-wallclock
+    figure = fig_overlap_efficiency()
+    print(figure.table)
+    path = save_table("fig_overlap_efficiency", figure.table)
+    for row in figure.normalized:
+        assert row["overlapped_s"] <= row["serialized_s"] + 1e-12, (
+            f"{row['workload']} x{row['gpus']} {row['phase']}: overlapped "
+            f"makespan exceeds serialized"
+        )
+    narrow = [
+        r for r in figure.normalized if r["interconnect_gbps"] is not None
+    ]
+    assert narrow and any(r["overlap_efficiency"] > 1.0 for r in narrow), (
+        "no comm-bound row shows a strict pipelining win"
+    )
+
+    # Concrete differential: overlapped execution is bit-identical to
+    # the serial plan-order oracle.
+    graph = chung_lu(60, 300, seed=1)
+    model = GAT(8, (8,), heads=1)
+    rng = np.random.default_rng(0)
+    feats = rng.normal(size=(graph.num_vertices, 8))
+    arrays = dict(model.init_params(0))
+    cf = compile_forward(model, get_strategy("ours"))
+
+    def _outputs(overlap: str | None) -> dict:
+        multi = MultiEngine(
+            graph, 4, partitioner="hash", precision="float64",
+            overlap=overlap,
+        )
+        env = dict(model.make_inputs(multi.graph, feats))
+        env.update(arrays)
+        bound = multi.bind(cf.forward, env)
+        out = multi.run_plan(cf.plan, bound, unwrap=True)
+        return {k: out[k] for k in cf.forward.outputs}
+
+    oracle = _outputs(None)
+    for mode in ("events", "threads"):
+        got = _outputs(mode)
+        for k, ref in oracle.items():
+            assert np.array_equal(ref, got[k]), (
+                f"overlap={mode}: output {k} diverged from serial oracle"
+            )
+
+    # Overlapped serving: same outputs, never a longer makespan.
+    cache = PlanCache()
+
+    def _serve(overlap: str | None):
+        sess = Session(cache=cache).model("gat").dataset("cora").gpu("V100")
+        if overlap is not None:
+            sess = sess.overlap(overlap)
+        return sess.serve(
+            num_requests=64, qps=50000.0, seeds_per_request=2,
+            cache_rows=64, seed=5,
+        )
+
+    serial = _serve(None)
+    overlapped = _serve("events")
+    assert overlapped.serialized_makespan_s == serial.makespan_s
+    assert overlapped.makespan_s <= overlapped.serialized_makespan_s + 1e-12
+    for rid in serial.outputs:
+        assert np.array_equal(serial.outputs[rid], overlapped.outputs[rid])
+
+    payload = {
+        "rows": figure.normalized,
+        "serve": {
+            "overlap": overlapped.overlap,
+            "serialized_makespan_s": overlapped.serialized_makespan_s,
+            "overlapped_makespan_s": overlapped.makespan_s,
+            "overlap_efficiency": overlapped.overlap_efficiency,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "sweep_overlap_smoke.json")
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    best = max(r["overlap_efficiency"] for r in figure.normalized)
+    print(
+        f"overlap smoke done in {time.time() - t0:.1f}s "  # repro: allow-wallclock
+        f"(best pipelining win {best:.4f}x; bit-identical in both modes; "
+        f"table -> {path}; sweep -> {json_path})"
+    )
+    return 0
+
+
 def run_full() -> int:
     start = time.time()  # repro: allow-wallclock
     for name, fn in FIGURES:
@@ -504,6 +622,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run the mixed-precision smoke case: precision-io table, "
         "exact fp16 halving invariants, and a differential execution",
     )
+    parser.add_argument(
+        "--overlap",
+        action="store_true",
+        help="run the async-runtime smoke case: overlap-efficiency "
+        "table, pipelining-win invariants, and a bit-identity "
+        "differential execution",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
@@ -519,6 +644,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_measured_smoke()
     if args.precision:
         return run_precision_smoke()
+    if args.overlap:
+        return run_overlap_smoke()
     return run_full()
 
 

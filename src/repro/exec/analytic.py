@@ -39,6 +39,7 @@ __all__ = [
     "feature_gather_row_bytes",
     "vertex_data_inputs",
     "plan_comm_records",
+    "kernel_comm_records",
     "kernel_record",
 ]
 
@@ -311,63 +312,85 @@ def plan_comm_records(
     ``max_grad`` is exempt: it routes owned vertex gradients onto owned
     in-edges, which is purely local under destination edge ownership.
     """
+    P = pstats.num_parts
+    per_gpu: "list[list[CommRecord]]" = [[] for _ in range(P)]
+    if P <= 1:
+        return per_gpu
+    for index in range(len(plan.kernels)):
+        per_kernel = kernel_comm_records(plan, index, pstats)
+        for p in range(P):
+            per_gpu[p].extend(per_kernel[p])
+    return per_gpu
+
+
+def kernel_comm_records(
+    plan: ExecPlan, index: int, pstats: PartitionStats
+) -> "list[list[CommRecord]]":
+    """One kernel's slice of :func:`plan_comm_records`, per GPU.
+
+    Record order within the kernel matches the flat schedule (allreduce
+    nodes in node order, then halo-in, then halo-out exchanges), so
+    concatenating the kernels reproduces ``plan_comm_records`` exactly.
+    The per-kernel grouping is what the overlap-schedule builder
+    (:mod:`repro.runtime.overlap`) prices each comm-channel task from.
+    """
     specs = plan.module.specs
     P = pstats.num_parts
     per_gpu: "list[list[CommRecord]]" = [[] for _ in range(P)]
     if P <= 1:
         return per_gpu
-    for kernel in plan.kernels:
-        halo_in: Dict[str, int] = {}
-        halo_out: Dict[str, int] = {}
-        for node in kernel.nodes:
-            if node.kind is OpKind.SCATTER:
-                fn = get_scatter_fn(node.fn)
-                if fn.reads_u and not fn.vertex_direct_read:
-                    name = node.inputs[0]
-                    spec = specs[name]
-                    if spec.domain is Domain.VERTEX:
-                        root = plan.root_of(name)
-                        halo_in[root] = spec.row_bytes
-            elif node.kind is OpKind.GATHER and node.orientation == "out":
+    kernel = plan.kernels[index]
+    halo_in: Dict[str, int] = {}
+    halo_out: Dict[str, int] = {}
+    for node in kernel.nodes:
+        if node.kind is OpKind.SCATTER:
+            fn = get_scatter_fn(node.fn)
+            if fn.reads_u and not fn.vertex_direct_read:
                 name = node.inputs[0]
                 spec = specs[name]
-                root = plan.root_of(name)
-                halo_out[root] = spec.row_bytes
-            elif node.kind is OpKind.PARAM_GRAD:
-                row_domains = {specs[n].domain for n in node.inputs}
-                if row_domains <= {Domain.PARAM, Domain.DENSE}:
-                    # Replicated operands: every GPU computes the same
-                    # gradient locally, no reduction (the MultiEngine
-                    # applies the identical exemption).
-                    continue
-                out_spec = specs[node.outputs[0]]
-                share = allreduce_bytes_per_gpu(out_spec.row_bytes, P)
-                for p in range(P):
-                    per_gpu[p].append(
-                        CommRecord(
-                            label=f"{kernel.label}:{node.name}",
-                            kind="allreduce",
-                            bytes=share,
-                        )
-                    )
-        for root, row_bytes in halo_in.items():
+                if spec.domain is Domain.VERTEX:
+                    root = plan.root_of(name)
+                    halo_in[root] = spec.row_bytes
+        elif node.kind is OpKind.GATHER and node.orientation == "out":
+            name = node.inputs[0]
+            spec = specs[name]
+            root = plan.root_of(name)
+            halo_out[root] = spec.row_bytes
+        elif node.kind is OpKind.PARAM_GRAD:
+            row_domains = {specs[n].domain for n in node.inputs}
+            if row_domains <= {Domain.PARAM, Domain.DENSE}:
+                # Replicated operands: every GPU computes the same
+                # gradient locally, no reduction (the MultiEngine
+                # applies the identical exemption).
+                continue
+            out_spec = specs[node.outputs[0]]
+            share = allreduce_bytes_per_gpu(out_spec.row_bytes, P)
             for p in range(P):
                 per_gpu[p].append(
                     CommRecord(
-                        label=f"{kernel.label}:{root}",
-                        kind="halo_in",
-                        bytes=pstats.halo_in_rows[p] * row_bytes,
+                        label=f"{kernel.label}:{node.name}",
+                        kind="allreduce",
+                        bytes=share,
                     )
                 )
-        for root, row_bytes in halo_out.items():
-            for p in range(P):
-                per_gpu[p].append(
-                    CommRecord(
-                        label=f"{kernel.label}:{root}",
-                        kind="halo_out",
-                        bytes=pstats.halo_out_rows[p] * row_bytes,
-                    )
+    for root, row_bytes in halo_in.items():
+        for p in range(P):
+            per_gpu[p].append(
+                CommRecord(
+                    label=f"{kernel.label}:{root}",
+                    kind="halo_in",
+                    bytes=pstats.halo_in_rows[p] * row_bytes,
                 )
+            )
+    for root, row_bytes in halo_out.items():
+        for p in range(P):
+            per_gpu[p].append(
+                CommRecord(
+                    label=f"{kernel.label}:{root}",
+                    kind="halo_out",
+                    bytes=pstats.halo_out_rows[p] * row_bytes,
+                )
+            )
     return per_gpu
 
 

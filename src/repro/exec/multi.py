@@ -27,6 +27,18 @@ returns globally-assembled arrays, so it drops into any place an
 ``Engine`` runs — including backward plans, where gather-max argmax
 indices are translated between global and part-local edge ids on the
 way in and out.
+
+**Overlap modes.**  ``overlap="events"`` executes kernels in the
+hazard-wave order of :func:`repro.runtime.overlap.hazard_waves` (each
+wave an antichain of the race analyzer's happens-before DAG, so every
+reordering it performs is between ``may_overlap``-certified pairs);
+``overlap="threads"`` additionally runs each wave's kernels on a
+``ThreadPoolExecutor``, with every kernel writing a private overlay
+that is merged in kernel order after the wave.  Both modes flatten
+exchange records in plan-kernel order and replay the memory ledgers
+serially, so outputs, exchange schedules, and measured peaks stay
+bit-identical to the serial oracle — the differential contract the
+runtime tests pin.
 """
 
 from __future__ import annotations
@@ -90,7 +102,14 @@ class MultiEngine:
         hash partition is built with ``partitioner``/``seed``).
     precision:
         Floating dtype, as in :class:`~repro.exec.engine.Engine`.
+    overlap:
+        ``None`` (serial oracle, kernels in plan order), ``"events"``
+        (hazard-wave order on the virtual timeline), or ``"threads"``
+        (hazard waves with a real thread pool).  Either mode is
+        bit-identical to the serial oracle.
     """
+
+    OVERLAP_MODES = (None, "events", "threads")
 
     def __init__(
         self,
@@ -101,7 +120,16 @@ class MultiEngine:
         seed: int = 0,
         precision: str = "float32",
         backend: str = "reference",
+        overlap: Optional[str] = None,
     ):
+        if overlap not in self.OVERLAP_MODES:
+            raise ValueError(
+                f"unknown overlap mode {overlap!r}; use one of "
+                f"{self.OVERLAP_MODES}"
+            )
+        self.overlap = overlap
+        #: Hazard waves of the most recent overlapped :meth:`run_plan`.
+        self.overlap_waves: Optional[List[List[int]]] = None
         if isinstance(partition, int):
             partition = partition_graph(
                 graph, partition, method=partitioner, seed=seed
@@ -286,31 +314,34 @@ class MultiEngine:
             else set()
         )
         ledgers = self._make_ledgers(plan, parts_values, shared)
-        for ki, kernel in enumerate(plan.kernels):
-            # Per-kernel exchange cache: kernels sharing an operand
-            # share one halo transfer, mirroring plan_comm_records.
-            halo_cache: Dict[Tuple[str, str], List[np.ndarray]] = {}
-            for node in kernel.nodes:
-                self._execute(
-                    node, module, plan, ki, parts_values, shared,
-                    argmax_needed, halo_cache,
+        # Exchange records collected per kernel and flattened in plan
+        # order, so the schedule reconciles against plan_comm_records
+        # regardless of the execution order an overlap mode picks.
+        sinks: List[List[ExchangeRecord]] = [[] for _ in plan.kernels]
+        self.overlap_waves = None
+        if self.overlap is None:
+            for ki in range(len(plan.kernels)):
+                self._run_kernel(
+                    plan, ki, parts_values, shared,
+                    argmax_needed, bf16_outputs, sinks[ki],
                 )
-                if bf16_outputs and node.kind is not OpKind.VIEW:
-                    # bf16 storage simulation at node boundaries —
-                    # elementwise, so shards stay bit-identical to the
-                    # single-engine path (views alias rounded storage).
-                    for o in node.outputs:
-                        if o not in bf16_outputs:
-                            continue
-                        if o in shared:
-                            shared[o] = bf16_round(shared[o])
-                        else:
-                            for p in range(self.num_parts):
-                                if o in parts_values[p]:
-                                    parts_values[p][o] = bf16_round(
-                                        parts_values[p][o]
-                                    )
-            self._ledgers_after_kernel(ledgers, plan, ki, parts_values, shared)
+                self._ledgers_after_kernel(
+                    ledgers, plan, ki, parts_values, shared
+                )
+        else:
+            self._run_overlapped(
+                plan, parts_values, shared,
+                argmax_needed, bf16_outputs, sinks,
+            )
+            # Ledger replay in plan order: after_kernel reads only its
+            # own kernel's writes and frees by liveness index, so the
+            # serial replay reproduces the serial peaks exactly.
+            for ki in range(len(plan.kernels)):
+                self._ledgers_after_kernel(
+                    ledgers, plan, ki, parts_values, shared
+                )
+        for records in sinks:
+            self.exchanges.extend(records)
         self.measured_peak_bytes_per_gpu = [lg.peak_bytes for lg in ledgers]
 
         result: Dict[str, np.ndarray] = {}
@@ -321,6 +352,122 @@ class MultiEngine:
                 unwrap=unwrap,
             )
         return result
+
+    # -- kernel-granular execution -------------------------------------
+    def _run_kernel(
+        self,
+        plan: ExecPlan,
+        kernel_index: int,
+        parts_values,
+        shared,
+        argmax_needed: Set[str],
+        bf16_outputs: Set[str],
+        exchanges: "List[ExchangeRecord]",
+    ) -> None:
+        """Execute one kernel against the given value mappings.
+
+        ``parts_values``/``shared`` may be plain dicts (serial modes)
+        or ChainMap overlays (thread mode); writes land in the first
+        map either way.  Exchange records go to ``exchanges``.
+        """
+        module = plan.module
+        kernel = plan.kernels[kernel_index]
+        # Per-kernel exchange cache: kernels sharing an operand share
+        # one halo transfer, mirroring plan_comm_records.
+        halo_cache: Dict[Tuple[str, str], List[np.ndarray]] = {}
+        for node in kernel.nodes:
+            self._execute(
+                node, module, plan, kernel_index, parts_values, shared,
+                argmax_needed, halo_cache, exchanges,
+            )
+            if bf16_outputs and node.kind is not OpKind.VIEW:
+                # bf16 storage simulation at node boundaries —
+                # elementwise, so shards stay bit-identical to the
+                # single-engine path (views alias rounded storage).
+                for o in node.outputs:
+                    if o not in bf16_outputs:
+                        continue
+                    if o in shared:
+                        shared[o] = bf16_round(shared[o])
+                    else:
+                        for p in range(self.num_parts):
+                            if o in parts_values[p]:
+                                parts_values[p][o] = bf16_round(
+                                    parts_values[p][o]
+                                )
+
+    def _run_overlapped(
+        self,
+        plan: ExecPlan,
+        parts_values: List[Dict[str, np.ndarray]],
+        shared: Dict[str, np.ndarray],
+        argmax_needed: Set[str],
+        bf16_outputs: Set[str],
+        sinks: "List[List[ExchangeRecord]]",
+    ) -> None:
+        """Execute the plan wave by wave (see ``overlap`` modes).
+
+        Each wave is an antichain of the hazard DAG, so kernels within
+        it neither read nor write each other's roots — they commute,
+        and in thread mode can run concurrently against the shared base
+        state with private write overlays.
+        """
+        from collections import ChainMap
+
+        # Local import: the runtime package depends on the analysis
+        # layer, which this low-level module must not import eagerly.
+        from repro.runtime.overlap import hazard_waves
+
+        waves = hazard_waves(plan)
+        self.overlap_waves = waves
+        if self.overlap == "events":
+            for wave in waves:
+                for ki in wave:
+                    self._run_kernel(
+                        plan, ki, parts_values, shared,
+                        argmax_needed, bf16_outputs, sinks[ki],
+                    )
+            return
+
+        import os
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = max(1, min(16, os.cpu_count() or 1))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for wave in waves:
+                if len(wave) == 1:
+                    self._run_kernel(
+                        plan, wave[0], parts_values, shared,
+                        argmax_needed, bf16_outputs, sinks[wave[0]],
+                    )
+                    continue
+                overlays = {}
+                futures = []
+                for ki in wave:
+                    pv = [
+                        ChainMap({}, parts_values[p])
+                        for p in range(self.num_parts)
+                    ]
+                    sh = ChainMap({}, shared)
+                    overlays[ki] = (pv, sh)
+                    futures.append(
+                        pool.submit(
+                            self._run_kernel,
+                            plan, ki, pv, sh,
+                            argmax_needed, bf16_outputs, sinks[ki],
+                        )
+                    )
+                for fut in futures:
+                    fut.result()
+                # Merge overlays in kernel order.  Same-wave kernels
+                # never write the same root (WAW is a hazard edge), so
+                # the merge order is cosmetic; kernel order keeps it
+                # deterministic anyway.
+                for ki in wave:
+                    pv, sh = overlays[ki]
+                    for p in range(self.num_parts):
+                        parts_values[p].update(pv[p].maps[0])
+                    shared.update(sh.maps[0])
 
     # -- measured memory ledgers ---------------------------------------
     def _make_ledgers(
@@ -368,6 +515,7 @@ class MultiEngine:
         row_bytes: int,
         parts_values: List[Dict[str, np.ndarray]],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
+        exchanges: "List[ExchangeRecord]",
     ) -> List[np.ndarray]:
         """Ghost-source rows of vertex tensor ``name``, per part.
 
@@ -395,7 +543,7 @@ class MultiEngine:
             fetched.append(ghost)
             bytes_per_gpu.append(int(part.ghost_src.size) * row_bytes)
         if self.num_parts > 1:
-            self.exchanges.append(
+            exchanges.append(
                 ExchangeRecord(
                     label=root_label, kind="halo_in",
                     bytes_per_gpu=tuple(bytes_per_gpu),
@@ -411,6 +559,7 @@ class MultiEngine:
         row_bytes: int,
         parts_values: List[Dict[str, np.ndarray]],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
+        exchanges: "List[ExchangeRecord]",
     ) -> List[np.ndarray]:
         """Edge tensor ``name`` in each part's out-edge order.
 
@@ -439,7 +588,7 @@ class MultiEngine:
             fetched.append(rows)
             bytes_per_gpu.append(remote)
         if self.num_parts > 1:
-            self.exchanges.append(
+            exchanges.append(
                 ExchangeRecord(
                     label=root_label, kind="halo_out",
                     bytes_per_gpu=tuple(bytes_per_gpu),
@@ -459,6 +608,7 @@ class MultiEngine:
         shared: Dict[str, np.ndarray],
         argmax_needed: Set[str],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
+        exchanges: "List[ExchangeRecord]",
     ) -> None:
         specs = module.specs
 
@@ -498,18 +648,21 @@ class MultiEngine:
 
         if node.kind is OpKind.SCATTER:
             self._execute_scatter(
-                node, plan, parts_values, halo_cache
+                node, plan, parts_values, halo_cache, exchanges
             )
             return
 
         if node.kind is OpKind.GATHER:
             self._execute_gather(
-                node, plan, parts_values, argmax_needed, halo_cache
+                node, plan, parts_values, argmax_needed, halo_cache,
+                exchanges,
             )
             return
 
         if node.kind is OpKind.PARAM_GRAD:
-            self._execute_param_grad(node, module, parts_values, shared)
+            self._execute_param_grad(
+                node, module, parts_values, shared, exchanges
+            )
             return
 
         raise AssertionError(f"unhandled kind {node.kind}")  # pragma: no cover
@@ -520,6 +673,7 @@ class MultiEngine:
         plan: ExecPlan,
         parts_values: List[Dict[str, np.ndarray]],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
+        exchanges: "List[ExchangeRecord]",
     ) -> None:
         fn = get_scatter_fn(node.fn)
         ghost_rows: Optional[List[np.ndarray]] = None
@@ -532,6 +686,7 @@ class MultiEngine:
                 plan.module.specs[u_name].row_bytes,
                 parts_values,
                 halo_cache,
+                exchanges,
             )
         for p, part in enumerate(self.partition.parts):
             ins = [parts_values[p][n] for n in node.inputs]
@@ -548,6 +703,7 @@ class MultiEngine:
         parts_values: List[Dict[str, np.ndarray]],
         argmax_needed: Set[str],
         halo_cache: Dict[Tuple[str, str], List[np.ndarray]],
+        exchanges: "List[ExchangeRecord]",
     ) -> None:
         name = node.inputs[0]
         orientation = node.orientation
@@ -559,6 +715,7 @@ class MultiEngine:
                 plan.module.specs[name].row_bytes,
                 parts_values,
                 halo_cache,
+                exchanges,
             )
         for p, part in enumerate(self.partition.parts):
             local_graph = part.in_graph if orientation == "in" else part.out_graph
@@ -582,6 +739,7 @@ class MultiEngine:
         module: Module,
         parts_values: List[Dict[str, np.ndarray]],
         shared: Dict[str, np.ndarray],
+        exchanges: "List[ExchangeRecord]",
     ) -> None:
         specs = module.specs
         row_domains = {specs[n].domain for n in node.inputs}
@@ -612,7 +770,7 @@ class MultiEngine:
             share = allreduce_bytes_per_gpu(
                 specs[node.outputs[0]].row_bytes, self.num_parts
             )
-            self.exchanges.append(
+            exchanges.append(
                 ExchangeRecord(
                     label=node.name, kind="allreduce",
                     bytes_per_gpu=tuple([share] * self.num_parts),

@@ -1,0 +1,330 @@
+"""Overlap-schedule builder: compute and halo exchange on separate channels.
+
+The serial multi-GPU timeline (:class:`~repro.gpu.cluster.ClusterCostModel`)
+charges one lockstep round per plan: all GPUs exchange, then all GPUs
+compute.  Real deployments pipeline the two — kernel ``k``'s halo can be
+in flight while kernel ``k-1`` still computes — and the paper's thesis
+is exactly that computation, IO, and memory must be scheduled together
+to exploit this.  This module builds that pipelined timeline as an
+:class:`~repro.runtime.events.EventLoop` schedule:
+
+**Channel model.**  Every simulated GPU ``p`` owns two single-lane
+channel groups: ``gpu{p}.compute`` (its kernel stream) and
+``gpu{p}.comm`` (its interconnect stream).  Kernel ``k`` contributes a
+compute task per GPU (priced by the roofline
+:meth:`~repro.gpu.cost_model.CostModel.kernel_seconds` on the GPU's
+partition shard) and, when :func:`~repro.exec.analytic.kernel_comm_records`
+says the kernel exchanges data, a comm task per GPU (bytes over the
+interconnect bandwidth plus a latency charge per exchange).
+
+**Dependence construction.**  Within the overlapped schedule:
+
+- per-channel program order is chained (compute ``k`` after compute
+  ``k-1`` on the same GPU; comm tasks likewise),
+- a kernel's compute waits for its own halo (`compute[k,p]` after
+  ``comm[k,p]``),
+- every hazard edge from :func:`repro.analysis.races.happens_before`
+  (which includes the arena checker's slab conflicts when a
+  ``memory_plan`` is given) becomes a **full barrier**: all of kernel
+  ``k``'s tasks, on every GPU and channel, wait for all of kernel
+  ``i``'s tasks.  The barrier closes the remote-read hazard too — GPU
+  ``q`` cannot start a kernel that overwrites state while GPU ``p``'s
+  exchange still reads it remotely.
+
+Kernel pairs left unordered are therefore exactly the pairs
+:func:`~repro.analysis.races.may_overlap` certifies, which the builder
+re-checks on the placed schedule before returning
+(:class:`OverlapRaceError` on violation — by construction it cannot
+fire, and the RP105 analyzer check re-verifies recorded schedules
+post-hoc).
+
+**Serialized baseline.**  The efficiency denominator replays the same
+tasks under the serial engine's discipline: a full barrier between
+consecutive kernels and compute strictly after *all* GPUs' exchanges of
+the same kernel.  Its constraint set is a transitive superset of the
+overlapped one, and both schedules force the same per-channel task
+order, so the overlapped makespan can never exceed the serialized
+makespan (list scheduling over chain-forced orders is longest-path —
+removing constraints only lowers start times).  The ratio *serialized ÷
+overlapped* is the **overlap efficiency** reported by the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.analysis.races import happens_before, may_overlap
+from repro.exec.analytic import analyze_plan, kernel_comm_records
+from repro.exec.memory import MemoryPlan
+from repro.exec.plan import ExecPlan
+from repro.gpu.cluster import Cluster
+from repro.gpu.cost_model import CostModel
+from repro.graph.partition import PartitionStats
+from repro.runtime.events import EventLoop, Task, TaskSlot
+
+__all__ = [
+    "OverlapSchedule",
+    "OverlapRaceError",
+    "build_overlap_schedule",
+    "hazard_waves",
+    "kernel_dependencies",
+]
+
+
+class OverlapRaceError(RuntimeError):
+    """A placed schedule co-scheduled a kernel pair that may race."""
+
+
+def kernel_dependencies(
+    plan: ExecPlan, *, memory_plan: Optional[MemoryPlan] = None
+) -> List[set]:
+    """Happens-before hazards plus value-level dataflow edges.
+
+    :func:`~repro.analysis.races.happens_before` orders kernels by
+    *root*-level conflicts, which misses one concrete-execution
+    dependence: a VIEW node materialises an aliased value name without
+    writing its root, so the kernel holding the view must still run
+    before any kernel reading the view's output.  Those producer edges
+    are added here from :meth:`~repro.exec.plan.ExecPlan.producer_kernel`
+    over every node input.  Adding edges only removes overlap, so the
+    "unordered implies ``may_overlap``" guarantee is preserved.
+    """
+    deps = happens_before(plan, memory_plan=memory_plan)
+    for k, kernel in enumerate(plan.kernels):
+        for node in kernel.nodes:
+            for name in node.inputs:
+                j = plan.producer_kernel(name)
+                if j is not None and j != k:
+                    deps[k].add(j)
+    return deps
+
+
+def hazard_waves(
+    plan: ExecPlan, *, memory_plan: Optional[MemoryPlan] = None
+) -> List[List[int]]:
+    """Level decomposition of the plan's hazard + dataflow DAG.
+
+    Wave ``w`` holds every kernel whose longest dependence chain from a
+    source has length ``w``.  Because a conflict between ``i`` and
+    ``j`` puts ``i`` into ``kernel_dependencies(plan)[j]``, two kernels
+    in the same wave never conflict — each wave is an antichain that
+    :func:`~repro.analysis.races.may_overlap` certifies pairwise, which
+    is what lets an executor run a whole wave concurrently.
+    """
+    deps = kernel_dependencies(plan, memory_plan=memory_plan)
+    n = len(plan.kernels)
+    level = [0] * n
+    for k in range(n):
+        for i in deps[k]:
+            level[k] = max(level[k], level[i] + 1)
+    waves: List[List[int]] = [[] for _ in range(max(level, default=-1) + 1)]
+    for k in range(n):
+        waves[level[k]].append(k)
+    return waves
+
+
+@dataclass
+class OverlapSchedule:
+    """A placed overlapped timeline plus its serialized baseline."""
+
+    phase: str
+    num_gpus: int
+    num_kernels: int
+    #: Overlapped placement, task key -> slot.  Keys are
+    #: ``("compute", kernel, gpu)`` and ``("comm", kernel, gpu)``.
+    slots: Dict[Hashable, TaskSlot]
+    #: The same tasks under the serial engine's barrier discipline.
+    serialized_slots: Dict[Hashable, TaskSlot]
+    overlapped_makespan_s: float
+    serialized_makespan_s: float
+    #: Kernel pairs ``(i, j)``, ``i < j``, whose tasks overlap in wall
+    #: time — each certified by ``may_overlap`` at build time.
+    co_scheduled: List[Tuple[int, int]]
+    #: Busy seconds per channel group (identical in both schedules).
+    channel_busy_s: Dict[str, float]
+    comm_bytes: int
+
+    @property
+    def efficiency(self) -> float:
+        """Overlap efficiency: serialized ÷ overlapped makespan (>= 1)."""
+        if self.overlapped_makespan_s <= 0.0:
+            return 1.0
+        return self.serialized_makespan_s / self.overlapped_makespan_s
+
+    def channel_efficiency(self) -> Dict[str, float]:
+        """Per-channel efficiency: serialized ÷ overlapped last finish."""
+        out: Dict[str, float] = {}
+        for group in sorted(self.channel_busy_s):
+            over = max(
+                (s.finish_s for s in self.slots.values() if s.group == group),
+                default=0.0,
+            )
+            ser = max(
+                (
+                    s.finish_s
+                    for s in self.serialized_slots.values()
+                    if s.group == group
+                ),
+                default=0.0,
+            )
+            out[group] = ser / over if over > 0.0 else 1.0
+        return out
+
+    def utilization(self) -> Dict[str, float]:
+        """Busy fraction of each channel over the overlapped makespan."""
+        span = self.overlapped_makespan_s
+        return {
+            g: (busy / span if span > 0.0 else 0.0)
+            for g, busy in sorted(self.channel_busy_s.items())
+        }
+
+
+def _dedup(keys: List[Hashable]) -> Tuple[Hashable, ...]:
+    return tuple(dict.fromkeys(keys))
+
+
+def build_overlap_schedule(
+    plan: ExecPlan,
+    pstats: PartitionStats,
+    cluster: Cluster,
+    *,
+    memory_plan: Optional[MemoryPlan] = None,
+    phase: str = "forward",
+) -> OverlapSchedule:
+    """Place ``plan``'s kernels on overlapping per-GPU timelines.
+
+    Prices compute tasks with the roofline cost model on each GPU's
+    partition shard and comm tasks from the analytic exchange schedule,
+    then runs both the overlapped and the serialized dependence sets
+    through the same :class:`~repro.runtime.events.EventLoop`.
+    """
+    P = pstats.num_parts
+    n = len(plan.kernels)
+    device = CostModel(cluster.gpu)
+    hazards = kernel_dependencies(plan, memory_plan=memory_plan)
+
+    per_part_records = [
+        analyze_plan(plan, pstats.parts[p]).records for p in range(P)
+    ]
+    comm_by_kernel = [kernel_comm_records(plan, k, pstats) for k in range(n)]
+    bandwidth = cluster.interconnect_bandwidth
+    latency = cluster.interconnect_latency_s
+
+    channels: Dict[str, int] = {}
+    for p in range(P):
+        channels[f"gpu{p}.compute"] = 1
+        channels[f"gpu{p}.comm"] = 1
+
+    comm_bytes = 0
+    kernel_tasks: List[List[Hashable]] = [[] for _ in range(n)]
+    has_comm: List[List[bool]] = [[False] * P for _ in range(n)]
+    overlapped: List[Task] = []
+    last_comm: List[Optional[Hashable]] = [None] * P
+    for k in range(n):
+        barrier = [
+            dep for i in sorted(hazards[k]) for dep in kernel_tasks[i]
+        ]
+        for p in range(P):
+            records = comm_by_kernel[k][p]
+            if not records:
+                continue
+            comm_bytes += sum(r.bytes for r in records)
+            deps = list(barrier)
+            if last_comm[p] is not None:
+                deps.append(last_comm[p])
+            key = ("comm", k, p)
+            overlapped.append(
+                Task(
+                    key=key,
+                    group=f"gpu{p}.comm",
+                    duration_s=(
+                        sum(r.bytes for r in records) / bandwidth
+                        + len(records) * latency
+                    ),
+                    deps=_dedup(deps),
+                    sort_key=(k, 0, p),
+                )
+            )
+            last_comm[p] = key
+            kernel_tasks[k].append(key)
+            has_comm[k][p] = True
+        for p in range(P):
+            deps = list(barrier)
+            if k > 0:
+                deps.append(("compute", k - 1, p))
+            if has_comm[k][p]:
+                deps.append(("comm", k, p))
+            key = ("compute", k, p)
+            overlapped.append(
+                Task(
+                    key=key,
+                    group=f"gpu{p}.compute",
+                    duration_s=device.kernel_seconds(
+                        per_part_records[p][k], pstats.parts[p]
+                    ),
+                    deps=_dedup(deps),
+                    sort_key=(k, 1, p),
+                )
+            )
+            kernel_tasks[k].append(key)
+
+    # The serial engine's discipline over the *same* tasks: a full
+    # barrier between consecutive kernels, compute after every GPU's
+    # exchange of its own kernel.  A transitive superset of the
+    # overlapped constraints, hence makespan >= overlapped.
+    serialized: List[Task] = []
+    for task in overlapped:
+        kind, k, p = task.key
+        deps = list(kernel_tasks[k - 1]) if k > 0 else []
+        if kind == "compute":
+            deps.extend(
+                ("comm", k, q) for q in range(P) if has_comm[k][q]
+            )
+        serialized.append(
+            Task(
+                key=task.key,
+                group=task.group,
+                duration_s=task.duration_s,
+                deps=_dedup(deps),
+                sort_key=task.sort_key,
+            )
+        )
+
+    loop = EventLoop(channels)
+    slots = loop.run(overlapped)
+    serialized_slots = loop.run(serialized)
+
+    busy: Dict[str, float] = {g: 0.0 for g in channels}
+    for slot in slots.values():
+        busy[slot.group] += slot.duration_s
+
+    pairs = set()
+    placed = list(slots.values())
+    for a in range(len(placed)):
+        for b in range(a + 1, len(placed)):
+            ka, kb = placed[a].key[1], placed[b].key[1]
+            if ka == kb:
+                continue
+            if placed[a].overlaps(placed[b]):
+                pairs.add((min(ka, kb), max(ka, kb)))
+    co_scheduled = sorted(pairs)
+    for i, j in co_scheduled:
+        if not may_overlap(plan, i, j, memory_plan=memory_plan):
+            raise OverlapRaceError(
+                f"schedule co-runs racing kernels {i} and {j} "
+                f"({plan.kernels[i].label!r} / {plan.kernels[j].label!r})"
+            )
+
+    return OverlapSchedule(
+        phase=phase,
+        num_gpus=P,
+        num_kernels=n,
+        slots=slots,
+        serialized_slots=serialized_slots,
+        overlapped_makespan_s=loop.makespan(slots),
+        serialized_makespan_s=loop.makespan(serialized_slots),
+        co_scheduled=co_scheduled,
+        channel_busy_s=busy,
+        comm_bytes=comm_bytes,
+    )

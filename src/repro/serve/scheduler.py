@@ -16,6 +16,12 @@ function of the inputs — the determinism the serve report contract
 relies on.  Whole batches are placed on single GPUs (no partitioning),
 so a :class:`~repro.gpu.cluster.Cluster` acts as a homogeneous pool;
 per-GPU busy time feeds the utilization metrics.
+
+The event-queue core lives in :class:`repro.runtime.EventLoop` (one
+``"gpu"`` channel group, one lane per pool GPU); EDF/FIFO are expressed
+as task sort keys.  The loop's decision rule — earliest feasible start,
+ties on sort key then submission order — reproduces the historical
+placement loop bit for bit, which the serve goldens pin.
 """
 
 from __future__ import annotations
@@ -23,7 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-__all__ = ["PendingBatch", "Placement", "place_batches", "SCHEDULER_POLICIES"]
+from repro.runtime.events import EventLoop, Task
+
+__all__ = [
+    "PendingBatch",
+    "Placement",
+    "place_batches",
+    "place_batches_overlapped",
+    "SCHEDULER_POLICIES",
+]
 
 SCHEDULER_POLICIES = ("edf", "fifo")
 
@@ -75,30 +89,104 @@ def place_batches(
             f"unknown scheduler policy {policy!r}; use one of "
             f"{SCHEDULER_POLICIES}"
         )
-    free = [0.0] * num_gpus
-    pending = list(range(len(batches)))
-    placements: List[Placement] = [None] * len(batches)  # type: ignore[list-item]
 
     def sort_key(i: int):
         b = batches[i]
         if policy == "edf":
-            return (b.deadline_s, b.dispatch_s, i)
-        return (b.dispatch_s, i)
+            return (b.deadline_s, b.dispatch_s)
+        return (b.dispatch_s,)
 
-    while pending:
-        gpu = min(range(num_gpus), key=lambda g: (free[g], g))
-        now = free[gpu]
-        ready = [i for i in pending if batches[i].dispatch_s <= now]
-        if not ready:
-            # Idle pool: advance this GPU's clock to the next dispatch.
-            now = min(batches[i].dispatch_s for i in pending)
-            ready = [i for i in pending if batches[i].dispatch_s <= now]
-        pick = min(ready, key=sort_key)
-        start = max(now, batches[pick].dispatch_s)
-        finish = start + batches[pick].service_s
-        free[gpu] = finish
-        placements[pick] = Placement(
-            index=pick, gpu=gpu, start_s=start, finish_s=finish
+    tasks = [
+        Task(
+            key=i,
+            group="gpu",
+            duration_s=b.service_s,
+            ready_s=b.dispatch_s,
+            sort_key=sort_key(i),
         )
-        pending.remove(pick)
-    return placements
+        for i, b in enumerate(batches)
+    ]
+    slots = EventLoop({"gpu": num_gpus}).run(tasks)
+    return [
+        Placement(
+            index=i,
+            gpu=slots[i].lane,
+            start_s=slots[i].start_s,
+            finish_s=slots[i].finish_s,
+        )
+        for i in range(len(batches))
+    ]
+
+
+def place_batches_overlapped(
+    batches: Sequence[PendingBatch],
+    num_gpus: int,
+    *,
+    gather_s: Sequence[float],
+    compute_s: Sequence[float],
+    policy: str = "edf",
+) -> List[Placement]:
+    """Place batches with feature gathers pipelined against compute.
+
+    The serial clock (:func:`place_batches`) holds a GPU for the whole
+    ``gather + compute`` service; here the two halves run on separate
+    channel groups — ``"io"`` (cache-miss feature gathers over the host
+    link) and ``"compute"`` (the kernel stream), each with one lane per
+    pool GPU — so a batch's gather can stream in while the previous
+    batch still computes.  A batch's compute waits only for its own
+    gather; the policy sort keys and the loop's deterministic
+    tie-breaking are the same as the serial scheduler's, so placement
+    remains a pure function of the inputs.
+
+    Each returned :class:`Placement` spans gather start to compute
+    finish on the compute lane the batch's kernels ran on — per-request
+    latency keeps its serial meaning while the makespan contracts.
+    """
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if policy not in SCHEDULER_POLICIES:
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; use one of "
+            f"{SCHEDULER_POLICIES}"
+        )
+    if len(gather_s) != len(batches) or len(compute_s) != len(batches):
+        raise ValueError(
+            "gather_s and compute_s must have one entry per batch"
+        )
+
+    def sort_key(i: int):
+        b = batches[i]
+        if policy == "edf":
+            return (b.deadline_s, b.dispatch_s)
+        return (b.dispatch_s,)
+
+    tasks: List[Task] = []
+    for i, b in enumerate(batches):
+        tasks.append(
+            Task(
+                key=("gather", i),
+                group="io",
+                duration_s=gather_s[i],
+                ready_s=b.dispatch_s,
+                sort_key=sort_key(i),
+            )
+        )
+        tasks.append(
+            Task(
+                key=("compute", i),
+                group="compute",
+                duration_s=compute_s[i],
+                deps=(("gather", i),),
+                sort_key=sort_key(i),
+            )
+        )
+    slots = EventLoop({"io": num_gpus, "compute": num_gpus}).run(tasks)
+    return [
+        Placement(
+            index=i,
+            gpu=slots[("compute", i)].lane,
+            start_s=slots[("gather", i)].start_s,
+            finish_s=slots[("compute", i)].finish_s,
+        )
+        for i in range(len(batches))
+    ]

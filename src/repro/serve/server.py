@@ -61,7 +61,11 @@ from repro.serve.batcher import BatchPolicy, MicroBatch, coalesce, receptive_fie
 from repro.serve.cache import FeatureCache
 from repro.serve.metrics import BatchTrace, RequestOutcome, ServeReport
 from repro.serve.request import InferenceRequest
-from repro.serve.scheduler import PendingBatch, place_batches
+from repro.serve.scheduler import (
+    PendingBatch,
+    place_batches,
+    place_batches_overlapped,
+)
 from repro.exec.profiler import BatchCost
 
 __all__ = ["InferenceServer"]
@@ -139,6 +143,15 @@ class InferenceServer:
         ``False`` skips concrete engine execution (no delivered
         outputs).  Every metric is analytic, so reports are identical
         either way — the switch exists for costing-only experiments.
+    overlap:
+        ``None`` (serial virtual clock), ``"events"`` (feature gathers
+        placed on a dedicated IO channel overlapping the compute
+        channel — the report carries both the overlapped and the
+        serialized makespan), or ``"threads"`` (same placement, with
+        concrete batch execution additionally fanned out over a thread
+        pool).  Delivered outputs are bit-identical across all three
+        modes: the clock prices batches, it never touches their
+        numerics.
     params / param_seed:
         Per-tenant parameter arrays (mapping ``tenant -> params``), or
         a seed for each model's initialiser.
@@ -160,7 +173,13 @@ class InferenceServer:
         params: Optional[Mapping[str, Dict[str, np.ndarray]]] = None,
         param_seed: int = 0,
         precision: str = "float32",
+        overlap: Optional[str] = None,
     ):
+        if overlap not in (None, "events", "threads"):
+            raise ValueError(
+                f"unknown overlap mode {overlap!r}; use 'events', "
+                "'threads', or None"
+            )
         if features.shape[0] != graph.num_vertices:
             raise ValueError(
                 f"features have {features.shape[0]} rows, graph has "
@@ -208,6 +227,7 @@ class InferenceServer:
         self.memory_plan = memory_plan
         self.execute = execute
         self.precision = precision
+        self.overlap = overlap
         #: The feature cache of the most recent :meth:`serve` call.
         self.cache: Optional[FeatureCache] = None
         #: Dynamic state of the most recent :meth:`serve` call (``None``
@@ -381,6 +401,8 @@ class InferenceServer:
         pending: List[PendingBatch] = []
         versions: List[Tuple[int, int]] = []
         batch_feats: List[Optional[np.ndarray]] = []
+        compute_seconds: List[float] = []
+        gather_seconds: List[float] = []
         for batch in batches:
             runtime = self.tenants[batch.tenant]
             if dynamic:
@@ -409,9 +431,11 @@ class InferenceServer:
             # memory plan backs the run).
             self.cost.check_memory(compute)
             split = cache.gather(0, mb.vertices, runtime.row_bytes)
-            service = self.cost.latency_seconds(
-                compute, field_stats
-            ) + self.cost.gather_seconds(split.paid_bytes)
+            compute_s = self.cost.latency_seconds(compute, field_stats)
+            gather_s = self.cost.gather_seconds(split.paid_bytes)
+            service = compute_s + gather_s
+            compute_seconds.append(compute_s)
+            gather_seconds.append(gather_s)
             fields.append(mb)
             splits.append(split)
             costs.append(
@@ -434,19 +458,69 @@ class InferenceServer:
         if dynamic:
             apply_updates(None)
 
-        placements = place_batches(
+        serial_placements = place_batches(
             pending, self.num_gpus, policy=self.scheduler_policy
         )
+        serialized_makespan_s = 0.0
+        if self.overlap is None:
+            placements = serial_placements
+        else:
+            # The serial placement is kept as the efficiency
+            # denominator: same batches, one channel, gather + compute
+            # fused into a single GPU hold.
+            placements = place_batches_overlapped(
+                pending,
+                self.num_gpus,
+                gather_s=gather_seconds,
+                compute_s=compute_seconds,
+                policy=self.scheduler_policy,
+            )
+            serialized_makespan_s = max(
+                (p.finish_s for p in serial_placements), default=0.0
+            )
+
+        logits_by_batch: List[Optional[np.ndarray]] = [None] * len(batches)
+        if self.execute and self.overlap == "threads" and batches:
+            # Real parallelism over the concrete executions: per-batch
+            # engines share only read-only state (features were
+            # snapshotted per batch on dynamic runs), and results are
+            # collected in submission order, so delivered outputs stay
+            # bit-identical to the serial walk.
+            from concurrent.futures import ThreadPoolExecutor
+            import os
+
+            workers = max(1, min(16, os.cpu_count() or 1))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        self._execute_batch,
+                        self.tenants[batch.tenant],
+                        mb,
+                        mplan,
+                        feats,
+                    )
+                    for batch, mb, mplan, feats in zip(
+                        batches, fields, mplans, batch_feats
+                    )
+                ]
+                logits_by_batch = [f.result() for f in futures]
 
         gpu_busy = [0.0] * self.num_gpus
         traces: List[BatchTrace] = []
         outcomes: List[RequestOutcome] = []
         outputs: Dict[int, np.ndarray] = {}
-        for batch, mb, cost, split, mplan, slot, (gv, fv), feats in zip(
-            batches, fields, costs, splits, mplans, placements, versions,
-            batch_feats,
+        for i, (batch, mb, cost, split, mplan, slot, (gv, fv), feats) in (
+            enumerate(zip(
+                batches, fields, costs, splits, mplans, placements, versions,
+                batch_feats,
+            ))
         ):
-            gpu_busy[slot.gpu] += slot.service_s
+            # On the overlapped clock the gather ran on the io channel;
+            # the GPU itself was held only for the compute half.
+            gpu_busy[slot.gpu] += (
+                slot.service_s if self.overlap is None
+                else compute_seconds[i]
+            )
             traces.append(
                 BatchTrace(
                     tenant=batch.tenant,
@@ -463,13 +537,16 @@ class InferenceServer:
                     feature_version=fv,
                 )
             )
-            logits = (
-                self._execute_batch(
-                    self.tenants[batch.tenant], mb, mplan, feats
+            if self.overlap == "threads":
+                logits = logits_by_batch[i]
+            else:
+                logits = (
+                    self._execute_batch(
+                        self.tenants[batch.tenant], mb, mplan, feats
+                    )
+                    if self.execute
+                    else None
                 )
-                if self.execute
-                else None
-            )
             for r in batch.requests:
                 outcomes.append(
                     RequestOutcome(
@@ -504,6 +581,8 @@ class InferenceServer:
                 dyn.num_vertices if dynamic else self.graph.num_vertices
             ),
             outputs=outputs,
+            overlap=self.overlap,
+            serialized_makespan_s=serialized_makespan_s,
             graph_version=dyn.version if dynamic else 0,
             feature_version=store.version if dynamic else 0,
             num_graph_updates=num_graph_updates,

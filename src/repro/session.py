@@ -321,6 +321,9 @@ class Session:
         # Feature-storage precision override: None keeps the strategy's
         # own precision (normally "fp32").
         self._precision: Optional[str] = None
+        # Async-runtime override: None keeps the strategy's own mode
+        # (normally serial).
+        self._overlap: Optional[str] = None
         # (compiled id, stats id) -> (compiled, stats, StepMemoryPlan).
         self._memory_memo: Dict[tuple, tuple] = {}
         # Registry-name models resolve once per configuration; the
@@ -410,6 +413,28 @@ class Session:
 
             precision = canonical_precision(precision)
         self._precision = precision
+        return self
+
+    def overlap(self, mode: Optional[str]) -> "Session":
+        """Select the async-runtime mode of this configuration.
+
+        ``"events"`` schedules compute, halo exchange, and feature
+        gathers on overlapping per-GPU virtual-clock channels
+        (:mod:`repro.runtime`); ``"threads"`` backs the same hazard-wave
+        schedule with a real thread pool.  The resolved strategy
+        carries the choice (``ExecutionStrategy.overlap``), so
+        concrete multi-GPU execution and :meth:`serve` use it; both
+        modes are bit-identical to the serial oracle by contract.
+        :meth:`overlap_schedules` reports the modelled timeline and its
+        overlap efficiency.  ``overlap(None)`` restores serial
+        execution.
+        """
+        if mode not in (None, "events", "threads"):
+            raise ValueError(
+                f"unknown overlap mode {mode!r}; use 'events', "
+                "'threads', or None"
+            )
+        self._overlap = mode
         return self
 
     def gpu(self, gpu: Union[str, GPUSpec]) -> "Session":
@@ -512,6 +537,8 @@ class Session:
             resolved = replace(resolved, backend=self._backend)
         if self._precision is not None and resolved.precision != self._precision:
             resolved = replace(resolved, precision=self._precision)
+        if self._overlap is not None and resolved.overlap != self._overlap:
+            resolved = replace(resolved, overlap=self._overlap)
         return resolved
 
     def resolve_gpu(self) -> GPUSpec:
@@ -776,6 +803,50 @@ class Session:
             self.multi_counters(training=training),
             self.resolve_partition_stats(),
         )
+
+    def overlap_schedules(self, *, training: bool = True) -> list:
+        """Overlapped per-phase timelines on the cluster.
+
+        Builds one :class:`~repro.runtime.overlap.OverlapSchedule` per
+        plan phase (forward, and backward when training) — compute and
+        halo exchange placed on overlapping per-GPU channels, with the
+        serialized baseline and the overlap-efficiency ratio attached.
+        With :meth:`schedule` set to ``"memory"`` the arena plan joins
+        the hazard analysis, so slab reuse is honoured when deciding
+        what may overlap.
+        """
+        from repro.runtime.overlap import build_overlap_schedule
+
+        cluster = self.resolve_cluster()
+        if cluster is None:
+            raise ValueError(
+                "overlap_schedules() needs a cluster configuration"
+            )
+        compiled = self.compile(training=training)
+        pstats = self.resolve_partition_stats()
+        smp = (
+            self._memory_plan_compiled(
+                compiled, self.resolve_stats(), training
+            )
+            if self._schedule == "memory"
+            else None
+        )
+        phases = (
+            [("forward", compiled.fwd_plan), ("backward", compiled.bwd_plan)]
+            if training
+            else [("forward", compiled.plan)]
+        )
+        schedules = []
+        for phase, plan in phases:
+            mp = None
+            if smp is not None:
+                mp = smp.forward if phase == "forward" else smp.backward
+            schedules.append(
+                build_overlap_schedule(
+                    plan, pstats, cluster, memory_plan=mp, phase=phase
+                )
+            )
+        return schedules
 
     def latency_seconds(self, *, training: bool = True) -> float:
         if self._minibatch is not None:
@@ -1074,6 +1145,7 @@ class Session:
             hops=hops,
             memory_plan=self._schedule == "memory",
             execute=execute,
+            overlap=self.resolve_strategy().overlap,
         )
         return server.serve(workload, updates=updates, compact_every=compact_every)
 

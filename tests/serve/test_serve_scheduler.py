@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.serve.scheduler import PendingBatch, place_batches
+from repro.serve.scheduler import (
+    PendingBatch,
+    place_batches,
+    place_batches_overlapped,
+)
 
 
 def pb(dispatch, service, deadline):
@@ -78,4 +82,108 @@ class TestPool:
         ]
         a = place_batches(work, 3, policy="edf")
         b = place_batches(work, 3, policy="edf")
+        assert a == b
+
+
+class TestEdgeCases:
+    def test_simultaneous_edf_deadlines_break_on_dispatch(self):
+        # Identical deadlines: EDF falls back to dispatch order, so the
+        # earlier-dispatched batch runs first even when both are queued.
+        work = [pb(0.2, 1.0, 5.0), pb(0.1, 1.0, 5.0), pb(0.0, 2.0, 9.0)]
+        slots = place_batches(work, 1, policy="edf")
+        assert slots[2].start_s == 0.0
+        assert slots[1].start_s == 2.0  # dispatched 0.1 < 0.2
+        assert slots[0].start_s == 3.0
+
+    def test_fully_simultaneous_ties_break_on_submission(self):
+        # Same dispatch, deadline, and service: submission order decides,
+        # so placement stays a pure function of the inputs.
+        work = [pb(0.0, 1.0, 5.0) for _ in range(4)]
+        slots = place_batches(work, 2, policy="edf")
+        assert [s.gpu for s in slots] == [0, 1, 0, 1]
+        assert [s.start_s for s in slots] == [0.0, 0.0, 1.0, 1.0]
+
+    def test_zero_duration_batch(self):
+        # A zero-service batch occupies a point in time: it finishes at
+        # its start and the GPU is immediately free for the next batch.
+        work = [pb(0.0, 0.0, 5.0), pb(0.0, 1.0, 9.0)]
+        slots = place_batches(work, 1, policy="edf")
+        assert slots[0].start_s == slots[0].finish_s == 0.0
+        assert slots[1].start_s == 0.0
+        assert slots[1].finish_s == 1.0
+
+    def test_single_gpu_degeneracy_serialises_everything(self):
+        # One GPU: placement is a pure priority queue — total service
+        # time is conserved and no two batches overlap.
+        work = [
+            pb(0.02 * i, 0.1 + 0.01 * i, 2.0 - 0.1 * i) for i in range(8)
+        ]
+        slots = place_batches(work, 1, policy="edf")
+        assert all(s.gpu == 0 for s in slots)
+        spans = sorted((s.start_s, s.finish_s) for s in slots)
+        for (s1, f1), (s2, _) in zip(spans, spans[1:]):
+            assert f1 <= s2 + 1e-12
+        makespan = max(f for _, f in spans)
+        total = sum(b.service_s for b in work)
+        assert makespan >= total - 1e-12
+
+
+class TestOverlappedPlacement:
+    def test_gather_pipelines_under_compute(self):
+        # Two back-to-back batches on one GPU: batch 1's gather streams
+        # in while batch 0 computes, so its compute starts the moment
+        # batch 0's finishes instead of after its own serial gather.
+        work = [pb(0.0, 3.0, 9.0), pb(0.0, 3.0, 9.0)]
+        serial = place_batches(work, 1)
+        over = place_batches_overlapped(
+            work, 1, gather_s=[1.0, 1.0], compute_s=[2.0, 2.0]
+        )
+        assert serial[1].finish_s == 6.0
+        assert over[1].finish_s == 5.0  # gather 1 hid under compute 0
+        assert over[0].start_s == 0.0 and over[0].finish_s == 3.0
+
+    def test_compute_waits_for_own_gather(self):
+        over = place_batches_overlapped(
+            work := [pb(1.0, 3.0, 9.0)], 1, gather_s=[2.0], compute_s=[1.0]
+        )
+        assert over[0].start_s == 1.0  # gather starts at dispatch
+        assert over[0].finish_s == 4.0  # compute after the 2 s gather
+
+    def test_never_slower_than_serial(self):
+        work = [
+            pb(0.01 * i, 0.2 + 0.03 * (i % 4), 2.0 - 0.05 * i)
+            for i in range(16)
+        ]
+        gathers = [0.05 + 0.01 * (i % 5) for i in range(16)]
+        computes = [work[i].service_s - gathers[i] for i in range(16)]
+        for gpus in (1, 2, 4):
+            for policy in ("edf", "fifo"):
+                serial = place_batches(work, gpus, policy=policy)
+                over = place_batches_overlapped(
+                    work, gpus, gather_s=gathers, compute_s=computes,
+                    policy=policy,
+                )
+                assert max(p.finish_s for p in over) <= (
+                    max(p.finish_s for p in serial) + 1e-9
+                )
+
+    def test_validates_split_lengths(self):
+        with pytest.raises(ValueError):
+            place_batches_overlapped(
+                [pb(0, 1, 1)], 1, gather_s=[0.5, 0.5], compute_s=[0.5]
+            )
+
+    def test_deterministic(self):
+        work = [
+            pb(0.01 * i, 0.3 + 0.01 * (i % 3), 1.0 - 0.05 * i)
+            for i in range(12)
+        ]
+        gathers = [0.1] * 12
+        computes = [b.service_s - 0.1 for b in work]
+        a = place_batches_overlapped(
+            work, 3, gather_s=gathers, compute_s=computes
+        )
+        b = place_batches_overlapped(
+            work, 3, gather_s=gathers, compute_s=computes
+        )
         assert a == b
